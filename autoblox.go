@@ -1,0 +1,432 @@
+// Package autoblox is a from-scratch Go implementation of AutoBlox
+// ("Learning to Drive Software-Defined Solid-State Drives", MICRO 2023):
+// an automated, learning-based SSD hardware-configuration framework.
+//
+// Given block I/O traces of a target workload and a set of hardware
+// constraints (capacity, host interface, flash type, power budget),
+// AutoBlox recommends an optimized SSD configuration:
+//
+//	fw, _ := autoblox.New(autoblox.DefaultConstraints(), autoblox.Options{DBPath: "autoblox.db"})
+//	defer fw.Close()
+//	fw.LearnWorkloads(trainingTraces)             // PCA + k-means clustering (§3.1)
+//	rec, _ := fw.Recommend(newTrace)              // cached lookup or full BO tuning (§3.4)
+//	fmt.Println(rec.Device.Channels, rec.Grade)
+//
+// The package re-exports the pieces a downstream user needs — the
+// configuration space, the discrete-event SSD simulator, the synthetic
+// workload generators and the tuning engine — while the heavy lifting
+// lives in internal/ packages.
+package autoblox
+
+import (
+	"errors"
+	"fmt"
+
+	"autoblox/internal/autodb"
+	"autoblox/internal/core"
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/trace"
+)
+
+// Re-exported types: the public API surface for downstream users.
+type (
+	// Constraints is the set_cons(capacity, interface, flash_type,
+	// power_budget) tuple of §3.5.
+	Constraints = ssdconf.Constraints
+	// Config is a point in the 48-parameter configuration space.
+	Config = ssdconf.Config
+	// Space is the tunable parameter space under constraints.
+	Space = ssdconf.Space
+	// DeviceParams is a fully resolved simulator configuration.
+	DeviceParams = ssd.DeviceParams
+	// SimResult carries measured performance and energy.
+	SimResult = ssd.Result
+	// Trace is a block I/O trace.
+	Trace = trace.Trace
+	// TuneResult reports a tuning run.
+	TuneResult = core.TuneResult
+	// TunerOptions tunes the §3.4 search loop.
+	TunerOptions = core.TunerOptions
+	// WhatIfGoal is a §4.5 performance target.
+	WhatIfGoal = core.WhatIfGoal
+	// WhatIfResult reports a what-if exploration.
+	WhatIfResult = core.WhatIfResult
+	// Assignment is a workload-clustering verdict.
+	Assignment = core.Assignment
+	// PruneOptions controls §3.3 parameter pruning.
+	PruneOptions = core.PruneOptions
+)
+
+// DefaultConstraints returns the paper's §4.2 setting: 512GB, NVMe, MLC.
+func DefaultConstraints() Constraints { return ssdconf.DefaultConstraints() }
+
+// Baseline commodity configurations used as references in the paper.
+var (
+	Intel750      = ssd.Intel750
+	Samsung850Pro = ssd.Samsung850Pro
+	SamsungZSSD   = ssd.SamsungZSSD
+)
+
+// Options configures a Framework.
+type Options struct {
+	// DBPath locates the AutoDB log file (default "autoblox.db").
+	DBPath string
+	// Alpha and Beta are the Formula 1/2 coefficients (defaults 0.5, 0.1).
+	Alpha, Beta float64
+	// Seed drives all stochastic components.
+	Seed int64
+	// Reference is the commodity baseline; zero value selects Intel 750.
+	Reference DeviceParams
+	// Tuner carries the search-loop knobs; zero values pick the paper's
+	// defaults.
+	Tuner TunerOptions
+	// ClusterK overrides the number of workload clusters (default: one
+	// per training trace).
+	ClusterK int
+	// NewCategoryAfter is the number of outlier workloads (novel traces
+	// nearest to the same cluster) after which AutoBlox creates a new
+	// category and retrains the clustering with one more cluster (§3.1;
+	// paper default 20). Values <1 select the paper default.
+	NewCategoryAfter int
+	// WhatIfSpace switches the expanded §4.5 bounds on.
+	WhatIfSpace bool
+}
+
+// Framework is the top-level AutoBlox object tying together the
+// clustering model, the configuration database, the validator and the
+// tuner.
+type Framework struct {
+	Space     *Space
+	DB        *autodb.DB
+	Clusterer *core.Clusterer
+
+	opts      Options
+	cons      Constraints
+	validator *core.Validator
+	grader    *core.Grader
+	refCfg    Config
+	traces    map[string]*Trace   // cluster label -> representative trace
+	orders    map[string][]string // cached §3.3 tuning orders per target
+	outliers  map[string]int      // nearest-label -> novel-trace count (§3.1)
+}
+
+// New opens (or creates) a framework under the given constraints.
+func New(cons Constraints, opts Options) (*Framework, error) {
+	if opts.DBPath == "" {
+		opts.DBPath = "autoblox.db"
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = core.DefaultAlpha
+	}
+	if opts.Beta == 0 {
+		opts.Beta = core.DefaultBeta
+	}
+	if opts.Reference.Channels == 0 {
+		opts.Reference = ssd.Intel750()
+	}
+	var space *Space
+	if opts.WhatIfSpace {
+		space = ssdconf.NewWhatIfSpace(cons)
+	} else {
+		space = ssdconf.NewSpace(cons)
+	}
+	db, err := autodb.Open(opts.DBPath)
+	if err != nil {
+		return nil, err
+	}
+	if opts.NewCategoryAfter < 1 {
+		opts.NewCategoryAfter = 20 // paper §3.1 default
+	}
+	f := &Framework{
+		Space: space, DB: db, opts: opts, cons: cons,
+		traces:   map[string]*Trace{},
+		orders:   map[string][]string{},
+		outliers: map[string]int{},
+	}
+	f.refCfg = space.FromDevice(opts.Reference)
+
+	// Restore a previously learned clustering model, if any.
+	if blob, ok, err := db.LoadModel(); err == nil && ok {
+		if c, err := core.UnmarshalClusterer(blob); err == nil {
+			f.Clusterer = c
+		}
+	}
+	return f, nil
+}
+
+// Close releases the configuration database.
+func (f *Framework) Close() error { return f.DB.Close() }
+
+// ReferenceConfig returns the grid-snapped commodity reference.
+func (f *Framework) ReferenceConfig() Config { return f.refCfg.Clone() }
+
+// SetProgress installs a per-iteration callback for subsequent tuning
+// runs (CLI progress reporting).
+func (f *Framework) SetProgress(fn func(iteration int, bestGrade float64)) {
+	f.opts.Tuner.OnIteration = fn
+}
+
+// LearnWorkloads trains the §3.1 clustering model on one representative
+// trace per workload category and persists it to AutoDB. The traces also
+// become the per-cluster representatives used in non-target validation.
+func (f *Framework) LearnWorkloads(traces []*Trace) error {
+	c, err := core.TrainClusterer(traces, core.ClustererConfig{
+		K: f.opts.ClusterK, Seed: f.opts.Seed, AutoAdjustThreshold: true,
+	})
+	if err != nil {
+		return err
+	}
+	f.Clusterer = c
+	for _, tr := range traces {
+		f.traces[tr.Name] = tr
+	}
+	f.validator = nil // rebuilt lazily against the new trace set
+	if blob, err := c.Marshal(); err == nil {
+		if err := f.DB.SaveModel(blob); err != nil {
+			return fmt.Errorf("autoblox: persist model: %w", err)
+		}
+	}
+	return nil
+}
+
+// Workloads lists the learned cluster labels.
+func (f *Framework) Workloads() []string {
+	out := make([]string, 0, len(f.traces))
+	for k := range f.traces {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ensureEnv lazily builds the validator and grader over the learned
+// traces.
+func (f *Framework) ensureEnv() error {
+	if f.validator != nil {
+		return nil
+	}
+	if len(f.traces) == 0 {
+		return errors.New("autoblox: LearnWorkloads must run before tuning")
+	}
+	f.validator = core.NewValidator(f.Space, f.traces)
+	g, err := core.NewGrader(f.validator, f.refCfg, f.opts.Alpha, f.opts.Beta)
+	if err != nil {
+		return err
+	}
+	f.grader = g
+	return nil
+}
+
+// Recommendation is the outcome of Recommend.
+type Recommendation struct {
+	Assignment Assignment
+	// FromCache is true when AutoDB already held a configuration for the
+	// workload's cluster and no tuning ran.
+	FromCache bool
+	Config    Config
+	Device    DeviceParams
+	Grade     float64
+	// Tune holds the tuning run's details when tuning was needed.
+	Tune *TuneResult
+}
+
+// Recommend implements the paper's end-to-end workflow (Fig. 3): extract
+// the new workload's features, map it to a cluster, serve a learned
+// configuration from AutoDB when one exists, and otherwise learn a new
+// configuration and store it.
+func (f *Framework) Recommend(tr *Trace) (*Recommendation, error) {
+	if f.Clusterer == nil {
+		return nil, errors.New("autoblox: LearnWorkloads must run before Recommend")
+	}
+	a, err := f.Clusterer.Assign(tr)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recommendation{Assignment: a}
+
+	clusterID := a.Cluster
+	newCategory := false
+	if a.IsNew {
+		// Workload outlier (§3.1): tolerate outliers of an existing
+		// category until NewCategoryAfter of them accumulate, then form
+		// a new category — retraining the k-means model with one more
+		// cluster when the training windows are available.
+		f.outliers[a.Label]++
+		if f.outliers[a.Label] >= f.opts.NewCategoryAfter {
+			newCategory = true
+			f.outliers[a.Label] = 0
+			if retrained, err := f.Clusterer.AddWorkload(tr, f.opts.Seed); err == nil {
+				f.Clusterer = retrained
+				if blob, err := retrained.Marshal(); err == nil {
+					_ = f.DB.SaveModel(blob) // best-effort persistence
+				}
+			}
+			n, err := f.DB.NumClusters()
+			if err != nil {
+				return nil, err
+			}
+			clusterID = f.Clusterer.KMeans.K() + n
+		}
+	}
+
+	if stored, err := f.DB.BestConfigs(clusterID, 1); err == nil && len(stored) > 0 && !newCategory {
+		rec.FromCache = true
+		rec.Config = stored[0].Config
+		rec.Grade = stored[0].Grade
+		rec.Device = f.Space.ToDevice(stored[0].Config)
+		return rec, nil
+	}
+
+	// Learn a new configuration with the trace itself as the target.
+	target := a.Label
+	if newCategory {
+		target = tr.Name
+		f.traces[target] = tr
+		f.validator = nil
+	}
+	res, err := f.Tune(target)
+	if err != nil {
+		return nil, err
+	}
+	rec.Config = res.Best
+	rec.Grade = res.BestGrade
+	rec.Device = f.Space.ToDevice(res.Best)
+	rec.Tune = res
+
+	sc := autodb.StoredConfig{Config: res.Best, Grade: res.BestGrade,
+		Perf: map[string]autodb.Perf{}}
+	for cl, ps := range res.BestPerf {
+		for i, p := range ps {
+			sc.Perf[fmt.Sprintf("%s#%d", cl, i)] = p
+		}
+	}
+	if err := f.DB.AddConfig(clusterID, target, sc); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Tune learns an optimized configuration for a known cluster label.
+func (f *Framework) Tune(target string) (*TuneResult, error) {
+	if err := f.ensureEnv(); err != nil {
+		return nil, err
+	}
+	opts := f.opts.Tuner
+	opts.Alpha, opts.Beta, opts.Seed = f.opts.Alpha, f.opts.Beta, f.opts.Seed
+	// The full pipeline enforces the §3.3 tuning order; compute and
+	// cache it per target (fine-grained pruning, Fig. 5).
+	if !opts.UseTuningOrder {
+		order, ok := f.orders[target]
+		if !ok {
+			// Reuse a previously persisted order for this cluster, else
+			// learn one with fine-grained pruning and persist it.
+			clusterID := -1
+			if f.Clusterer != nil {
+				clusterID = f.Clusterer.ClusterOf(target)
+			}
+			if clusterID >= 0 {
+				if stored, found, err := f.DB.GetOrder(clusterID); err == nil && found {
+					order, ok = stored, true
+				}
+			}
+			if !ok {
+				fine, err := core.FinePrune(f.validator, f.grader, target, f.refCfg, nil,
+					core.PruneOptions{Seed: f.opts.Seed})
+				if err == nil {
+					order = fine.Order
+					if clusterID >= 0 {
+						_ = f.DB.PutOrder(clusterID, order) // best-effort persistence
+					}
+				}
+			}
+			f.orders[target] = order
+		}
+		if len(order) > 0 {
+			opts.UseTuningOrder = true
+			opts.Order = order
+		}
+	}
+	t, err := core.NewTuner(f.Space, f.validator, f.grader, opts)
+	if err != nil {
+		return nil, err
+	}
+	initial := []Config{f.refCfg}
+	// Seed the model with previously learned configurations (①).
+	if f.Clusterer != nil {
+		if id := f.Clusterer.ClusterOf(target); id >= 0 {
+			if stored, err := f.DB.BestConfigs(id, opts.TopK); err == nil {
+				for _, sc := range stored {
+					if len(sc.Config) == len(f.refCfg) {
+						initial = append(initial, sc.Config)
+					}
+				}
+			}
+		}
+	}
+	return t.Tune(target, initial)
+}
+
+// Prune runs the §3.3 two-stage parameter pruning for a target cluster.
+func (f *Framework) Prune(target string, opts PruneOptions) (*core.CoarseResult, *core.FineResult, error) {
+	if err := f.ensureEnv(); err != nil {
+		return nil, nil, err
+	}
+	coarse, err := core.CoarsePrune(f.validator, f.grader, target, f.refCfg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	fine, err := core.FinePrune(f.validator, f.grader, target, f.refCfg, coarse.Insensitive, opts)
+	if err != nil {
+		return coarse, nil, err
+	}
+	return coarse, fine, nil
+}
+
+// WhatIf runs the §4.5 analysis against a performance goal. The
+// framework should have been built with Options.WhatIfSpace.
+func (f *Framework) WhatIf(goal WhatIfGoal) (*WhatIfResult, error) {
+	if err := f.ensureEnv(); err != nil {
+		return nil, err
+	}
+	opts := f.opts.Tuner
+	opts.Beta, opts.Seed = f.opts.Beta, f.opts.Seed
+	return core.WhatIf(f.Space, f.validator, f.grader, goal, []Config{f.refCfg}, opts)
+}
+
+// Simulate runs a trace against an explicit device configuration — the
+// standalone simulator entry point (cmd/ssdsim uses it).
+func Simulate(dev DeviceParams, tr *Trace) (*SimResult, error) {
+	sim, err := ssd.NewSimulator(dev)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(tr)
+}
+
+// DescribeConfig formats the Table 5 critical parameters of a
+// configuration.
+func (f *Framework) DescribeConfig(cfg Config) string {
+	names := []string{"CMTCapacity", "DataCacheSize", "FlashChannelCount", "ChipNoPerChannel",
+		"DieNoPerChip", "PlaneNoPerDie", "BlockNoPerPlane", "PageNoPerBlock"}
+	out := ""
+	for _, n := range names {
+		v, err := f.Space.ValueByName(cfg, n)
+		if err != nil {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%g", n, v)
+	}
+	return out
+}

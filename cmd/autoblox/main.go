@@ -1,0 +1,255 @@
+// Command autoblox is the end-to-end CLI for the AutoBlox framework:
+// learn workload clusters, recommend optimized SSD configurations for a
+// trace, run parameter pruning, or perform what-if analysis.
+//
+// Usage:
+//
+//	autoblox learn   -db autoblox.db [-requests 20000]
+//	autoblox recommend -db autoblox.db -trace new.trace [-capacity 512 -iface nvme -flash mlc -power 5]
+//	autoblox prune   -db autoblox.db -target Database
+//	autoblox whatif  -target WebSearch -latency 3
+//	autoblox tune    -db autoblox.db -target Database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"autoblox"
+	"autoblox/internal/ssd"
+	"autoblox/internal/trace"
+	"autoblox/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "learn":
+		runLearn(args)
+	case "recommend":
+		runRecommend(args)
+	case "tune":
+		runTune(args)
+	case "prune":
+		runPrune(args)
+	case "whatif":
+		runWhatIf(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: autoblox <learn|recommend|tune|prune|whatif> [flags]
+  learn      train the workload-clustering model on the studied categories
+  recommend  cluster a trace and recommend (or learn) an SSD configuration
+  tune       learn a configuration for a known workload category
+  prune      run coarse+fine parameter pruning for a category
+  whatif     search expanded bounds for a performance target`)
+	os.Exit(2)
+}
+
+// commonFlags registers the flags shared by every subcommand.
+type commonFlags struct {
+	db       string
+	capacity int
+	iface    string
+	flash    string
+	power    float64
+	requests int
+	iters    int
+	seed     int64
+}
+
+func registerCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.db, "db", "autoblox.db", "AutoDB path")
+	fs.IntVar(&c.capacity, "capacity", 512, "capacity constraint (GB)")
+	fs.StringVar(&c.iface, "iface", "nvme", "interface constraint: nvme or sata")
+	fs.StringVar(&c.flash, "flash", "mlc", "flash type constraint: slc, mlc or tlc")
+	fs.Float64Var(&c.power, "power", 0, "power budget (W, 0 = unlimited)")
+	fs.IntVar(&c.requests, "requests", 12000, "synthetic trace length")
+	fs.IntVar(&c.iters, "iters", 20, "tuner iterations")
+	fs.Int64Var(&c.seed, "seed", 42, "RNG seed")
+	return c
+}
+
+func (c *commonFlags) constraints() autoblox.Constraints {
+	cons := autoblox.DefaultConstraints()
+	cons.CapacityBytes = int64(c.capacity) << 30
+	switch strings.ToLower(c.iface) {
+	case "sata":
+		cons.Interface = ssd.SATA
+	default:
+		cons.Interface = ssd.NVMe
+	}
+	switch strings.ToLower(c.flash) {
+	case "slc":
+		cons.Flash = ssd.SLC
+	case "tlc":
+		cons.Flash = ssd.TLC
+	default:
+		cons.Flash = ssd.MLC
+	}
+	cons.PowerBudgetWatts = c.power
+	return cons
+}
+
+func (c *commonFlags) framework(whatIf bool) *autoblox.Framework {
+	opts := autoblox.Options{
+		DBPath: c.db, Seed: c.seed, WhatIfSpace: whatIf,
+		Tuner: autoblox.TunerOptions{MaxIterations: c.iters},
+	}
+	fw, err := autoblox.New(c.constraints(), opts)
+	if err != nil {
+		fatal(err)
+	}
+	return fw
+}
+
+// learnStudied trains on the seven studied categories.
+func learnStudied(fw *autoblox.Framework, c *commonFlags) {
+	var traces []*autoblox.Trace
+	for _, cat := range workload.Studied() {
+		traces = append(traces, workload.MustGenerate(cat, workload.Options{Requests: c.requests, Seed: c.seed}))
+	}
+	if err := fw.LearnWorkloads(traces); err != nil {
+		fatal(err)
+	}
+}
+
+func runLearn(args []string) {
+	fs := flag.NewFlagSet("learn", flag.ExitOnError)
+	c := registerCommon(fs)
+	fs.Parse(args)
+	fw := c.framework(false)
+	defer fw.Close()
+	learnStudied(fw, c)
+	fmt.Printf("learned %d workload clusters into %s: %v\n",
+		len(fw.Workloads()), c.db, fw.Workloads())
+}
+
+func runRecommend(args []string) {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	c := registerCommon(fs)
+	tracePath := fs.String("trace", "", "trace to recommend for ('-' = stdin)")
+	cat := fs.String("workload", "", "or: synthesize this workload category")
+	fs.Parse(args)
+
+	fw := c.framework(false)
+	defer fw.Close()
+	learnStudied(fw, c)
+
+	var tr *autoblox.Trace
+	var err error
+	switch {
+	case *cat != "":
+		tr = workload.MustGenerate(workload.Category(*cat), workload.Options{Requests: c.requests, Seed: c.seed + 1})
+	case *tracePath == "-":
+		tr, err = trace.ParseBlktrace(os.Stdin)
+	case *tracePath != "":
+		var f *os.File
+		if f, err = os.Open(*tracePath); err == nil {
+			defer f.Close()
+			tr, err = trace.ParseBlktrace(f)
+		}
+	default:
+		fatal(fmt.Errorf("recommend: need -trace or -workload"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	t0 := time.Now()
+	rec, err := fw.Recommend(tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster: %s (distance %.2f, new=%v)\n", rec.Assignment.Label, rec.Assignment.Distance, rec.Assignment.IsNew)
+	if rec.FromCache {
+		fmt.Println("served from AutoDB (previously learned)")
+	} else {
+		fmt.Printf("learned in %v, %d iterations, %d simulations\n",
+			time.Since(t0).Round(time.Millisecond), rec.Tune.Iterations, rec.Tune.SimRuns)
+	}
+	fmt.Printf("grade: %.4f\nconfig: %s\n", rec.Grade, fw.DescribeConfig(rec.Config))
+}
+
+func runTune(args []string) {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	c := registerCommon(fs)
+	target := fs.String("target", "Database", "target workload category")
+	verbose := fs.Bool("v", false, "print per-iteration progress")
+	fs.Parse(args)
+
+	fw := c.framework(false)
+	defer fw.Close()
+	learnStudied(fw, c)
+	if *verbose {
+		fw.SetProgress(func(iter int, best float64) {
+			fmt.Fprintf(os.Stderr, "  iteration %3d: best grade %.4f\n", iter+1, best)
+		})
+	}
+	res, err := fw.Tune(*target)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("target %s: grade %.4f after %d iterations (%d sims, %v, converged=%v)\n",
+		*target, res.BestGrade, res.Iterations, res.SimRuns,
+		res.Elapsed.Round(time.Millisecond), res.Converged)
+	fmt.Println("config:", fw.DescribeConfig(res.Best))
+}
+
+func runPrune(args []string) {
+	fs := flag.NewFlagSet("prune", flag.ExitOnError)
+	c := registerCommon(fs)
+	target := fs.String("target", "Database", "target workload category")
+	fs.Parse(args)
+
+	fw := c.framework(false)
+	defer fw.Close()
+	learnStudied(fw, c)
+	coarse, fine, err := fw.Prune(*target, autoblox.PruneOptions{Seed: c.seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("coarse pruning: %d insensitive parameters: %v\n",
+		len(coarse.Insensitive), coarse.Insensitive)
+	fmt.Printf("fine pruning: pruned %v\n", fine.Pruned)
+	fmt.Printf("tuning order: %v\n", fine.Order)
+}
+
+func runWhatIf(args []string) {
+	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
+	c := registerCommon(fs)
+	target := fs.String("target", "WebSearch", "target workload category")
+	latGoal := fs.Float64("latency", 0, "latency-reduction goal (e.g. 3 = 3x)")
+	tputGoal := fs.Float64("throughput", 0, "throughput-gain goal (e.g. 3 = 3x)")
+	fs.Parse(args)
+
+	fw := c.framework(true)
+	defer fw.Close()
+	learnStudied(fw, c)
+	res, err := fw.WhatIf(autoblox.WhatIfGoal{
+		Target: *target, LatencyReduction: *latGoal, ThroughputGain: *tputGoal,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("goal achieved: %v (latency %.2fx, throughput %.2fx) in %d iterations\n",
+		res.Achieved, res.LatencySpeedup, res.ThroughputSpeedup, res.Iterations)
+	for name, v := range res.CriticalParams {
+		fmt.Printf("  %-22s %g\n", name, v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autoblox:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures on the
+// Go reproduction.
+//
+// Usage:
+//
+//	experiments [-scale default|paper] [-requests N] [-iters N] [-seed N] [-only id1,id2,...]
+//
+// Experiment ids: fig2 fig4 fig5 tab1 tab4 tab5 tab6 tab7 tab8 tab9
+// fig7 fig8 fig9 fig10 fig11 fig12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autoblox/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "experiment scale: default or paper")
+	requests := flag.Int("requests", 0, "override trace length (requests per workload)")
+	iters := flag.Int("iters", 0, "override tuner max iterations")
+	seed := flag.Int64("seed", 0, "override RNG seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	csvDir := flag.String("csv", "", "also export artifact data as CSV into this directory")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), " "))
+		return
+	}
+
+	scale := experiments.DefaultScale()
+	if *scaleName == "paper" {
+		scale = experiments.PaperScale()
+	}
+	if *requests > 0 {
+		scale.Requests = *requests
+	}
+	if *iters > 0 {
+		scale.MaxIterations = *iters
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	filter := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			filter[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if err := experiments.RunAllCSV(os.Stdout, scale, filter, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,132 @@
+// Command plot turns the CSV exports of cmd/experiments into SVG
+// figures:
+//
+//	go run ./cmd/experiments -csv out/
+//	go run ./cmd/plot -csv out/ -o out/
+//
+// It recognizes fig2_scatter.csv, fig11_alpha.csv / fig12_beta.csv,
+// tab*_energy.csv and tab*_learning.csv and skips files that are absent.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"autoblox/internal/plot"
+)
+
+func main() {
+	csvDir := flag.String("csv", ".", "directory holding the experiment CSV exports")
+	outDir := flag.String("o", "", "output directory for SVGs (default: same as -csv)")
+	flag.Parse()
+	if *outDir == "" {
+		*outDir = *csvDir
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	made := 0
+	if rows, ok := load(*csvDir, "fig2_scatter"); ok {
+		var pts []plot.Point
+		for _, r := range rows {
+			pts = append(pts, plot.Point{Series: r[0], X: f(r[1]), Y: f(r[2])})
+		}
+		write(*outDir, "fig2_scatter", plot.Scatter("Workload clustering (PCA)", "PC1", "PC2", pts))
+		made++
+	}
+	for _, sweep := range []struct{ file, param, title string }{
+		{"fig11_alpha", "alpha", "Impact of α on the target workload"},
+		{"fig12_beta", "beta", "Impact of β: target vs non-target"},
+	} {
+		rows, ok := load(*csvDir, sweep.file)
+		if !ok {
+			continue
+		}
+		// Columns: workload, value, lat, tput, nontarget-lat.
+		series := map[string]*plot.Series{}
+		var order []string
+		for _, r := range rows {
+			key := r[0] + " lat"
+			if _, okk := series[key]; !okk {
+				series[key] = &plot.Series{Name: key}
+				order = append(order, key)
+			}
+			s := series[key]
+			s.X = append(s.X, f(r[1]))
+			s.Y = append(s.Y, f(r[2]))
+		}
+		var list []plot.Series
+		for _, k := range order {
+			list = append(list, *series[k])
+		}
+		write(*outDir, sweep.file, plot.Lines(sweep.title, sweep.param, "latency speedup (x)", list))
+		made++
+	}
+	for _, tab := range []string{"tab1", "tab4", "tab8", "tab9"} {
+		if rows, ok := load(*csvDir, tab+"_energy"); ok {
+			var labels []string
+			baseline := plot.Series{Name: "baseline"}
+			learned := plot.Series{Name: "learned"}
+			for _, r := range rows {
+				labels = append(labels, r[0])
+				baseline.Y = append(baseline.Y, f(r[1]))
+				learned.Y = append(learned.Y, f(r[2]))
+			}
+			write(*outDir, tab+"_energy", plot.Bars("Energy: baseline vs learned ("+tab+")",
+				"joules", labels, []plot.Series{baseline, learned}))
+			made++
+		}
+		if rows, ok := load(*csvDir, tab+"_learning"); ok {
+			var labels []string
+			iters := plot.Series{Name: "iterations"}
+			for _, r := range rows {
+				labels = append(labels, r[0])
+				iters.Y = append(iters.Y, f(r[2]))
+			}
+			write(*outDir, tab+"_learning", plot.Bars("Learning iterations per target ("+tab+")",
+				"iterations", labels, []plot.Series{iters}))
+			made++
+		}
+	}
+	if made == 0 {
+		fmt.Fprintln(os.Stderr, "plot: no recognized CSV files in", *csvDir)
+		os.Exit(1)
+	}
+	fmt.Printf("plot: wrote %d SVG(s) to %s\n", made, *outDir)
+}
+
+// load reads dir/name.csv, dropping the header; ok is false when absent.
+func load(dir, name string) ([][]string, bool) {
+	fh, err := os.Open(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return nil, false
+	}
+	defer fh.Close()
+	rows, err := csv.NewReader(fh).ReadAll()
+	if err != nil || len(rows) < 2 {
+		return nil, false
+	}
+	return rows[1:], true
+}
+
+func write(dir, name string, svg []byte) {
+	if err := os.WriteFile(filepath.Join(dir, name+".svg"), svg, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func f(s string) float64 {
+	v, _ := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plot:", err)
+	os.Exit(1)
+}

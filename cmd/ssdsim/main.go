@@ -1,0 +1,128 @@
+// Command ssdsim runs a block I/O trace against an SSD configuration on
+// the discrete-event simulator and prints the measured performance and
+// energy.
+//
+// Usage:
+//
+//	ssdsim -config intel750 -trace db.trace
+//	tracegen -workload WebSearch | ssdsim -config zssd -trace -
+//	ssdsim -config 850pro -workload Database -requests 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"autoblox/internal/ssd"
+	"autoblox/internal/trace"
+	"autoblox/internal/workload"
+)
+
+func main() {
+	config := flag.String("config", "intel750", "device config: intel750, 850pro, zssd, default, or a JSON file path")
+	tracePath := flag.String("trace", "", "trace file ('-' = stdin)")
+	format := flag.String("format", "blktrace", "trace format: blktrace or msr")
+	cat := flag.String("workload", "", "generate a synthetic workload instead of reading a trace")
+	requests := flag.Int("requests", 20000, "requests when generating a workload")
+	seed := flag.Int64("seed", 42, "generator seed")
+	channels := flag.Int("channels", 0, "override channel count")
+	cacheMB := flag.Int("cache", 0, "override data cache size (MB)")
+	qd := flag.Int("qd", 0, "override queue depth")
+	flag.Parse()
+
+	var dev ssd.DeviceParams
+	switch strings.ToLower(*config) {
+	case "intel750":
+		dev = ssd.Intel750()
+	case "850pro":
+		dev = ssd.Samsung850Pro()
+	case "zssd":
+		dev = ssd.SamsungZSSD()
+	case "default":
+		dev = ssd.DefaultParams()
+	default:
+		var err error
+		dev, err = ssd.LoadParams(*config)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssdsim: %v (not a known name or a readable device JSON)\n", err)
+			os.Exit(2)
+		}
+	}
+	if *channels > 0 {
+		dev.Channels = *channels
+	}
+	if *cacheMB > 0 {
+		dev.DataCacheBytes = int64(*cacheMB) << 20
+	}
+	if *qd > 0 {
+		dev.QueueDepth = *qd
+	}
+
+	parse := trace.ParseBlktrace
+	if strings.EqualFold(*format, "msr") {
+		parse = trace.ParseMSR
+	}
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *cat != "":
+		tr, err = workload.Generate(workload.Category(*cat), workload.Options{Requests: *requests, Seed: *seed})
+	case *tracePath == "-":
+		tr, err = parse(os.Stdin)
+	case *tracePath != "":
+		var f *os.File
+		f, err = os.Open(*tracePath)
+		if err == nil {
+			defer f.Close()
+			tr, err = parse(f)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "ssdsim: need -trace or -workload")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+
+	sim, err := ssd.NewSimulator(dev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+	res, err := sim.Run(tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("device:   %s, %dch x %dchip x %ddie x %dplane, %s page %dB, cache %dMB, CMT %dMB, QD %d\n",
+		dev.HostInterface, dev.Channels, dev.ChipsPerChannel, dev.DiesPerChip, dev.PlanesPerDie,
+		dev.FlashType, dev.PageSizeBytes, dev.DataCacheBytes>>20, dev.CMTBytes>>20, dev.QueueDepth)
+	fmt.Printf("capacity: %.1f GB raw / %.1f GB usable\n",
+		float64(dev.CapacityBytes())/1e9, float64(dev.UsableBytes())/1e9)
+	fmt.Printf("requests: %d over %v\n", res.Requests, res.Makespan.Round(time.Millisecond))
+	fmt.Printf("latency:  avg %v  p99 %v\n", res.AvgLatency.Round(time.Microsecond), res.P99Latency.Round(time.Microsecond))
+	fmt.Printf("tput:     %.1f MB/s (%.0f IOPS)\n", res.ThroughputBps/1e6, res.IOPS)
+	fmt.Printf("energy:   %.3f J (%.2f W avg)\n", res.EnergyJoules, res.AvgPowerWatts)
+	fmt.Printf("flash:    %d reads, %d programs, %d erases, WA %.2f, %d GC runs\n",
+		res.UserReads, res.UserPrograms, res.Erases, res.WriteAmplification, res.GCRuns)
+	fmt.Printf("caches:   data %.1f%% hit, CMT %.1f%% hit\n",
+		hitPct(res.CacheHits, res.CacheMisses), hitPct(res.CMTHits, res.CMTMisses))
+	fmt.Printf("channels: %.1f%% utilized\n", res.ChannelUtilization*100)
+	if res.Wear.MaxEraseCount > 0 {
+		fmt.Printf("wear:     max %d / mean %.1f erases (imbalance %.2f), P/E limit %d, projected lifetime %v\n",
+			res.Wear.MaxEraseCount, res.Wear.MeanEraseCount, res.Wear.Imbalance,
+			res.Wear.PECycleLimit, res.Wear.ProjectedLifetime.Round(time.Hour))
+	}
+}
+
+func hitPct(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}

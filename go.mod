@@ -1,0 +1,3 @@
+module autoblox
+
+go 1.22

@@ -1,0 +1,216 @@
+// Package autodb implements AutoBlox's configuration database: learned
+// SSD configurations and their measured performance, keyed by workload
+// cluster ID. The paper stores these records in LevelDB with JSON values;
+// this package provides the same schema on the embedded log-structured
+// store in internal/kvstore.
+package autodb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"autoblox/internal/kvstore"
+	"autoblox/internal/ssdconf"
+)
+
+// Perf is the validated performance of one configuration on one workload.
+type Perf struct {
+	LatencyNS     int64   `json:"latency_ns"`
+	P99LatencyNS  int64   `json:"p99_latency_ns"`
+	ThroughputBps float64 `json:"throughput_bps"`
+	EnergyJoules  float64 `json:"energy_joules"`
+	PowerWatts    float64 `json:"power_watts"`
+}
+
+// StoredConfig is one learned configuration with its grade and the
+// per-workload measurements backing it.
+type StoredConfig struct {
+	Key    string          `json:"key"`
+	Config ssdconf.Config  `json:"config"`
+	Grade  float64         `json:"grade"`
+	Perf   map[string]Perf `json:"perf"` // workload name -> measurement
+}
+
+// ClusterRecord is the value stored per workload cluster.
+type ClusterRecord struct {
+	ClusterID int            `json:"cluster_id"`
+	Category  string         `json:"category"` // majority workload category label
+	Configs   []StoredConfig `json:"configs"`  // sorted by grade, best first
+}
+
+// MaxConfigsPerCluster bounds the per-cluster retained set.
+const MaxConfigsPerCluster = 64
+
+// DB is the configuration database.
+type DB struct {
+	store *kvstore.Store
+}
+
+// Open opens (or creates) an AutoDB at path.
+func Open(path string) (*DB, error) {
+	s, err := kvstore.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("autodb: %w", err)
+	}
+	return &DB{store: s}, nil
+}
+
+// Close closes the underlying store.
+func (db *DB) Close() error { return db.store.Close() }
+
+func clusterKey(id int) string { return fmt.Sprintf("cluster/%08d", id) }
+
+// PutCluster stores (replaces) a cluster record.
+func (db *DB) PutCluster(rec ClusterRecord) error {
+	sortConfigs(rec.Configs)
+	if len(rec.Configs) > MaxConfigsPerCluster {
+		rec.Configs = rec.Configs[:MaxConfigsPerCluster]
+	}
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("autodb: marshal: %w", err)
+	}
+	return db.store.Put(clusterKey(rec.ClusterID), blob)
+}
+
+// GetCluster fetches a cluster record; ok is false when absent.
+func (db *DB) GetCluster(id int) (ClusterRecord, bool, error) {
+	blob, err := db.store.Get(clusterKey(id))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return ClusterRecord{}, false, nil
+	}
+	if err != nil {
+		return ClusterRecord{}, false, err
+	}
+	var rec ClusterRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return ClusterRecord{}, false, fmt.Errorf("autodb: unmarshal: %w", err)
+	}
+	return rec, true, nil
+}
+
+// Clusters returns all cluster records ordered by ID.
+func (db *DB) Clusters() ([]ClusterRecord, error) {
+	var out []ClusterRecord
+	for _, k := range db.store.Keys() {
+		if len(k) < 8 || k[:8] != "cluster/" {
+			continue
+		}
+		blob, err := db.store.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		var rec ClusterRecord
+		if err := json.Unmarshal(blob, &rec); err != nil {
+			return nil, fmt.Errorf("autodb: unmarshal %s: %w", k, err)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ClusterID < out[j].ClusterID })
+	return out, nil
+}
+
+// NumClusters returns the number of stored clusters — the NumClusters
+// denominator in Formula 2.
+func (db *DB) NumClusters() (int, error) {
+	recs, err := db.Clusters()
+	if err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// AddConfig inserts or updates a learned configuration for a cluster,
+// keeping the per-cluster list sorted by grade and capped.
+func (db *DB) AddConfig(clusterID int, category string, sc StoredConfig) error {
+	if sc.Key == "" {
+		sc.Key = sc.Config.Key()
+	}
+	rec, ok, err := db.GetCluster(clusterID)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		rec = ClusterRecord{ClusterID: clusterID, Category: category}
+	}
+	if category != "" {
+		rec.Category = category
+	}
+	replaced := false
+	for i := range rec.Configs {
+		if rec.Configs[i].Key == sc.Key {
+			rec.Configs[i] = sc
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		rec.Configs = append(rec.Configs, sc)
+	}
+	return db.PutCluster(rec)
+}
+
+// BestConfigs returns up to n best-graded configurations for a cluster.
+func (db *DB) BestConfigs(clusterID, n int) ([]StoredConfig, error) {
+	rec, ok, err := db.GetCluster(clusterID)
+	if err != nil || !ok {
+		return nil, err
+	}
+	if n > len(rec.Configs) {
+		n = len(rec.Configs)
+	}
+	return rec.Configs[:n], nil
+}
+
+// SaveModel persists an opaque serialized clustering model.
+func (db *DB) SaveModel(blob []byte) error { return db.store.Put("model", blob) }
+
+// LoadModel retrieves the serialized clustering model; ok is false when
+// none was saved.
+func (db *DB) LoadModel() ([]byte, bool, error) {
+	blob, err := db.store.Get("model")
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return blob, true, nil
+}
+
+// Compact rewrites the underlying log.
+func (db *DB) Compact() error { return db.store.Compact() }
+
+func sortConfigs(cfgs []StoredConfig) {
+	sort.SliceStable(cfgs, func(i, j int) bool { return cfgs[i].Grade > cfgs[j].Grade })
+}
+
+// orderKey stores the §3.3 tuning order learned for a cluster.
+func orderKey(id int) string { return fmt.Sprintf("order/%08d", id) }
+
+// PutOrder persists the fine-pruning tuning order for a cluster.
+func (db *DB) PutOrder(clusterID int, order []string) error {
+	blob, err := json.Marshal(order)
+	if err != nil {
+		return fmt.Errorf("autodb: marshal order: %w", err)
+	}
+	return db.store.Put(orderKey(clusterID), blob)
+}
+
+// GetOrder retrieves a cluster's tuning order; ok is false when absent.
+func (db *DB) GetOrder(clusterID int) ([]string, bool, error) {
+	blob, err := db.store.Get(orderKey(clusterID))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var order []string
+	if err := json.Unmarshal(blob, &order); err != nil {
+		return nil, false, fmt.Errorf("autodb: unmarshal order: %w", err)
+	}
+	return order, true, nil
+}

@@ -1,0 +1,198 @@
+package autodb
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+)
+
+func openTemp(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "autodb.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func sampleConfig(t *testing.T, grade float64) StoredConfig {
+	t.Helper()
+	s := ssdconf.NewSpace(ssdconf.DefaultConstraints())
+	cfg := s.FromDevice(ssd.Intel750())
+	return StoredConfig{
+		Config: cfg,
+		Grade:  grade,
+		Perf: map[string]Perf{
+			"Database": {LatencyNS: 100000, ThroughputBps: 1e8, EnergyJoules: 1.5, PowerWatts: 3.2},
+		},
+	}
+}
+
+func TestPutGetCluster(t *testing.T) {
+	db := openTemp(t)
+	if _, ok, err := db.GetCluster(0); err != nil || ok {
+		t.Fatalf("empty DB GetCluster = %v %v", ok, err)
+	}
+	rec := ClusterRecord{ClusterID: 3, Category: "Database",
+		Configs: []StoredConfig{sampleConfig(t, 0.5)}}
+	if err := db.PutCluster(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := db.GetCluster(3)
+	if err != nil || !ok {
+		t.Fatalf("GetCluster: %v %v", ok, err)
+	}
+	if got.Category != "Database" || len(got.Configs) != 1 {
+		t.Fatalf("record = %+v", got)
+	}
+	if got.Configs[0].Perf["Database"].LatencyNS != 100000 {
+		t.Fatal("perf lost in round trip")
+	}
+}
+
+func TestAddConfigSortsAndCaps(t *testing.T) {
+	db := openTemp(t)
+	for i := 0; i < MaxConfigsPerCluster+10; i++ {
+		sc := sampleConfig(t, float64(i))
+		sc.Key = fmt.Sprintf("cfg-%d", i) // distinct keys
+		if err := db.AddConfig(1, "KVStore", sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, ok, _ := db.GetCluster(1)
+	if !ok {
+		t.Fatal("cluster missing")
+	}
+	if len(rec.Configs) != MaxConfigsPerCluster {
+		t.Fatalf("configs = %d, want cap %d", len(rec.Configs), MaxConfigsPerCluster)
+	}
+	for i := 1; i < len(rec.Configs); i++ {
+		if rec.Configs[i].Grade > rec.Configs[i-1].Grade {
+			t.Fatal("configs not sorted by grade")
+		}
+	}
+	if rec.Configs[0].Grade != float64(MaxConfigsPerCluster+9) {
+		t.Fatalf("best grade = %g", rec.Configs[0].Grade)
+	}
+}
+
+func TestAddConfigReplacesSameKey(t *testing.T) {
+	db := openTemp(t)
+	sc := sampleConfig(t, 1.0)
+	db.AddConfig(2, "VDI", sc)
+	sc.Grade = 9.0
+	db.AddConfig(2, "", sc) // empty category keeps old label
+	rec, _, _ := db.GetCluster(2)
+	if len(rec.Configs) != 1 || rec.Configs[0].Grade != 9.0 {
+		t.Fatalf("replace failed: %+v", rec.Configs)
+	}
+	if rec.Category != "VDI" {
+		t.Fatalf("category = %q", rec.Category)
+	}
+}
+
+func TestBestConfigs(t *testing.T) {
+	db := openTemp(t)
+	for i := 0; i < 5; i++ {
+		sc := sampleConfig(t, float64(i))
+		sc.Key = fmt.Sprintf("k%d", i)
+		db.AddConfig(0, "X", sc)
+	}
+	best, err := db.BestConfigs(0, 3)
+	if err != nil || len(best) != 3 {
+		t.Fatalf("BestConfigs: %d %v", len(best), err)
+	}
+	if best[0].Grade != 4 || best[2].Grade != 2 {
+		t.Fatalf("order wrong: %v", best)
+	}
+	// Asking for more than available clamps.
+	all, _ := db.BestConfigs(0, 100)
+	if len(all) != 5 {
+		t.Fatalf("clamp failed: %d", len(all))
+	}
+	// Unknown cluster: empty, no error.
+	none, err := db.BestConfigs(42, 3)
+	if err != nil || none != nil {
+		t.Fatalf("unknown cluster: %v %v", none, err)
+	}
+}
+
+func TestClustersAndNum(t *testing.T) {
+	db := openTemp(t)
+	for _, id := range []int{5, 1, 3} {
+		db.PutCluster(ClusterRecord{ClusterID: id})
+	}
+	recs, err := db.Clusters()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("Clusters: %d %v", len(recs), err)
+	}
+	if recs[0].ClusterID != 1 || recs[2].ClusterID != 5 {
+		t.Fatal("clusters not ordered by ID")
+	}
+	n, _ := db.NumClusters()
+	if n != 3 {
+		t.Fatalf("NumClusters = %d", n)
+	}
+}
+
+func TestModelBlob(t *testing.T) {
+	db := openTemp(t)
+	if _, ok, err := db.LoadModel(); err != nil || ok {
+		t.Fatal("empty model should be absent")
+	}
+	if err := db.SaveModel([]byte("model-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	blob, ok, err := db.LoadModel()
+	if err != nil || !ok || string(blob) != "model-bytes" {
+		t.Fatalf("LoadModel: %q %v %v", blob, ok, err)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.log")
+	db, _ := Open(path)
+	db.AddConfig(7, "HDFS", sampleConfig(t, 2.5))
+	db.Close()
+
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rec, ok, _ := db2.GetCluster(7)
+	if !ok || rec.Category != "HDFS" || len(rec.Configs) != 1 {
+		t.Fatalf("persistence failed: %+v %v", rec, ok)
+	}
+	if err := db2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ = db2.GetCluster(7); !ok {
+		t.Fatal("record lost in compaction")
+	}
+}
+
+func TestOrderPersistence(t *testing.T) {
+	db := openTemp(t)
+	if _, ok, err := db.GetOrder(3); err != nil || ok {
+		t.Fatal("empty order should be absent")
+	}
+	want := []string{"FlashChannelCount", "DataCacheSize", "QueueDepth"}
+	if err := db.PutOrder(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := db.GetOrder(3)
+	if err != nil || !ok {
+		t.Fatalf("GetOrder: %v %v", ok, err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order round trip: %v", got)
+		}
+	}
+}

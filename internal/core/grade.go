@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"autoblox/internal/autodb"
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/trace"
+)
+
+// Default hyperparameters from the paper's sensitivity studies (§4.6).
+const (
+	// DefaultAlpha balances latency vs throughput in Formula 1.
+	DefaultAlpha = 0.5
+	// DefaultBeta balances target vs non-target workloads in Formula 2.
+	DefaultBeta = 0.1
+)
+
+// Validator measures configurations on workloads with the SSD simulator,
+// memoizing results: the same (configuration, workload) pair is never
+// simulated twice within a tuning session.
+type Validator struct {
+	Space *ssdconf.Space
+	// Workloads maps a workload-cluster name to its representative
+	// traces (the geometric mean is taken within a cluster, per §3.4).
+	Workloads map[string][]*trace.Trace
+
+	mu      sync.Mutex
+	cache   map[string]autodb.Perf
+	simRuns int
+	simWall time.Duration
+}
+
+// NewValidator builds a validator over one representative trace per
+// cluster.
+func NewValidator(space *ssdconf.Space, workloads map[string]*trace.Trace) *Validator {
+	m := make(map[string][]*trace.Trace, len(workloads))
+	for k, tr := range workloads {
+		m[k] = []*trace.Trace{tr}
+	}
+	return &Validator{Space: space, Workloads: m, cache: make(map[string]autodb.Perf)}
+}
+
+// NewValidatorGroups builds a validator with multiple traces per cluster.
+func NewValidatorGroups(space *ssdconf.Space, groups map[string][]*trace.Trace) *Validator {
+	return &Validator{Space: space, Workloads: groups, cache: make(map[string]autodb.Perf)}
+}
+
+// SimRuns reports how many simulator invocations were not served from
+// cache (the paper's dominant overhead, Table 6).
+func (v *Validator) SimRuns() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.simRuns
+}
+
+// SimWall reports the cumulative wall-clock time spent inside the SSD
+// simulator (efficiency validation time, Table 6).
+func (v *Validator) SimWall() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.simWall
+}
+
+// MeasureTrace runs one configuration against one trace.
+func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, tr *trace.Trace) (autodb.Perf, error) {
+	key := cfg.Key() + "|" + name
+	v.mu.Lock()
+	if p, ok := v.cache[key]; ok {
+		v.mu.Unlock()
+		return p, nil
+	}
+	v.mu.Unlock()
+
+	dev := v.Space.ToDevice(cfg)
+	sim, err := ssd.NewSimulator(dev)
+	if err != nil {
+		return autodb.Perf{}, fmt.Errorf("core: validator: %w", err)
+	}
+	t0 := time.Now()
+	res, err := sim.Run(tr)
+	wall := time.Since(t0)
+	if err != nil {
+		return autodb.Perf{}, fmt.Errorf("core: validator run: %w", err)
+	}
+	p := autodb.Perf{
+		LatencyNS:     res.AvgLatency.Nanoseconds(),
+		P99LatencyNS:  res.P99Latency.Nanoseconds(),
+		ThroughputBps: res.ThroughputBps,
+		EnergyJoules:  res.EnergyJoules,
+		PowerWatts:    res.AvgPowerWatts,
+	}
+	v.mu.Lock()
+	v.cache[key] = p
+	v.simRuns++
+	v.simWall += wall
+	v.mu.Unlock()
+	return p, nil
+}
+
+// MeasureCluster runs cfg on every trace of a cluster and returns the
+// per-trace results keyed "<cluster>#<i>".
+func (v *Validator) MeasureCluster(cfg ssdconf.Config, cluster string) ([]autodb.Perf, error) {
+	traces, ok := v.Workloads[cluster]
+	if !ok || len(traces) == 0 {
+		return nil, fmt.Errorf("core: unknown workload cluster %q", cluster)
+	}
+	out := make([]autodb.Perf, len(traces))
+	for i, tr := range traces {
+		p, err := v.MeasureTrace(cfg, fmt.Sprintf("%s#%d", cluster, i), tr)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Clusters returns the cluster names in sorted-stable order.
+func (v *Validator) Clusters() []string {
+	out := make([]string, 0, len(v.Workloads))
+	for k := range v.Workloads {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Grader evaluates Formulas 1 and 2.
+type Grader struct {
+	Alpha float64 // Formula 1 latency/throughput balance
+	Beta  float64 // Formula 2 target/non-target penalty balance
+	// Ref holds the reference (commodity baseline) measurements per
+	// cluster, aligned with the validator's trace lists.
+	Ref map[string][]autodb.Perf
+}
+
+// NewGrader measures the reference configuration on every cluster.
+func NewGrader(v *Validator, refCfg ssdconf.Config, alpha, beta float64) (*Grader, error) {
+	g := &Grader{Alpha: alpha, Beta: beta, Ref: make(map[string][]autodb.Perf)}
+	for _, cl := range v.Clusters() {
+		ps, err := v.MeasureCluster(refCfg, cl)
+		if err != nil {
+			return nil, err
+		}
+		g.Ref[cl] = ps
+	}
+	return g, nil
+}
+
+// Performance implements Formula 1:
+//
+//	(1-α)·log(Lat_ref/Lat_target) + α·log(Tput_target/Tput_ref)
+//
+// Positive values mean the target configuration beats the reference.
+func (g *Grader) Performance(target, ref autodb.Perf) float64 {
+	lat := math.Log(float64(ref.LatencyNS) / float64(target.LatencyNS))
+	tput := math.Log(target.ThroughputBps / ref.ThroughputBps)
+	return (1-g.Alpha)*lat + g.Alpha*tput
+}
+
+// ClusterPerformance averages Formula 1 over a cluster's traces. The
+// values are log-ratios, so this arithmetic mean is exactly the
+// geometric mean of the underlying speedups — the paper's "geometric
+// mean ... within each cluster".
+func (g *Grader) ClusterPerformance(cluster string, perfs []autodb.Perf) float64 {
+	refs := g.Ref[cluster]
+	var sum float64
+	for i, p := range perfs {
+		sum += g.Performance(p, refs[i])
+	}
+	return sum / float64(len(perfs))
+}
+
+// Grade implements Formula 2 given the target cluster's performance and
+// the per-cluster performance of the non-targets.
+func (g *Grader) Grade(targetPerf float64, nonTarget map[string]float64, numClusters int) float64 {
+	if numClusters <= 1 {
+		return targetPerf
+	}
+	var sum float64
+	for _, p := range nonTarget {
+		sum += p
+	}
+	return (1-g.Beta)*targetPerf + g.Beta*sum/float64(numClusters-1)
+}
+
+// TargetHalf returns the target-only share of the grade — the quantity
+// the §3.4 validation-pruning shortcut compares against the worst
+// retained grade before deciding whether the non-target runs are worth
+// their cost.
+func (g *Grader) TargetHalf(targetPerf float64) float64 {
+	return (1 - g.Beta) * targetPerf
+}
+
+// Speedups converts a measurement pair into the latency/throughput
+// speedup ratios the paper's tables report.
+func Speedups(target, ref autodb.Perf) (latSpeedup, tputSpeedup float64) {
+	return float64(ref.LatencyNS) / float64(target.LatencyNS),
+		target.ThroughputBps / ref.ThroughputBps
+}

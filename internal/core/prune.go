@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"autoblox/internal/linalg"
+	"autoblox/internal/ridge"
+	"autoblox/internal/ssdconf"
+)
+
+// PruneOptions controls both pruning stages.
+type PruneOptions struct {
+	// InsensitiveThreshold is the coarse-stage sensitivity floor: a
+	// parameter whose full-grid sweep moves Formula 1 by less than this
+	// (in log-ratio units) is insensitive.
+	InsensitiveThreshold float64
+	// CoefficientThreshold is the fine-stage ridge cutoff (paper: ±0.001).
+	CoefficientThreshold float64
+	// Samples is the number of random configurations for the ridge fit.
+	Samples int
+	// Alpha is the ridge regularization strength.
+	Alpha float64
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (o *PruneOptions) defaults() {
+	if o.InsensitiveThreshold <= 0 {
+		o.InsensitiveThreshold = 0.01
+	}
+	if o.CoefficientThreshold <= 0 {
+		o.CoefficientThreshold = 0.001
+	}
+	if o.Samples <= 0 {
+		o.Samples = 64
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 1.0
+	}
+}
+
+// SweepPoint is one measurement of a coarse-pruning sweep (Fig. 4).
+type SweepPoint struct {
+	Value       float64 // the parameter's concrete value
+	Multiplier  float64 // value / baseline value
+	Performance float64 // Formula 1 vs the baseline configuration
+}
+
+// CoarseResult is the outcome of coarse-grained pruning.
+type CoarseResult struct {
+	// Sweeps holds the Fig. 4 series: per numeric parameter, performance
+	// as the value grows from its baseline.
+	Sweeps map[string][]SweepPoint
+	// Sensitivity is the peak |performance| across each sweep.
+	Sensitivity map[string]float64
+	// Insensitive lists parameters below the threshold, in name order.
+	Insensitive []string
+}
+
+// CoarsePrune sweeps every numeric tunable parameter across its grid
+// while holding the rest at the baseline, measuring Formula 1 on the
+// target workload. Configuration constraints are deliberately ignored
+// (§3.3: this stage "only prune[s] parameters that have almost no impact
+// on the performance even if they break the configuration constraints").
+func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, opts PruneOptions) (*CoarseResult, error) {
+	opts.defaults()
+	traces, ok := v.Workloads[target]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown target %q", target)
+	}
+	tr := traces[0]
+	refName := target + "#0"
+	refPerf, err := v.MeasureTrace(base, refName, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CoarseResult{Sweeps: map[string][]SweepPoint{}, Sensitivity: map[string]float64{}}
+	for i, p := range v.Space.Params {
+		if p.Kind == ssdconf.Boolean || p.Kind == ssdconf.Categorical {
+			continue
+		}
+		baseVal := p.Values[base[i]]
+		var sweep []SweepPoint
+		maxAbs := 0.0
+		for idx := base[i]; idx < len(p.Values); idx++ {
+			cfg := base.Clone()
+			cfg[i] = idx
+			perf, err := v.MeasureTrace(cfg, refName, tr)
+			if err != nil {
+				return nil, err
+			}
+			score := g.Performance(perf, refPerf)
+			sweep = append(sweep, SweepPoint{
+				Value:       p.Values[idx],
+				Multiplier:  p.Values[idx] / nonZero(baseVal),
+				Performance: score,
+			})
+			if a := math.Abs(score); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		res.Sweeps[p.Name] = sweep
+		res.Sensitivity[p.Name] = maxAbs
+		if maxAbs < opts.InsensitiveThreshold {
+			res.Insensitive = append(res.Insensitive, p.Name)
+		}
+	}
+	sort.Strings(res.Insensitive)
+	return res, nil
+}
+
+func nonZero(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// FineResult is the outcome of fine-grained (ridge) pruning.
+type FineResult struct {
+	// Coefficients maps parameter name to its standardized ridge
+	// coefficient against Formula 1 (Fig. 5).
+	Coefficients map[string]float64
+	// Pruned lists parameters whose |coefficient| fell below the cutoff.
+	Pruned []string
+	// Order is the tuning order: kept parameters by descending
+	// |coefficient| (§3.3/§3.4).
+	Order []string
+	// R2 is the ridge fit quality on the sampled configurations.
+	R2 float64
+}
+
+// FinePrune samples constraint-respecting configurations around the
+// baseline (varying the parameters that survived coarse pruning), fits a
+// standardized ridge regression of Formula 1 against the parameter
+// values, and prunes parameters with |coefficient| below the threshold.
+func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coarseInsensitive []string, opts PruneOptions) (*FineResult, error) {
+	opts.defaults()
+	traces, ok := v.Workloads[target]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown target %q", target)
+	}
+	tr := traces[0]
+	refName := target + "#0"
+	refPerf, err := v.MeasureTrace(base, refName, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	dropped := map[string]bool{}
+	for _, n := range coarseInsensitive {
+		dropped[n] = true
+	}
+	var cols []int
+	for i, p := range v.Space.Params {
+		if !p.Tunable || p.Kind == ssdconf.Categorical || dropped[p.Name] {
+			continue
+		}
+		cols = append(cols, i)
+	}
+	if len(cols) == 0 {
+		return nil, errors.New("core: nothing left to regress after coarse pruning")
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var rows [][]float64
+	var ys []float64
+	attempts := 0
+	for len(rows) < opts.Samples && attempts < opts.Samples*6 {
+		attempts++
+		cfg := base.Clone()
+		// Perturb a random subset of kept axes.
+		for _, c := range cols {
+			if rng.Float64() < 0.35 {
+				cfg[c] = rng.Intn(len(v.Space.Params[c].Values))
+			}
+		}
+		// Maintain the constraint region (§3.3: "We set a regression
+		// space by maintaining the constraints").
+		if !v.Space.RepairCapacity(cfg) {
+			continue
+		}
+		if v.Space.CheckConstraints(cfg) != nil {
+			continue
+		}
+		perf, err := v.MeasureTrace(cfg, refName, tr)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			row[j] = v.Space.Value(cfg, c)
+		}
+		rows = append(rows, row)
+		ys = append(ys, g.Performance(perf, refPerf))
+	}
+	if len(rows) < 8 {
+		return nil, fmt.Errorf("core: only %d valid samples for ridge fit", len(rows))
+	}
+
+	x := linalg.FromRows(rows)
+	model, err := ridge.Fit(x, ys, ridge.Config{Alpha: opts.Alpha, Standardize: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: ridge: %w", err)
+	}
+
+	res := &FineResult{Coefficients: map[string]float64{}, R2: model.R2(x, ys)}
+	type ranked struct {
+		name string
+		coef float64
+	}
+	var keep []ranked
+	for j, c := range cols {
+		name := v.Space.Params[c].Name
+		coef := model.Coef[j]
+		res.Coefficients[name] = coef
+		if math.Abs(coef) < opts.CoefficientThreshold {
+			res.Pruned = append(res.Pruned, name)
+		} else {
+			keep = append(keep, ranked{name, coef})
+		}
+	}
+	sort.Strings(res.Pruned)
+	sort.SliceStable(keep, func(a, b int) bool {
+		return math.Abs(keep[a].coef) > math.Abs(keep[b].coef)
+	})
+	for _, k := range keep {
+		res.Order = append(res.Order, k.name)
+	}
+	return res, nil
+}

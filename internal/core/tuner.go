@@ -1,0 +1,495 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"autoblox/internal/autodb"
+	"autoblox/internal/gpr"
+	"autoblox/internal/ssdconf"
+)
+
+// TunerOptions configures the automated tuning loop of §3.4. Zero values
+// select the paper's defaults.
+type TunerOptions struct {
+	Alpha float64 // Formula 1 balance (default 0.5)
+	Beta  float64 // Formula 2 penalty balance (default 0.1)
+	Seed  int64
+
+	// MaxIterations caps the outer search iterations (the paper observes
+	// 89 on average before convergence; scaled runs use fewer).
+	MaxIterations int
+	// SGDSteps is the per-iteration gradient-descent step budget
+	// (paper: 10).
+	SGDSteps int
+	// ManhattanLimit is the exploration bound: SGD stops expanding once
+	// the candidate's minimum Manhattan distance to the validated set
+	// reaches this value (paper: 5).
+	ManhattanLimit int
+	// TopK is the size of the retained best-configuration set and the
+	// root-selection pool (paper: top 3).
+	TopK int
+	// ConvergenceWindow and ConvergenceBound implement the paper's
+	// stop rule: converge when the best grade changes within the bound
+	// ([-1%, 1%]) for a full window of iterations.
+	ConvergenceWindow int
+	ConvergenceBound  float64
+
+	// UseTuningOrder enables the §3.3 learning rule: SGD explores
+	// parameters in descending |ridge coefficient| order. Order holds
+	// the parameter names; empty means all tunable axes every step.
+	UseTuningOrder bool
+	Order          []string
+
+	// DisableValidationPruning turns off the §3.4 optimization that
+	// skips non-target workload runs for clearly-losing configurations
+	// (used by the ablation benchmarks).
+	DisableValidationPruning bool
+
+	// StopCondition, when set, ends the search as soon as the best
+	// configuration's latency/throughput speedups over the reference
+	// satisfy it — the what-if analysis' performance-target stop (§4.5).
+	StopCondition func(latSpeedup, tputSpeedup float64) bool
+
+	// OnIteration, when set, is invoked after every search iteration
+	// with the iteration index and the best grade so far (progress
+	// reporting in CLIs).
+	OnIteration func(iter int, bestGrade float64)
+}
+
+func (o *TunerOptions) defaults() {
+	if o.Alpha == 0 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.Beta == 0 {
+		o.Beta = DefaultBeta
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 89
+	}
+	if o.SGDSteps <= 0 {
+		o.SGDSteps = 10
+	}
+	if o.ManhattanLimit <= 0 {
+		o.ManhattanLimit = 5
+	}
+	if o.TopK <= 0 {
+		o.TopK = 3
+	}
+	if o.ConvergenceWindow <= 0 {
+		o.ConvergenceWindow = 8
+	}
+	if o.ConvergenceBound <= 0 {
+		o.ConvergenceBound = 0.01
+	}
+}
+
+// Tuner learns optimized SSD configurations for a target workload.
+type Tuner struct {
+	Space     *ssdconf.Space
+	Validator *Validator
+	Grader    *Grader
+	Opts      TunerOptions
+
+	rng *rand.Rand
+	// orderIdx caches the resolved tuning-order parameter indices.
+	orderIdx []int
+}
+
+// entry is one validated configuration.
+type entry struct {
+	cfg        ssdconf.Config
+	vec        []float64
+	grade      float64
+	targetPerf float64
+	latSp      float64 // target-cluster latency speedup vs reference
+	tputSp     float64 // target-cluster throughput speedup vs reference
+	full       bool    // true when non-target workloads were validated too
+}
+
+// TuneResult reports a finished tuning run.
+type TuneResult struct {
+	Target     string
+	Best       ssdconf.Config
+	BestGrade  float64
+	BestPerf   map[string][]autodb.Perf // best config measured on every cluster
+	Iterations int
+	SimRuns    int
+	Converged  bool
+	Elapsed    time.Duration
+	// Trajectory is the best grade after each iteration (Fig. 10).
+	Trajectory []float64
+	// PrunedValidations counts iterations where the §3.4 shortcut
+	// skipped the non-target runs.
+	PrunedValidations int
+	// RejectedByPower counts candidates dropped by the power budget.
+	RejectedByPower int
+}
+
+// NewTuner wires a tuner; grader and validator must share the space.
+func NewTuner(space *ssdconf.Space, v *Validator, g *Grader, opts TunerOptions) (*Tuner, error) {
+	opts.defaults()
+	t := &Tuner{Space: space, Validator: v, Grader: g, Opts: opts,
+		rng: rand.New(rand.NewSource(opts.Seed ^ 0x5f3759df))}
+	if opts.UseTuningOrder {
+		for _, name := range opts.Order {
+			i, err := space.ParamIndex(name)
+			if err != nil {
+				return nil, fmt.Errorf("core: tuning order: %w", err)
+			}
+			t.orderIdx = append(t.orderIdx, i)
+		}
+	}
+	return t, nil
+}
+
+// Tune learns an optimized configuration for the target cluster,
+// starting from the given initial configurations (from AutoDB when the
+// cluster is known, else the commodity reference).
+func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, error) {
+	if _, ok := t.Validator.Workloads[target]; !ok {
+		return nil, fmt.Errorf("core: unknown target workload %q", target)
+	}
+	if len(initial) == 0 {
+		return nil, errors.New("core: no initial configurations")
+	}
+	start := time.Now()
+	simStart := t.Validator.SimRuns()
+
+	res := &TuneResult{Target: target}
+	var validated []entry
+	seen := map[string]bool{}
+
+	// ① initialize the model with the initial configuration set.
+	for _, cfg := range initial {
+		if err := t.Space.CheckConstraints(cfg); err != nil {
+			continue
+		}
+		if seen[cfg.Key()] {
+			continue
+		}
+		e, rejected, err := t.evaluate(target, cfg, math.Inf(-1), res)
+		if err != nil {
+			return nil, err
+		}
+		seen[cfg.Key()] = true
+		if rejected {
+			continue
+		}
+		validated = append(validated, e)
+	}
+	if len(validated) == 0 {
+		return nil, errors.New("core: no initial configuration satisfies the constraints (capacity/power)")
+	}
+
+	noProgress := 0
+	for iter := 0; iter < t.Opts.MaxIterations; iter++ {
+		res.Iterations++
+
+		// ② pick a search root among the top-K grades (random within
+		// the top three prevents premature convergence, §3.4).
+		root := t.pickRoot(validated)
+
+		// ③/④ SGD + GPR search for the next candidate.
+		cand := t.sgdSearch(root, validated, seen, iter)
+		if cand == nil {
+			noProgress++
+			res.Trajectory = append(res.Trajectory, bestGrade(validated))
+			if noProgress >= 3 {
+				res.Converged = true
+				break
+			}
+			continue
+		}
+		noProgress = 0
+
+		// ⑤ efficiency validation.
+		worst := worstRetainedGrade(validated, t.Opts.TopK)
+		e, rejected, err := t.evaluate(target, cand, worst, res)
+		if err != nil {
+			return nil, err
+		}
+		seen[cand.Key()] = true
+		if !rejected {
+			validated = append(validated, e)
+		}
+
+		res.Trajectory = append(res.Trajectory, bestGrade(validated))
+		if t.Opts.OnIteration != nil {
+			t.Opts.OnIteration(iter, bestGrade(validated))
+		}
+		if t.Opts.StopCondition != nil {
+			b := bestEntry(validated)
+			if t.Opts.StopCondition(b.latSp, b.tputSp) {
+				res.Converged = true
+				break
+			}
+		}
+		if t.converged(res.Trajectory) {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Final report: fully measure the best configuration everywhere.
+	best := bestEntry(validated)
+	res.Best = best.cfg
+	res.BestGrade = best.grade
+	res.BestPerf = map[string][]autodb.Perf{}
+	for _, cl := range t.Validator.Clusters() {
+		ps, err := t.Validator.MeasureCluster(best.cfg, cl)
+		if err != nil {
+			return nil, err
+		}
+		res.BestPerf[cl] = ps
+	}
+	res.SimRuns = t.Validator.SimRuns() - simStart
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// evaluate validates cfg: target cluster first, then (unless pruned) the
+// non-target clusters; the power budget is enforced on the target run.
+// worst is the worst retained grade for the §3.4 validation-pruning
+// shortcut (-Inf disables it). It returns the entry and whether the
+// config was rejected outright (power).
+func (t *Tuner) evaluate(target string, cfg ssdconf.Config, worst float64, res *TuneResult) (entry, bool, error) {
+	e := entry{cfg: cfg, vec: t.Space.Vector(cfg)}
+
+	perfs, err := t.Validator.MeasureCluster(cfg, target)
+	if err != nil {
+		return e, false, err
+	}
+	// Power budget check (§3.4): drop configurations whose modeled
+	// power exceeds the budget.
+	if budget := t.Space.Cons.PowerBudgetWatts; budget > 0 {
+		for _, p := range perfs {
+			if p.PowerWatts > budget {
+				res.RejectedByPower++
+				return e, true, nil
+			}
+		}
+	}
+	e.targetPerf = t.Grader.ClusterPerformance(target, perfs)
+	e.latSp, e.tputSp = clusterSpeedups(t.Grader, target, perfs)
+
+	// Validation-pruning shortcut: if even the target-only share of the
+	// grade loses to the worst retained configuration, skip the
+	// non-target runs — the grade can only get more expensive to confirm
+	// as a loser.
+	if !t.Opts.DisableValidationPruning && t.Grader.TargetHalf(e.targetPerf) < worst && !math.IsInf(worst, -1) {
+		e.grade = t.Grader.TargetHalf(e.targetPerf)
+		e.full = false
+		res.PrunedValidations++
+		return e, false, nil
+	}
+
+	nonTarget := map[string]float64{}
+	for _, cl := range t.Validator.Clusters() {
+		if cl == target {
+			continue
+		}
+		ps, err := t.Validator.MeasureCluster(cfg, cl)
+		if err != nil {
+			return e, false, err
+		}
+		nonTarget[cl] = t.Grader.ClusterPerformance(cl, ps)
+	}
+	e.grade = t.Grader.Grade(e.targetPerf, nonTarget, len(t.Validator.Workloads))
+	e.full = true
+	return e, false, nil
+}
+
+// pickRoot selects a random entry among the top-K grades.
+func (t *Tuner) pickRoot(validated []entry) entry {
+	idx := topKIndices(validated, t.Opts.TopK)
+	return validated[idx[t.rng.Intn(len(idx))]]
+}
+
+// sgdSearch walks the discrete configuration grid from root, using the
+// GPR surrogate to score candidates, until the step budget or the
+// Manhattan exploration bound is hit. It returns an unvalidated
+// configuration to validate next, or nil when the neighborhood is
+// exhausted.
+func (t *Tuner) sgdSearch(root entry, validated []entry, seen map[string]bool, iter int) ssdconf.Config {
+	gp := t.fitGPR(validated)
+
+	cur := root.cfg
+	curScore := root.grade
+	var fallback ssdconf.Config
+	fallbackScore := math.Inf(-1)
+
+	for step := 0; step < t.Opts.SGDSteps; step++ {
+		cands := t.candidates(cur, iter*t.Opts.SGDSteps+step)
+		if len(cands) == 0 {
+			break
+		}
+		// Shuffle so GPR-score ties (unexplored axes all look alike)
+		// resolve to a random axis instead of the first parameter.
+		t.rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+		var best ssdconf.Config
+		bestScore := math.Inf(-1)
+		for _, c := range cands {
+			if t.minManhattan(c, validated) > t.Opts.ManhattanLimit {
+				continue // exploration bound (§3.4)
+			}
+			score := t.predict(gp, c)
+			if !seen[c.Key()] && score > fallbackScore {
+				fallback, fallbackScore = c, score
+			}
+			if score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		if best == nil {
+			break
+		}
+		if bestScore <= curScore {
+			break // local optimum under the surrogate
+		}
+		cur, curScore = best, bestScore
+	}
+
+	if !seen[cur.Key()] && !ssdconf.Equal(cur, root.cfg) {
+		return cur
+	}
+	return fallback
+}
+
+// candidates returns the neighbor set for one SGD step: the full
+// neighborhood, or — with the §3.3 tuning order — the neighborhood along
+// the most important not-yet-exhausted axes.
+func (t *Tuner) candidates(cur ssdconf.Config, step int) []ssdconf.Config {
+	if !t.Opts.UseTuningOrder || len(t.orderIdx) == 0 {
+		return t.Space.Neighbors(cur)
+	}
+	// Walk the ranked axes starting at the step's offset so successive
+	// steps favor the highest-|coefficient| parameters first.
+	var out []ssdconf.Config
+	for k := 0; k < len(t.orderIdx) && len(out) == 0; k++ {
+		axis := t.orderIdx[(step+k)%len(t.orderIdx)]
+		out = t.Space.NeighborsOf(cur, axis)
+	}
+	return out
+}
+
+func (t *Tuner) minManhattan(c ssdconf.Config, validated []entry) int {
+	min := math.MaxInt32
+	for _, e := range validated {
+		if d := ssdconf.ManhattanDistance(t.Space, c, e.cfg); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// fitGPR fits the surrogate on the validated set; nil when there are too
+// few points (prediction then falls back to optimism-free exploration).
+func (t *Tuner) fitGPR(validated []entry) *gpr.GP {
+	if len(validated) < 2 {
+		return nil
+	}
+	x := make([][]float64, len(validated))
+	y := make([]float64, len(validated))
+	for i, e := range validated {
+		x[i] = e.vec
+		y[i] = e.grade
+	}
+	gp := gpr.New(nil)
+	gp.OptimizeHyperparams = len(validated) >= 6 && len(validated)%4 == 0
+	if err := gp.Fit(x, y); err != nil {
+		return nil
+	}
+	return gp
+}
+
+func (t *Tuner) predict(gp *gpr.GP, c ssdconf.Config) float64 {
+	if gp == nil {
+		return t.rng.Float64() * 1e-6 // explore arbitrarily before the model exists
+	}
+	m, s, err := gp.Predict([][]float64{t.Space.Vector(c)})
+	if err != nil {
+		return math.Inf(-1)
+	}
+	// UCB: the paper notes BO "quantifies the exploration trade-offs
+	// with predicted mean and variance values".
+	return m[0] + 0.5*s[0]
+}
+
+func (t *Tuner) converged(traj []float64) bool {
+	w := t.Opts.ConvergenceWindow
+	if len(traj) <= w {
+		return false
+	}
+	recent := traj[len(traj)-w-1:]
+	base := math.Abs(recent[0])
+	if base < 1e-9 {
+		base = 1e-9
+	}
+	for i := 1; i < len(recent); i++ {
+		if math.Abs(recent[i]-recent[0])/base > t.Opts.ConvergenceBound {
+			return false
+		}
+	}
+	return true
+}
+
+func bestGrade(validated []entry) float64 {
+	return bestEntry(validated).grade
+}
+
+func bestEntry(validated []entry) entry {
+	best := validated[0]
+	for _, e := range validated[1:] {
+		if e.grade > best.grade {
+			best = e
+		}
+	}
+	return best
+}
+
+func worstRetainedGrade(validated []entry, k int) float64 {
+	idx := topKIndices(validated, k)
+	worst := math.Inf(1)
+	for _, i := range idx {
+		if validated[i].grade < worst {
+			worst = validated[i].grade
+		}
+	}
+	if math.IsInf(worst, 1) {
+		return math.Inf(-1)
+	}
+	return worst
+}
+
+// clusterSpeedups returns the geometric-mean latency and throughput
+// speedups of a cluster's measurements against the grader's reference.
+func clusterSpeedups(g *Grader, cluster string, perfs []autodb.Perf) (lat, tput float64) {
+	refs := g.Ref[cluster]
+	var latLog, tputLog float64
+	for i, p := range perfs {
+		l, tp := Speedups(p, refs[i])
+		latLog += math.Log(l)
+		tputLog += math.Log(tp)
+	}
+	n := float64(len(perfs))
+	return math.Exp(latLog / n), math.Exp(tputLog / n)
+}
+
+func topKIndices(validated []entry, k int) []int {
+	idx := make([]int, len(validated))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return validated[idx[a]].grade > validated[idx[b]].grade
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the Go reproduction: the workload-clustering
+// scatter (Fig. 2), the pruning studies (Figs. 4–5), the learned-
+// configuration matrices (Tables 1, 4, 8, 9), critical parameters
+// (Table 5), overhead breakdown (Table 6), what-if analysis (Table 7),
+// energy (Fig. 7), learning time (Fig. 8), the tuning-order ablation
+// (Figs. 9–10) and the α/β sensitivity studies (Figs. 11–12).
+//
+// Experiments are exposed as functions over a shared Env so that both
+// the cmd/experiments binary and the root bench_test.go reuse one
+// simulator cache. Results are deterministic for a fixed Scale.Seed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"autoblox/internal/core"
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/trace"
+	"autoblox/internal/workload"
+)
+
+// Scale sets the experiment size. The paper runs multi-hour traces and
+// ~89 search iterations per target on a 24-core Xeon; DefaultScale
+// shrinks traces and iteration budgets so the full suite reproduces the
+// *shapes* in minutes. PaperScale approaches the paper's settings.
+type Scale struct {
+	Requests      int   // trace length per workload
+	MaxIterations int   // tuner outer iterations
+	SGDSteps      int   // SGD steps per iteration
+	PruneSamples  int   // fine-pruning sample count
+	Seed          int64 // global seed
+}
+
+// DefaultScale is sized for CI and benchmarks.
+func DefaultScale() Scale {
+	return Scale{Requests: 6000, MaxIterations: 12, SGDSteps: 4, PruneSamples: 36, Seed: 42}
+}
+
+// PaperScale approaches the paper's experimental scale (slow: hours).
+func PaperScale() Scale {
+	return Scale{Requests: 60000, MaxIterations: 89, SGDSteps: 10, PruneSamples: 128, Seed: 42}
+}
+
+// Env bundles the shared state of one experimental configuration
+// (constraint set + reference device + workload set).
+type Env struct {
+	Scale     Scale
+	Cons      ssdconf.Constraints
+	Space     *ssdconf.Space
+	Ref       ssd.DeviceParams
+	RefCfg    ssdconf.Config
+	Validator *core.Validator
+	Grader    *core.Grader
+	Cats      []workload.Category
+	Traces    map[string]*trace.Trace
+}
+
+// NewEnv builds an environment: generates one trace per category,
+// measures the reference configuration everywhere.
+func NewEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []workload.Category) (*Env, error) {
+	return newEnv(scale, cons, ref, cats, false)
+}
+
+// NewWhatIfEnv is NewEnv over the expanded §4.5 bounds.
+func NewWhatIfEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []workload.Category) (*Env, error) {
+	return newEnv(scale, cons, ref, cats, true)
+}
+
+func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []workload.Category, whatIf bool) (*Env, error) {
+	var space *ssdconf.Space
+	if whatIf {
+		space = ssdconf.NewWhatIfSpace(cons)
+	} else {
+		space = ssdconf.NewSpace(cons)
+	}
+	e := &Env{Scale: scale, Cons: cons, Space: space, Ref: ref, Cats: cats,
+		Traces: map[string]*trace.Trace{}}
+	for _, c := range cats {
+		tr, err := workload.Generate(c, workload.Options{Requests: scale.Requests, Seed: scale.Seed})
+		if err != nil {
+			return nil, err
+		}
+		e.Traces[string(c)] = tr
+	}
+	e.RefCfg = space.FromDevice(ref)
+	if err := space.CheckConstraints(e.RefCfg); err != nil {
+		return nil, fmt.Errorf("experiments: reference violates constraints: %w", err)
+	}
+	e.Validator = core.NewValidator(space, e.Traces)
+	g, err := core.NewGrader(e.Validator, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
+	if err != nil {
+		return nil, err
+	}
+	e.Grader = g
+	return e, nil
+}
+
+// tunerOptions maps the scale onto the §3.4 loop.
+func (e *Env) tunerOptions() core.TunerOptions {
+	return core.TunerOptions{
+		Seed:          e.Scale.Seed,
+		MaxIterations: e.Scale.MaxIterations,
+		SGDSteps:      e.Scale.SGDSteps,
+	}
+}
+
+// InitialConfigs returns the reference plus layout-diverse variants of
+// it (repaired to the capacity band). The paper initializes the model
+// with several commodity configurations; seeding layout diversity gives
+// the GPR surrogate gradient information along the chip-layout axes from
+// the first iteration.
+func (e *Env) InitialConfigs() []ssdconf.Config {
+	out := []ssdconf.Config{e.RefCfg}
+	for _, mutate := range []map[string]float64{
+		{"FlashChannelCount": 32, "ChipNoPerChannel": 2},
+		{"PlaneNoPerDie": 8, "DieNoPerChip": 2},
+		{"DataCacheSize": 416, "CMTCapacity": 384},
+	} {
+		cfg := e.RefCfg.Clone()
+		for name, v := range mutate {
+			if err := e.Space.SetByName(cfg, name, v); err != nil {
+				continue
+			}
+		}
+		if !e.Space.RepairCapacity(cfg) {
+			continue
+		}
+		if e.Space.CheckConstraints(cfg) != nil {
+			continue
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// section prints a header for an experiment report.
+func section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s — %s ===\n", id, title)
+}

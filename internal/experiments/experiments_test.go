@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autoblox/internal/workload"
+)
+
+// tinyScale keeps experiment tests fast.
+func tinyScale() Scale {
+	return Scale{Requests: 2000, MaxIterations: 4, SGDSteps: 3, PruneSamples: 16, Seed: 7}
+}
+
+func TestFig2(t *testing.T) {
+	r, err := Fig2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy < 0.7 {
+		t.Fatalf("clustering accuracy %.2f too low even at tiny scale", r.Accuracy)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no scatter points")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "validation accuracy") {
+		t.Fatal("Print output incomplete")
+	}
+}
+
+func TestStudiedEnvMemoized(t *testing.T) {
+	a, err := StudiedEnv(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StudiedEnv(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("StudiedEnv not memoized")
+	}
+	if len(a.Traces) != len(workload.Studied()) {
+		t.Fatalf("env has %d traces", len(a.Traces))
+	}
+}
+
+func TestFig45(t *testing.T) {
+	e, err := StudiedEnv(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunFig45(e, string(workload.Database))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Coarse.Sweeps) != 35 {
+		t.Fatalf("coarse sweeps = %d, want 35", len(r.Coarse.Sweeps))
+	}
+	if len(r.Fine.Order) == 0 {
+		t.Fatal("fine pruning produced no order")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	for _, want := range []string{"fig4", "fig5", "tuning order"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Print output missing %q", want)
+		}
+	}
+}
+
+func TestMatrixSmall(t *testing.T) {
+	m, err := Matrix(tinyScale(), "test-small", StudiedEnv, MatrixOptions{
+		Targets: []string{string(workload.Database), string(workload.WebSearch)},
+		NoOrder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Runs) != 2 {
+		t.Fatalf("runs = %d", len(m.Runs))
+	}
+	for _, target := range m.Targets {
+		run := m.Runs[target]
+		if run.Lat[target] <= 0 || run.Tput[target] <= 0 {
+			t.Fatalf("%s: bad speedups %v/%v", target, run.Lat[target], run.Tput[target])
+		}
+		if len(run.Energy) == 0 {
+			t.Fatalf("%s: no energy data", target)
+		}
+	}
+	// Memoized on second call.
+	m2, err := Matrix(tinyScale(), "test-small", StudiedEnv, MatrixOptions{})
+	if err != nil || m2 != m {
+		t.Fatal("Matrix not memoized")
+	}
+
+	var buf bytes.Buffer
+	m.PrintMatrix(&buf, "tab1", "test")
+	m.PrintCriticalParams(&buf)
+	m.PrintEnergy(&buf)
+	m.PrintLearningTime(&buf)
+	out := buf.String()
+	for _, want := range []string{"geomean(non-tgt)", "tab5", "fig7", "fig8", "average iterations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("matrix prints missing %q", want)
+		}
+	}
+}
+
+func TestInitialConfigsValid(t *testing.T) {
+	e, err := StudiedEnv(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inits := e.InitialConfigs()
+	if len(inits) < 2 {
+		t.Fatalf("want diverse initials, got %d", len(inits))
+	}
+	for i, cfg := range inits {
+		if err := e.Space.CheckConstraints(cfg); err != nil {
+			t.Fatalf("initial %d violates constraints: %v", i, err)
+		}
+	}
+}
+
+func TestTable6(t *testing.T) {
+	e, err := StudiedEnv(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := RunTable6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.FeatureExtractPer100K <= 0 || o.EfficiencyValidation <= 0 {
+		t.Fatalf("missing overheads: %+v", o)
+	}
+	// The paper's shape: validation dominates per-iteration learning.
+	if o.EfficiencyValidation < o.LearningPerIteration {
+		t.Fatalf("validation (%v) should dominate learning (%v)",
+			o.EfficiencyValidation, o.LearningPerIteration)
+	}
+	var buf bytes.Buffer
+	o.Print(&buf)
+	if !strings.Contains(buf.String(), "Efficiency validation") {
+		t.Fatal("Print output incomplete")
+	}
+}
+
+func TestRunAllFiltered(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, tinyScale(), map[string]bool{"fig2": true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig2") {
+		t.Fatal("fig2 missing from filtered run")
+	}
+	if strings.Contains(out, "tab1") {
+		t.Fatal("filter leaked other experiments")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig2", "fig4", "fig5", "tab1", "tab4", "tab5", "tab6", "tab7",
+		"tab8", "tab9", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestScales(t *testing.T) {
+	d, p := DefaultScale(), PaperScale()
+	if p.Requests <= d.Requests || p.MaxIterations <= d.MaxIterations {
+		t.Fatal("paper scale should exceed default scale")
+	}
+}
+
+func TestMatrixParallelMatchesSequential(t *testing.T) {
+	seq, err := Matrix(tinyScale(), "par-seq", StudiedEnv, MatrixOptions{
+		Targets: []string{string(workload.Database), string(workload.WebSearch)},
+		NoOrder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Matrix(tinyScale(), "par-par", StudiedEnv, MatrixOptions{
+		Targets:  []string{string(workload.Database), string(workload.WebSearch)},
+		NoOrder:  true,
+		Parallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range seq.Targets {
+		a, b := seq.Runs[target], par.Runs[target]
+		if a.Result.BestGrade != b.Result.BestGrade {
+			t.Fatalf("%s: parallel grade %g != sequential %g", target, b.Result.BestGrade, a.Result.BestGrade)
+		}
+		if a.Lat[target] != b.Lat[target] {
+			t.Fatalf("%s: parallel speedup differs", target)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Fig2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Matrix(tinyScale(), "test-small", StudiedEnv, MatrixOptions{
+		Targets: []string{string(workload.Database), string(workload.WebSearch)},
+		NoOrder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteCSV(dir, "tab1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2_scatter", "tab1_matrix", "tab1_energy", "tab1_learning"} {
+		data, err := os.ReadFile(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines < 2 {
+			t.Fatalf("%s: only %d lines", name, lines)
+		}
+	}
+	// Matrix CSV has one row per (target, workload) pair + header.
+	data, _ := os.ReadFile(filepath.Join(dir, "tab1_matrix.csv"))
+	if got := strings.Count(string(data), "\n"); got != 2*2+1 {
+		t.Fatalf("matrix rows = %d, want 5", got)
+	}
+}

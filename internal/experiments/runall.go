@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/workload"
+)
+
+func intelRef() ssd.DeviceParams { return ssd.Intel750() }
+
+// Shared, memoized environments/results so the benchmarks and the CLI
+// can invoke individual experiments without repeating the expensive
+// setup. Keyed by the Scale value.
+var (
+	memoMu    sync.Mutex
+	envMemo   = map[string]*Env{}
+	mtxMemo   = map[string]*MatrixResult{}
+	fig2Memo  = map[string]*Fig2Result{}
+	sweepMemo = map[string]*SweepResult{}
+	t7Memo    = map[string][]WhatIfRun{}
+	t7EnvMemo = map[string]*Env{}
+)
+
+func scaleKey(s Scale, tag string) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d", tag, s.Requests, s.MaxIterations, s.SGDSteps, s.PruneSamples, s.Seed)
+}
+
+// StudiedEnv returns (building once) the Table 1 environment: studied
+// categories, Intel 750 reference, 512GB/NVMe/MLC constraints.
+func StudiedEnv(scale Scale) (*Env, error) {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	k := scaleKey(scale, "studied")
+	if e, ok := envMemo[k]; ok {
+		return e, nil
+	}
+	e, err := NewEnv(scale, ssdconf.DefaultConstraints(), intelRef(), workload.Studied())
+	if err != nil {
+		return nil, err
+	}
+	envMemo[k] = e
+	return e, nil
+}
+
+// NewWorkloadsEnv returns the Table 4 environment over the six new
+// categories.
+func NewWorkloadsEnv(scale Scale) (*Env, error) {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	k := scaleKey(scale, "new")
+	if e, ok := envMemo[k]; ok {
+		return e, nil
+	}
+	e, err := NewEnv(scale, ssdconf.DefaultConstraints(), intelRef(), workload.New())
+	if err != nil {
+		return nil, err
+	}
+	envMemo[k] = e
+	return e, nil
+}
+
+// SLCEnv returns the Table 8 environment: Samsung Z-SSD reference with
+// an SLC flash constraint.
+func SLCEnv(scale Scale) (*Env, error) {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	k := scaleKey(scale, "slc")
+	if e, ok := envMemo[k]; ok {
+		return e, nil
+	}
+	cons := ssdconf.DefaultConstraints()
+	cons.Flash = ssd.SLC
+	e, err := NewEnv(scale, cons, ssd.SamsungZSSD(), workload.Studied())
+	if err != nil {
+		return nil, err
+	}
+	envMemo[k] = e
+	return e, nil
+}
+
+// SATAEnv returns the Table 9 environment: Samsung 850 PRO reference
+// with a SATA interface constraint.
+func SATAEnv(scale Scale) (*Env, error) {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	k := scaleKey(scale, "sata")
+	if e, ok := envMemo[k]; ok {
+		return e, nil
+	}
+	cons := ssdconf.DefaultConstraints()
+	cons.Interface = ssd.SATA
+	e, err := NewEnv(scale, cons, ssd.Samsung850Pro(), workload.Studied())
+	if err != nil {
+		return nil, err
+	}
+	envMemo[k] = e
+	return e, nil
+}
+
+// Matrix memoizes RunMatrix per (env tag, scale).
+func Matrix(scale Scale, tag string, envFn func(Scale) (*Env, error), opts MatrixOptions) (*MatrixResult, error) {
+	memoMu.Lock()
+	k := scaleKey(scale, "mtx-"+tag)
+	if m, ok := mtxMemo[k]; ok {
+		memoMu.Unlock()
+		return m, nil
+	}
+	memoMu.Unlock()
+
+	e, err := envFn(scale)
+	if err != nil {
+		return nil, err
+	}
+	m, err := RunMatrix(e, opts)
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	mtxMemo[k] = m
+	memoMu.Unlock()
+	return m, nil
+}
+
+// Fig2 memoizes RunFig2.
+func Fig2(scale Scale) (*Fig2Result, error) {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	k := scaleKey(scale, "fig2")
+	if r, ok := fig2Memo[k]; ok {
+		return r, nil
+	}
+	r, err := RunFig2(scale)
+	if err != nil {
+		return nil, err
+	}
+	fig2Memo[k] = r
+	return r, nil
+}
+
+// Table1Options are the passes the Table 1 reproduction runs.
+func Table1Options() MatrixOptions {
+	return MatrixOptions{IgnoreNonTarget: true}
+}
+
+// sweepTargets are the three representative workloads of Figs. 11–12.
+func sweepTargets() []string {
+	return []string{string(workload.Database), string(workload.KVStore), string(workload.LiveMaps)}
+}
+
+// AlphaSweep memoizes the Fig. 11 study.
+func AlphaSweep(scale Scale) (*SweepResult, error) {
+	return memoSweep(scale, "alpha", RunAlphaSweep)
+}
+
+// BetaSweep memoizes the Fig. 12 study.
+func BetaSweep(scale Scale) (*SweepResult, error) {
+	return memoSweep(scale, "beta", RunBetaSweep)
+}
+
+func memoSweep(scale Scale, tag string, run func(*Env, []float64, []string) (*SweepResult, error)) (*SweepResult, error) {
+	memoMu.Lock()
+	k := scaleKey(scale, "sweep-"+tag)
+	if r, ok := sweepMemo[k]; ok {
+		memoMu.Unlock()
+		return r, nil
+	}
+	memoMu.Unlock()
+	e, err := StudiedEnv(scale)
+	if err != nil {
+		return nil, err
+	}
+	r, err := run(e, nil, sweepTargets())
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	sweepMemo[k] = r
+	memoMu.Unlock()
+	return r, nil
+}
+
+// Table7 memoizes the what-if analysis.
+func Table7(scale Scale) ([]WhatIfRun, *Env, error) {
+	memoMu.Lock()
+	k := scaleKey(scale, "tab7")
+	if r, ok := t7Memo[k]; ok {
+		e := t7EnvMemo[k]
+		memoMu.Unlock()
+		return r, e, nil
+	}
+	memoMu.Unlock()
+	runs, env, err := RunTable7(scale, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	memoMu.Lock()
+	t7Memo[k] = runs
+	t7EnvMemo[k] = env
+	memoMu.Unlock()
+	return runs, env, nil
+}
+
+// RunAll executes every experiment at the given scale, writing each
+// table/figure to w. `only` filters by experiment id (empty = all).
+func RunAll(w io.Writer, scale Scale, only map[string]bool) error {
+	return RunAllCSV(w, scale, only, "")
+}
+
+// RunAllCSV is RunAll with an optional CSV export directory: when csvDir
+// is non-empty, each artifact also writes its underlying data as CSV for
+// external plotting.
+func RunAllCSV(w io.Writer, scale Scale, only map[string]bool, csvDir string) error {
+	want := func(id string) bool { return len(only) == 0 || only[id] }
+	exportCSV := func(write func(string) error) error {
+		if csvDir == "" {
+			return nil
+		}
+		return write(csvDir)
+	}
+
+	if want("fig2") {
+		r, err := Fig2(scale)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		if err := exportCSV(r.WriteCSV); err != nil {
+			return err
+		}
+	}
+
+	if want("fig4") || want("fig5") {
+		e, err := StudiedEnv(scale)
+		if err != nil {
+			return err
+		}
+		r, err := RunFig45(e, string(workload.Database))
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		if err := exportCSV(r.WriteCSV); err != nil {
+			return err
+		}
+	}
+
+	if want("tab1") || want("tab5") || want("fig7") || want("fig8") {
+		m, err := Matrix(scale, "studied", StudiedEnv, Table1Options())
+		if err != nil {
+			return err
+		}
+		if want("tab1") {
+			m.PrintMatrix(w, "tab1", "Learned configurations, NVMe MLC (vs Intel 750) — lat/tput speedups")
+		}
+		if want("tab5") {
+			m.PrintCriticalParams(w)
+		}
+		if want("fig7") {
+			m.PrintEnergy(w)
+		}
+		if want("fig8") {
+			m.PrintLearningTime(w)
+		}
+		if err := exportCSV(func(d string) error { return m.WriteCSV(d, "tab1") }); err != nil {
+			return err
+		}
+	}
+
+	if want("tab4") {
+		m, err := Matrix(scale, "new", NewWorkloadsEnv, MatrixOptions{})
+		if err != nil {
+			return err
+		}
+		m.PrintMatrix(w, "tab4", "Learned configurations for new (unseen) workloads (vs Intel 750)")
+		if err := exportCSV(func(d string) error { return m.WriteCSV(d, "tab4") }); err != nil {
+			return err
+		}
+	}
+
+	if want("tab6") {
+		e, err := StudiedEnv(scale)
+		if err != nil {
+			return err
+		}
+		o, err := RunTable6(e)
+		if err != nil {
+			return err
+		}
+		o.Print(w)
+	}
+
+	if want("tab7") {
+		runs, env, err := Table7(scale)
+		if err != nil {
+			return err
+		}
+		PrintTable7(w, runs, env)
+	}
+
+	if want("tab8") {
+		m, err := Matrix(scale, "slc", SLCEnv, MatrixOptions{})
+		if err != nil {
+			return err
+		}
+		m.PrintMatrix(w, "tab8", "Learned configurations, NVMe SLC (vs Samsung Z-SSD)")
+		if err := exportCSV(func(d string) error { return m.WriteCSV(d, "tab8") }); err != nil {
+			return err
+		}
+	}
+
+	if want("tab9") {
+		m, err := Matrix(scale, "sata", SATAEnv, MatrixOptions{})
+		if err != nil {
+			return err
+		}
+		m.PrintMatrix(w, "tab9", "Learned configurations, SATA MLC (vs Samsung 850 PRO)")
+		if err := exportCSV(func(d string) error { return m.WriteCSV(d, "tab9") }); err != nil {
+			return err
+		}
+	}
+
+	if want("fig9") || want("fig10") {
+		m, err := Matrix(scale, "ablate", StudiedEnv, MatrixOptions{
+			OrderAblation: true,
+			Targets:       []string{string(workload.Database), string(workload.KVStore)},
+		})
+		if err != nil {
+			return err
+		}
+		m.PrintOrderAblation(w)
+	}
+
+	if want("fig11") {
+		e, err := StudiedEnv(scale)
+		if err != nil {
+			return err
+		}
+		r, err := AlphaSweep(scale)
+		if err != nil {
+			return err
+		}
+		_ = e
+		r.Print(w)
+		if err := exportCSV(r.WriteCSV); err != nil {
+			return err
+		}
+	}
+
+	if want("fig12") {
+		e, err := StudiedEnv(scale)
+		if err != nil {
+			return err
+		}
+		r, err := BetaSweep(scale)
+		if err != nil {
+			return err
+		}
+		_ = e
+		r.Print(w)
+		if err := exportCSV(r.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IDs lists the experiment identifiers RunAll understands.
+func IDs() []string {
+	return []string{"fig2", "fig4", "fig5", "tab1", "tab4", "tab5", "tab6", "tab7", "tab8", "tab9",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
+}

@@ -1,0 +1,195 @@
+// Package gpr implements Gaussian Process Regression with the kernel mix
+// used by AutoBlox (§3.4): a sum of a radial-basis-function kernel, a
+// rational-quadratic kernel and a white-noise kernel, with trainable
+// hyperparameters and a trainable constant mean. The GPR predicts the
+// grade (Formula 2) of unexplored SSD configurations together with a
+// confidence interval, which lets the tuner avoid expensive simulator
+// validations.
+package gpr
+
+import (
+	"fmt"
+	"math"
+
+	"autoblox/internal/linalg"
+)
+
+// Kernel is a positive-definite covariance function over configuration
+// vectors.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+	// Params returns the current hyperparameters in log space (so that a
+	// simple unconstrained search keeps them positive).
+	Params() []float64
+	// SetParams installs hyperparameters from log space.
+	SetParams(p []float64)
+	// Name identifies the kernel for diagnostics.
+	Name() string
+}
+
+// RBF is the squared-exponential kernel σ²·exp(-‖a-b‖²/(2ℓ²)).
+type RBF struct {
+	Variance    float64 // σ²
+	LengthScale float64 // ℓ
+}
+
+// NewRBF returns an RBF kernel with the given signal variance and length
+// scale.
+func NewRBF(variance, lengthScale float64) *RBF {
+	return &RBF{Variance: variance, LengthScale: lengthScale}
+}
+
+func (k *RBF) Eval(a, b []float64) float64 {
+	d2 := sqDist(a, b)
+	return k.Variance * math.Exp(-d2/(2*k.LengthScale*k.LengthScale))
+}
+
+func (k *RBF) Params() []float64 { return []float64{math.Log(k.Variance), math.Log(k.LengthScale)} }
+
+func (k *RBF) SetParams(p []float64) {
+	k.Variance, k.LengthScale = math.Exp(p[0]), math.Exp(p[1])
+}
+
+func (k *RBF) Name() string { return "rbf" }
+
+// RationalQuadratic is σ²·(1 + ‖a-b‖²/(2αℓ²))^(-α); it behaves like a
+// scale mixture of RBF kernels and tolerates multi-scale structure in the
+// configuration space.
+type RationalQuadratic struct {
+	Variance    float64
+	LengthScale float64
+	Alpha       float64
+}
+
+// NewRationalQuadratic returns a rational-quadratic kernel.
+func NewRationalQuadratic(variance, lengthScale, alpha float64) *RationalQuadratic {
+	return &RationalQuadratic{Variance: variance, LengthScale: lengthScale, Alpha: alpha}
+}
+
+func (k *RationalQuadratic) Eval(a, b []float64) float64 {
+	d2 := sqDist(a, b)
+	return k.Variance * math.Pow(1+d2/(2*k.Alpha*k.LengthScale*k.LengthScale), -k.Alpha)
+}
+
+func (k *RationalQuadratic) Params() []float64 {
+	return []float64{math.Log(k.Variance), math.Log(k.LengthScale), math.Log(k.Alpha)}
+}
+
+func (k *RationalQuadratic) SetParams(p []float64) {
+	k.Variance, k.LengthScale, k.Alpha = math.Exp(p[0]), math.Exp(p[1]), math.Exp(p[2])
+}
+
+func (k *RationalQuadratic) Name() string { return "rq" }
+
+// White is the white-noise kernel: σ²·δ(a ≡ b). It absorbs simulator
+// noise (the paper adds it "to tolerate the noise in simulations").
+type White struct {
+	Noise float64
+}
+
+// NewWhite returns a white-noise kernel with variance noise.
+func NewWhite(noise float64) *White { return &White{Noise: noise} }
+
+func (k *White) Eval(a, b []float64) float64 {
+	if sameVec(a, b) {
+		return k.Noise
+	}
+	return 0
+}
+
+func (k *White) Params() []float64     { return []float64{math.Log(k.Noise)} }
+func (k *White) SetParams(p []float64) { k.Noise = math.Exp(p[0]) }
+func (k *White) Name() string          { return "white" }
+
+// Sum adds kernels; AutoBlox uses RBF + RationalQuadratic + White.
+type Sum struct {
+	Terms []Kernel
+}
+
+// NewSum returns the sum of the given kernels.
+func NewSum(terms ...Kernel) *Sum { return &Sum{Terms: terms} }
+
+func (k *Sum) Eval(a, b []float64) float64 {
+	var s float64
+	for _, t := range k.Terms {
+		s += t.Eval(a, b)
+	}
+	return s
+}
+
+func (k *Sum) Params() []float64 {
+	var p []float64
+	for _, t := range k.Terms {
+		p = append(p, t.Params()...)
+	}
+	return p
+}
+
+func (k *Sum) SetParams(p []float64) {
+	off := 0
+	for _, t := range k.Terms {
+		n := len(t.Params())
+		t.SetParams(p[off : off+n])
+		off += n
+	}
+	if off != len(p) {
+		panic(fmt.Sprintf("gpr: Sum.SetParams got %d params, want %d", len(p), off))
+	}
+}
+
+func (k *Sum) Name() string {
+	s := "sum("
+	for i, t := range k.Terms {
+		if i > 0 {
+			s += "+"
+		}
+		s += t.Name()
+	}
+	return s + ")"
+}
+
+// DefaultKernel returns the paper's kernel: RBF + RationalQuadratic +
+// White with moderate initial hyperparameters (refined during Fit).
+func DefaultKernel() Kernel {
+	return NewSum(
+		NewRBF(1.0, 2.0),
+		NewRationalQuadratic(1.0, 2.0, 1.0),
+		NewWhite(1e-3),
+	)
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// gram builds the kernel matrix K(X, X).
+func gram(k Kernel, x [][]float64) *linalg.Matrix {
+	n := len(x)
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Eval(x[i], x[j])
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}

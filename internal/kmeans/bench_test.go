@@ -1,0 +1,35 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"autoblox/internal/linalg"
+)
+
+func BenchmarkFit7Clusters(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data, _ := blobsForBench(rng, 7, 40, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(data, Config{K: 7, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func blobsForBench(rng *rand.Rand, k, per, d int) (*linalg.Matrix, []int) {
+	rows := make([][]float64, 0, k*per)
+	labels := make([]int, 0, k*per)
+	for c := 0; c < k; c++ {
+		for i := 0; i < per; i++ {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = float64(c)*8 + rng.NormFloat64()
+			}
+			rows = append(rows, p)
+			labels = append(labels, c)
+		}
+	}
+	return linalg.FromRows(rows), labels
+}

@@ -1,0 +1,39 @@
+package kvstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := []byte(`{"grade":1.234,"config":[1,2,3,4,5,6,7,8]}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("cluster/%08d", i%1024), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 1024; i++ {
+		s.Put(fmt.Sprintf("cluster/%08d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("cluster/%08d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

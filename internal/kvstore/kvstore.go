@@ -1,0 +1,349 @@
+// Package kvstore is a small embedded log-structured key-value store —
+// the substrate under AutoDB. The paper implements AutoDB on LevelDB
+// (cluster-ID keys, JSON values); this store provides the same
+// durability and lookup semantics from scratch: an append-only log with
+// per-record CRC32 checksums, an in-memory index rebuilt on open, and
+// explicit compaction that drops superseded records.
+//
+// Record format (little endian):
+//
+//	uint32 crc       — CRC32 (IEEE) of everything after this field
+//	uint8  op        — 1 = put, 2 = delete
+//	uint32 keyLen
+//	uint32 valueLen
+//	key bytes
+//	value bytes
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+const (
+	opPut    = 1
+	opDelete = 2
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// ErrCorrupt is returned when a log record fails its checksum; the store
+// truncates at the first corrupt record on open (torn-write recovery).
+var ErrCorrupt = errors.New("kvstore: corrupt record")
+
+// Store is a durable key-value store. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	path string
+	file *os.File
+	// index maps key -> current value (values are kept in memory; AutoDB
+	// records are small JSON documents).
+	index map[string][]byte
+	// liveBytes / totalBytes drive compaction heuristics.
+	liveBytes, totalBytes int64
+}
+
+// Open opens (or creates) the store backed by the given log file.
+func Open(path string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: mkdir: %w", err)
+	}
+	s := &Store{path: path, index: make(map[string][]byte)}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open: %w", err)
+	}
+	s.file = f
+	return s, nil
+}
+
+// replay rebuilds the in-memory index from the log, truncating at the
+// first corrupt/partial record.
+func (s *Store) replay() error {
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: replay open: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	var offset int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: truncate the log at the last good record.
+			if terr := os.Truncate(s.path, offset); terr != nil {
+				return fmt.Errorf("kvstore: truncate after corrupt record: %w", terr)
+			}
+			break
+		}
+		offset += int64(n)
+		s.totalBytes += int64(n)
+		switch rec.op {
+		case opPut:
+			if old, ok := s.index[string(rec.key)]; ok {
+				s.liveBytes -= recordSize(rec.key, old)
+			}
+			s.index[string(rec.key)] = rec.value
+			s.liveBytes += int64(n)
+		case opDelete:
+			if old, ok := s.index[string(rec.key)]; ok {
+				s.liveBytes -= recordSize(rec.key, old)
+				delete(s.index, string(rec.key))
+			}
+		}
+	}
+	return nil
+}
+
+type record struct {
+	op    byte
+	key   []byte
+	value []byte
+}
+
+func recordSize(key, value []byte) int64 {
+	return int64(4 + 1 + 4 + 4 + len(key) + len(value))
+}
+
+func readRecord(r *bufio.Reader) (record, int, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return record{}, 0, ErrCorrupt
+		}
+		return record{}, 0, err
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:4])
+	op := hdr[4]
+	keyLen := binary.LittleEndian.Uint32(hdr[5:9])
+	valLen := binary.LittleEndian.Uint32(hdr[9:13])
+	if keyLen > 1<<24 || valLen > 1<<28 {
+		return record{}, 0, ErrCorrupt
+	}
+	body := make([]byte, keyLen+valLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return record{}, 0, ErrCorrupt
+	}
+	h := crc32.NewIEEE()
+	h.Write(hdr[4:13])
+	h.Write(body)
+	if h.Sum32() != crc {
+		return record{}, 0, ErrCorrupt
+	}
+	rec := record{op: op, key: body[:keyLen], value: body[keyLen:]}
+	return rec, 13 + len(body), nil
+}
+
+func appendRecord(w io.Writer, op byte, key, value []byte) (int, error) {
+	hdr := make([]byte, 13)
+	hdr[4] = op
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(value)))
+	h := crc32.NewIEEE()
+	h.Write(hdr[4:13])
+	h.Write(key)
+	h.Write(value)
+	binary.LittleEndian.PutUint32(hdr[0:4], h.Sum32())
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(key); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(value); err != nil {
+		return 0, err
+	}
+	return 13 + len(key) + len(value), nil
+}
+
+// Put durably stores value under key.
+func (s *Store) Put(key string, value []byte) error {
+	if key == "" {
+		return errors.New("kvstore: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return errors.New("kvstore: store closed")
+	}
+	n, err := appendRecord(s.file, opPut, []byte(key), value)
+	if err != nil {
+		return fmt.Errorf("kvstore: put: %w", err)
+	}
+	if old, ok := s.index[key]; ok {
+		s.liveBytes -= recordSize([]byte(key), old)
+	}
+	v := append([]byte(nil), value...)
+	s.index[key] = v
+	s.totalBytes += int64(n)
+	s.liveBytes += int64(n)
+	return nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Has reports whether key exists.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Delete removes key; deleting a missing key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return errors.New("kvstore: store closed")
+	}
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	n, err := appendRecord(s.file, opDelete, []byte(key), nil)
+	if err != nil {
+		return fmt.Errorf("kvstore: delete: %w", err)
+	}
+	s.liveBytes -= recordSize([]byte(key), s.index[key])
+	delete(s.index, key)
+	s.totalBytes += int64(n)
+	return nil
+}
+
+// Keys returns all keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// GarbageRatio returns the fraction of the log occupied by superseded
+// records.
+func (s *Store) GarbageRatio() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.totalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.liveBytes)/float64(s.totalBytes)
+}
+
+// Compact rewrites the log with only live records.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return errors.New("kvstore: store closed")
+	}
+	tmp := s.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kvstore: compact create: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	var total int64
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		n, err := appendRecord(w, opPut, []byte(k), s.index[k])
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("kvstore: compact write: %w", err)
+		}
+		total += int64(n)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	f.Close()
+	if err := s.file.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("kvstore: compact rename: %w", err)
+	}
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: compact reopen: %w", err)
+	}
+	s.file = nf
+	s.totalBytes, s.liveBytes = total, total
+	return nil
+}
+
+// Sync flushes OS buffers to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	return s.file.Sync()
+}
+
+// Close syncs and closes the store; further writes fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Sync()
+	cerr := s.file.Close()
+	s.file = nil
+	if err != nil {
+		return err
+	}
+	return cerr
+}

@@ -1,0 +1,297 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "db", "store.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := openTemp(t)
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Fatal("empty key should fail")
+	}
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("a")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := s.Put("a", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get("a")
+	if string(v) != "2" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if !s.Has("a") || s.Has("b") {
+		t.Fatal("Has wrong")
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key still present")
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatal("deleting missing key should be a no-op")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := openTemp(t)
+	s.Put("k", []byte("abc"))
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatal("Get must return a copy")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("key%03d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	s.Delete("key050")
+	s.Put("key001", []byte("updated"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Fatalf("Len after reopen = %d, want 99", s2.Len())
+	}
+	v, _ := s2.Get("key001")
+	if string(v) != "updated" {
+		t.Fatalf("key001 = %q", v)
+	}
+	if s2.Has("key050") {
+		t.Fatal("deleted key survived reopen")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := openTemp(t)
+	for _, k := range []string{"c", "a", "b"} {
+		s.Put(k, []byte(k))
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestCompactionDropsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put("hot", []byte(fmt.Sprintf("version-%d", i)))
+	}
+	if s.GarbageRatio() < 0.9 {
+		t.Fatalf("garbage ratio %g should be high before compaction", s.GarbageRatio())
+	}
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	if s.GarbageRatio() != 0 {
+		t.Fatalf("garbage ratio %g after compaction", s.GarbageRatio())
+	}
+	v, err := s.Get("hot")
+	if err != nil || string(v) != "version-49" {
+		t.Fatalf("post-compaction Get = %q, %v", v, err)
+	}
+	// Store still writable after compaction.
+	if err := s.Put("new", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, _ := Open(path)
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	s.Compact()
+	s.Put("post", []byte("compact"))
+	s.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 21 {
+		t.Fatalf("Len = %d, want 21", s2.Len())
+	}
+}
+
+func TestTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, _ := Open(path)
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Close()
+
+	// Corrupt the tail: append a partial record.
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{0xDE, 0xAD, 0xBE})
+	f.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("Len after torn write = %d, want 2", s2.Len())
+	}
+	// And the store remains appendable after truncation.
+	if err := s2.Put("c", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s3.Len())
+	}
+}
+
+func TestMidLogCorruptionTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, _ := Open(path)
+	s.Put("a", []byte("1"))
+	off, _ := os.Stat(path)
+	s.Put("b", []byte("2"))
+	s.Close()
+
+	// Flip a byte inside the second record's value.
+	data, _ := os.ReadFile(path)
+	data[off.Size()+14] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Has("a") || s2.Has("b") {
+		t.Fatal("corruption recovery should keep the prefix only")
+	}
+}
+
+func TestClosedStoreFailsWrites(t *testing.T) {
+	s := openTemp(t)
+	s.Close()
+	if err := s.Put("x", []byte("y")); err == nil {
+		t.Fatal("Put after Close should fail")
+	}
+	if err := s.Delete("x"); err == nil {
+		t.Fatal("Delete of existing key after Close should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+}
+
+// Property: the store agrees with a map model under random op sequences
+// including reopen.
+func TestModelEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir, err := os.MkdirTemp("", "kv")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "s.log")
+		s, err := Open(path)
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		for op := 0; op < 150; op++ {
+			k := fmt.Sprintf("k%d", rng.Intn(12))
+			switch rng.Intn(5) {
+			case 0:
+				s.Delete(k)
+				delete(model, k)
+			case 1:
+				if rng.Intn(4) == 0 {
+					s.Compact()
+				}
+			case 2: // reopen
+				s.Close()
+				s, err = Open(path)
+				if err != nil {
+					return false
+				}
+			default:
+				v := fmt.Sprintf("v%d", rng.Int())
+				s.Put(k, []byte(v))
+				model[k] = v
+			}
+		}
+		defer s.Close()
+		if s.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, err := s.Get(k)
+			if err != nil || string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

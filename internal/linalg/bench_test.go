@@ -1,0 +1,57 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randSPD(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	return b.Mul(b.T()).AddDiag(float64(n))
+}
+
+func BenchmarkCholesky64(b *testing.B) {
+	m := randSPD(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSPD64(b *testing.B) {
+	m := randSPD(64, 2)
+	rhs := make([]float64, 64)
+	for i := range rhs {
+		rhs[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSPD(m, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenSym32(b *testing.B) {
+	m := randSPD(32, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSym(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	m := randSPD(128, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mul(m)
+	}
+}

@@ -1,0 +1,104 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi rotation method. It returns eigenvalues in descending
+// order and the matching eigenvectors as the columns of the returned
+// matrix. The input is not modified.
+func EigenSym(m *Matrix) (values []float64, vectors *Matrix, err error) {
+	if m.Rows != m.Cols {
+		return nil, nil, fmt.Errorf("linalg: EigenSym of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	a := m.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(a)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				// Compute the Jacobi rotation (c, s) that zeroes a[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(a, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = a.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			vectors.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, vectors, nil
+}
+
+// rotate applies the Jacobi rotation G(p,q,c,s) as a ← GᵀaG and
+// accumulates v ← vG.
+func rotate(a, v *Matrix, p, q int, c, s float64) {
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		aip, aiq := a.At(i, p), a.At(i, q)
+		a.Set(i, p, c*aip-s*aiq)
+		a.Set(i, q, s*aip+c*aiq)
+	}
+	for j := 0; j < n; j++ {
+		apj, aqj := a.At(p, j), a.At(q, j)
+		a.Set(p, j, c*apj-s*aqj)
+		a.Set(q, j, s*apj+c*aqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(a *Matrix) float64 {
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if i != j {
+				s += a.At(i, j) * a.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}

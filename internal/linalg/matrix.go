@@ -1,0 +1,306 @@
+// Package linalg provides the small dense linear-algebra kernel used by
+// the learning components of AutoBlox: matrices, vectors, Cholesky
+// factorization, triangular and symmetric positive-definite solves, and a
+// Jacobi eigensolver for symmetric matrices.
+//
+// The package is deliberately minimal — it implements exactly what PCA,
+// ridge regression and Gaussian-process regression need, on float64, with
+// no external dependencies.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero-valued rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := 0; j < b.Cols; j++ {
+				oi[j] += a * bk[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// Add returns m + b.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: Add dimension mismatch")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// AddDiag adds v to every diagonal element of m in place and returns m.
+func (m *Matrix) AddDiag(v float64) *Matrix {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+	return m
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%.6g", m.At(i, j))
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Cholesky computes the lower-triangular factor L with m = L·Lᵀ for a
+// symmetric positive-definite matrix. It reports an error when the matrix
+// is not (numerically) positive definite.
+func Cholesky(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("linalg: matrix not positive definite (pivot %d = %g)", i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves m·x = b given the Cholesky factor L of m.
+func SolveCholesky(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveCholesky dimension mismatch")
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves m·x = b for symmetric positive-definite m via Cholesky.
+func SolveSPD(m *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(m)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, b), nil
+}
+
+// SolveLinear solves the general square system a·x = b using Gaussian
+// elimination with partial pivoting.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: SolveLinear of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveLinear rhs length %d, want %d", len(b), n)
+	}
+	// Work on copies.
+	aug := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < 1e-14 {
+			return nil, fmt.Errorf("linalg: singular matrix (column %d)", col)
+		}
+		if pivot != col {
+			pr, cr := aug.Row(pivot), aug.Row(col)
+			for j := range pr {
+				pr[j], cr[j] = cr[j], pr[j]
+			}
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rr, cr := aug.Row(r), aug.Row(col)
+			for j := col; j < n; j++ {
+				rr[j] -= f * cr[j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= aug.At(i, j) * x[j]
+		}
+		x[i] = sum / aug.At(i, i)
+	}
+	return x, nil
+}

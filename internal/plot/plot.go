@@ -1,0 +1,239 @@
+// Package plot renders simple, dependency-free SVG charts from the
+// experiment data: the Fig. 2 scatter, Fig. 10-style trajectories,
+// Fig. 11/12 sweep curves and Fig. 7/8 bars. cmd/plot turns the CSV
+// exports of cmd/experiments into figures.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+const (
+	width   = 680
+	height  = 440
+	marginL = 70
+	marginR = 160 // room for the legend
+	marginT = 46
+	marginB = 56
+)
+
+// palette holds categorical series colors.
+var palette = []string{
+	"#4363d8", "#e6194b", "#3cb44b", "#f58231", "#911eb4",
+	"#46f0f0", "#f032e6", "#808000", "#9a6324", "#000075",
+}
+
+// Point is one scatter sample.
+type Point struct {
+	X, Y   float64
+	Series string
+}
+
+type canvas struct {
+	sb                     strings.Builder
+	xMin, xMax, yMin, yMax float64
+}
+
+func newCanvas(title, xLabel, yLabel string, xMin, xMax, yMin, yMax float64) *canvas {
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// Pad the data range 5%.
+	xPad, yPad := (xMax-xMin)*0.05, (yMax-yMin)*0.05
+	c := &canvas{xMin: xMin - xPad, xMax: xMax + xPad, yMin: yMin - yPad, yMax: yMax + yPad}
+	fmt.Fprintf(&c.sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&c.sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&c.sb, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(title))
+	// Axes.
+	fmt.Fprintf(&c.sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&c.sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&c.sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(marginL+width-marginR)/2, height-14, esc(xLabel))
+	fmt.Fprintf(&c.sb, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, esc(yLabel))
+	c.ticks()
+	return c
+}
+
+func (c *canvas) px(x float64) float64 {
+	return marginL + (x-c.xMin)/(c.xMax-c.xMin)*float64(width-marginL-marginR)
+}
+
+func (c *canvas) py(y float64) float64 {
+	return float64(height-marginB) - (y-c.yMin)/(c.yMax-c.yMin)*float64(height-marginT-marginB)
+}
+
+// ticks draws 5 ticks per axis with labels.
+func (c *canvas) ticks() {
+	for i := 0; i <= 4; i++ {
+		xv := c.xMin + (c.xMax-c.xMin)*float64(i)/4
+		yv := c.yMin + (c.yMax-c.yMin)*float64(i)/4
+		fmt.Fprintf(&c.sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			c.px(xv), height-marginB, c.px(xv), height-marginB+4)
+		fmt.Fprintf(&c.sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			c.px(xv), height-marginB+16, fmtTick(xv))
+		fmt.Fprintf(&c.sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-4, c.py(yv), marginL, c.py(yv))
+		fmt.Fprintf(&c.sb, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-7, c.py(yv)+3, fmtTick(yv))
+	}
+}
+
+func (c *canvas) legend(names []string) {
+	for i, name := range names {
+		y := marginT + 10 + i*18
+		fmt.Fprintf(&c.sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			width-marginR+14, y, palette[i%len(palette)])
+		fmt.Fprintf(&c.sb, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			width-marginR+29, y+9, esc(name))
+	}
+}
+
+func (c *canvas) finish() []byte {
+	c.sb.WriteString("</svg>\n")
+	return []byte(c.sb.String())
+}
+
+// Scatter renders a category-colored scatter plot (the Fig. 2 shape).
+func Scatter(title, xLabel, yLabel string, pts []Point) []byte {
+	if len(pts) == 0 {
+		return emptyChart(title)
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	var names []string
+	idx := map[string]int{}
+	for _, p := range pts {
+		xMin, xMax = math.Min(xMin, p.X), math.Max(xMax, p.X)
+		yMin, yMax = math.Min(yMin, p.Y), math.Max(yMax, p.Y)
+		if _, ok := idx[p.Series]; !ok {
+			idx[p.Series] = len(names)
+			names = append(names, p.Series)
+		}
+	}
+	c := newCanvas(title, xLabel, yLabel, xMin, xMax, yMin, yMax)
+	for _, p := range pts {
+		fmt.Fprintf(&c.sb, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" fill-opacity="0.8"/>`+"\n",
+			c.px(p.X), c.py(p.Y), palette[idx[p.Series]%len(palette)])
+	}
+	c.legend(names)
+	return c.finish()
+}
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Lines renders multi-series line charts (Figs. 10–12 shapes).
+func Lines(title, xLabel, yLabel string, series []Series) []byte {
+	if len(series) == 0 {
+		return emptyChart(title)
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xMin, xMax = math.Min(xMin, s.X[i]), math.Max(xMax, s.X[i])
+			yMin, yMax = math.Min(yMin, s.Y[i]), math.Max(yMax, s.Y[i])
+		}
+	}
+	c := newCanvas(title, xLabel, yLabel, xMin, xMax, yMin, yMax)
+	var names []string
+	for si, s := range series {
+		names = append(names, s.Name)
+		var path strings.Builder
+		for i := range s.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, c.px(s.X[i]), c.py(s.Y[i]))
+		}
+		fmt.Fprintf(&c.sb, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.TrimSpace(path.String()), palette[si%len(palette)])
+		for i := range s.X {
+			fmt.Fprintf(&c.sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				c.px(s.X[i]), c.py(s.Y[i]), palette[si%len(palette)])
+		}
+	}
+	c.legend(names)
+	return c.finish()
+}
+
+// Bars renders a labeled bar chart (Figs. 7–8 shapes); a second value
+// set, when given, draws grouped bars.
+func Bars(title, yLabel string, labels []string, groups []Series) []byte {
+	if len(labels) == 0 || len(groups) == 0 {
+		return emptyChart(title)
+	}
+	yMax := math.Inf(-1)
+	for _, g := range groups {
+		for _, v := range g.Y {
+			yMax = math.Max(yMax, v)
+		}
+	}
+	c := newCanvas(title, "", yLabel, 0, float64(len(labels)), 0, yMax)
+	span := float64(width-marginL-marginR) / float64(len(labels))
+	barW := span * 0.8 / float64(len(groups))
+	var names []string
+	for gi, g := range groups {
+		names = append(names, g.Name)
+		for i, v := range g.Y {
+			if i >= len(labels) {
+				break
+			}
+			x := marginL + span*float64(i) + span*0.1 + barW*float64(gi)
+			y := c.py(v)
+			fmt.Fprintf(&c.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW, float64(height-marginB)-y, palette[gi%len(palette)])
+		}
+	}
+	for i, l := range labels {
+		x := marginL + span*(float64(i)+0.5)
+		fmt.Fprintf(&c.sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+			x, height-marginB+14, x, height-marginB+14, esc(trunc(l, 14)))
+	}
+	if len(groups) > 1 {
+		c.legend(names)
+	}
+	return c.finish()
+}
+
+func emptyChart(title string) []byte {
+	c := newCanvas(title, "", "", 0, 1, 0, 1)
+	fmt.Fprintf(&c.sb, `<text x="%d" y="%d" font-size="13">no data</text>`+"\n", marginL+20, height/2)
+	return c.finish()
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

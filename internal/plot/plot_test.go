@@ -1,0 +1,83 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// validSVG checks the output parses as XML and contains the expected
+// element kinds.
+func validSVG(t *testing.T, svg []byte, wantElems ...string) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, svg)
+		}
+	}
+	for _, el := range wantElems {
+		if !strings.Contains(string(svg), "<"+el) {
+			t.Fatalf("SVG missing <%s>:\n%s", el, svg)
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	pts := []Point{
+		{X: 1, Y: 2, Series: "A"}, {X: 2, Y: 3, Series: "A"},
+		{X: -1, Y: 0, Series: "B"}, {X: 0.5, Y: 1.5, Series: "B"},
+	}
+	svg := Scatter("title with <chars> & \"quotes\"", "pc1", "pc2", pts)
+	validSVG(t, svg, "svg", "circle", "line", "text")
+	if n := strings.Count(string(svg), "<circle"); n != 4 {
+		t.Fatalf("expected 4 points, found %d circles", n)
+	}
+	// Legend lists both series.
+	for _, s := range []string{"A", "B"} {
+		if !strings.Contains(string(svg), ">"+s+"<") {
+			t.Fatalf("legend missing %q", s)
+		}
+	}
+	validSVG(t, Scatter("empty", "x", "y", nil), "svg", "text")
+}
+
+func TestLines(t *testing.T) {
+	series := []Series{
+		{Name: "ordered", X: []float64{0, 1, 2}, Y: []float64{0.1, 0.5, 0.6}},
+		{Name: "unordered", X: []float64{0, 1, 2}, Y: []float64{0.1, 0.2, 0.3}},
+	}
+	svg := Lines("fig10", "iteration", "grade", series)
+	validSVG(t, svg, "svg", "path", "circle")
+	if n := strings.Count(string(svg), "<path"); n != 2 {
+		t.Fatalf("expected 2 paths, found %d", n)
+	}
+	validSVG(t, Lines("empty", "", "", nil), "svg")
+}
+
+func TestBars(t *testing.T) {
+	svg := Bars("fig7", "joules", []string{"Database", "WebSearchVeryLongName"},
+		[]Series{
+			{Name: "baseline", Y: []float64{0.5, 0.7}},
+			{Name: "learned", Y: []float64{0.3, 0.71}},
+		})
+	validSVG(t, svg, "svg", "rect", "text")
+	if n := strings.Count(string(svg), "<rect"); n < 5 { // 4 bars + background + legend swatches
+		t.Fatalf("too few rects: %d", n)
+	}
+	validSVG(t, Bars("empty", "", nil, nil), "svg")
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// All-equal values must not divide by zero.
+	svg := Lines("flat", "x", "y", []Series{{Name: "s", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}}})
+	validSVG(t, svg, "svg", "path")
+	if strings.Contains(string(svg), "NaN") || strings.Contains(string(svg), "Inf") {
+		t.Fatal("degenerate range produced NaN/Inf coordinates")
+	}
+}

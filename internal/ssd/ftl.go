@@ -1,0 +1,548 @@
+package ssd
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// targetSimPages caps the number of physical flash pages the simulator
+// materializes. Real devices hold tens of millions of pages; simulating
+// each would dominate memory and time inside the tuning loop, so — like
+// other fast SSD models — we simulate a proportionally scaled device:
+// the parallelism (channels × chips × dies × planes), page size, over-
+// provisioning ratio and occupancy fraction are preserved exactly, while
+// blocks-per-plane (and, in extreme layouts, pages-per-block) are scaled
+// down. GC pressure depends on the *ratios*, which scaling preserves.
+const targetSimPages = 1 << 20
+
+// unmapped marks a logical page with no physical location.
+const unmapped = int64(-1)
+
+// ppa packs a physical page address: plane(16) | block(24) | slot(24).
+func packPPA(plane planeID, block, slot int32) int64 {
+	return int64(plane)<<48 | int64(block)<<24 | int64(slot)
+}
+
+func unpackPPA(v int64) (plane planeID, block, slot int32) {
+	return planeID(uint64(v) >> 48), int32(uint64(v)>>24) & 0xFFFFFF, int32(v) & 0xFFFFFF
+}
+
+// flashBlock is one erase unit.
+type flashBlock struct {
+	pages      []int32 // logical page per slot; -1 = free-or-stale
+	valid      int32
+	writePtr   int32
+	eraseCount int32
+	allocSeq   int64 // allocation order, for FIFO GC
+}
+
+func (b *flashBlock) full(pagesPerBlock int32) bool { return b.writePtr >= pagesPerBlock }
+
+// flashPlane is the unit of operation parallelism in the model.
+type flashPlane struct {
+	blocks    []flashBlock
+	freeList  []int32
+	active    int32
+	nextFree  int64 // ns timestamp when the plane is idle again
+	allocSeq  int64
+	minErase  int32
+	maxErase  int32
+	gcRuns    int
+	wlSwaps   int
+	moveCount int64
+}
+
+// ftl holds the page-mapped flash translation layer state.
+type ftl struct {
+	p     *DeviceParams
+	alloc *allocator
+
+	// Scaled geometry.
+	blocksPerPlane int32
+	pagesPerBlock  int32
+	logicalPages   int64
+	sectorsPerPage int64
+	// capScale is realPhysicalPages / simulatedPhysicalPages. LBAs are
+	// divided by it (preserving the workload's span *fraction* and
+	// locality structure on the scaled device) and the DRAM cache / CMT
+	// entry counts are divided by it (preserving coverage ratios).
+	capScale int64
+
+	planes  []flashPlane
+	mapping []int64 // logical page -> packed PPA
+	stripe  uint64  // write-striping counter
+
+	gcMinFree int32
+
+	// Counters for metrics/energy.
+	userReads, userPrograms     int64
+	gcReads, gcPrograms         int64
+	erases                      int64
+	mappingReads, mappingWrites int64
+}
+
+// newFTL builds the scaled FTL for params p.
+func newFTL(p *DeviceParams) (*ftl, error) {
+	planes := p.TotalPlanes()
+	bpp, ppb := scaleGeometry(p, planes)
+
+	f := &ftl{
+		p:              p,
+		alloc:          newAllocator(p),
+		blocksPerPlane: bpp,
+		pagesPerBlock:  ppb,
+		sectorsPerPage: int64(p.PageSizeBytes / 512),
+	}
+	totalPhys := int64(planes) * int64(bpp) * int64(ppb)
+	realPhys := int64(planes) * int64(p.BlocksPerPlane) * int64(p.PagesPerBlock)
+	f.capScale = realPhys / totalPhys
+	if f.capScale < 1 {
+		f.capScale = 1
+	}
+	f.logicalPages = int64(float64(totalPhys) * (1 - p.OverprovisionRatio))
+	if f.logicalPages < 1 {
+		return nil, fmt.Errorf("ssd: over-provisioning leaves no logical space")
+	}
+	f.gcMinFree = int32(float64(bpp) * p.GCThresholdPct / 100)
+	if f.gcMinFree < 1 {
+		f.gcMinFree = 1
+	}
+	if f.gcMinFree >= bpp-1 {
+		f.gcMinFree = bpp - 2
+	}
+
+	f.planes = make([]flashPlane, planes)
+	for i := range f.planes {
+		pl := &f.planes[i]
+		pl.blocks = make([]flashBlock, bpp)
+		pl.freeList = make([]int32, 0, bpp)
+		for b := int32(bpp - 1); b >= 1; b-- {
+			pl.freeList = append(pl.freeList, b)
+		}
+		pl.active = 0
+		pl.blocks[0].pages = make([]int32, ppb)
+		fillStale(pl.blocks[0].pages)
+	}
+	f.mapping = make([]int64, f.logicalPages)
+	for i := range f.mapping {
+		f.mapping[i] = unmapped
+	}
+	return f, nil
+}
+
+func fillStale(s []int32) {
+	for i := range s {
+		s[i] = -1
+	}
+}
+
+// scaleGeometry picks the simulated blocks-per-plane / pages-per-block.
+func scaleGeometry(p *DeviceParams, planes int) (bpp, ppb int32) {
+	bpp, ppb = int32(p.BlocksPerPlane), int32(p.PagesPerBlock)
+	total := func() int64 { return int64(planes) * int64(bpp) * int64(ppb) }
+	for total() > targetSimPages && bpp > 8 {
+		bpp /= 2
+	}
+	for total() > 4*targetSimPages && ppb > 32 {
+		ppb /= 2
+	}
+	return bpp, ppb
+}
+
+// logicalPage folds an LBA (in sectors) onto the simulated logical
+// space: the real logical page index is divided by capScale (a linear
+// shrink that keeps the workload's footprint the same *fraction* of the
+// device and preserves hot/cold structure), then wrapped defensively.
+func (f *ftl) logicalPage(lba uint64) int64 {
+	return (int64(lba/uint64(f.sectorsPerPage)) / f.capScale) % f.logicalPages
+}
+
+// prefill marks frac of logical pages as written, without timing — the
+// paper's "warm up the SSD simulator ... occupy at least 50% of the
+// storage capacity".
+func (f *ftl) prefill(frac float64) {
+	n := int64(float64(f.logicalPages) * frac)
+	for lp := int64(0); lp < n; lp++ {
+		f.placePage(lp)
+	}
+	// Reset op counters: warm-up traffic is not part of the measurement.
+	f.userPrograms, f.gcPrograms, f.gcReads, f.erases = 0, 0, 0, 0
+	for i := range f.planes {
+		f.planes[i].gcRuns = 0
+		f.planes[i].moveCount = 0
+	}
+}
+
+// placePage allocates a physical slot for lp, updates mapping and valid
+// counters, and returns the plane it landed on together with the number
+// of GC page-moves and erases that the allocation triggered (zero when no
+// GC ran). Timing is the caller's job.
+func (f *ftl) placePage(lp int64) (pl planeID, gcMoves, gcErases int32) {
+	ch, chip, die, plane := f.alloc.locate(f.stripe)
+	f.stripe++
+	pl = f.alloc.planeIndex(ch, chip, die, plane)
+	fp := &f.planes[pl]
+
+	// Invalidate the previous location.
+	if old := f.mapping[lp]; old != unmapped {
+		opl, ob, oslot := unpackPPA(old)
+		blk := &f.planes[opl].blocks[ob]
+		if blk.pages[oslot] == int32(lp) {
+			blk.pages[oslot] = -1
+			blk.valid--
+		}
+	}
+
+	blk := &fp.blocks[fp.active]
+	if blk.full(f.pagesPerBlock) {
+		f.advanceActive(fp)
+		blk = &fp.blocks[fp.active]
+	}
+	slot := blk.writePtr
+	blk.writePtr++
+	blk.pages[slot] = int32(lp)
+	blk.valid++
+	f.mapping[lp] = packPPA(pl, fp.active, slot)
+
+	if int32(len(fp.freeList)) < f.gcMinFree {
+		gcMoves, gcErases = f.collect(fp, pl)
+	}
+	return pl, gcMoves, gcErases
+}
+
+// advanceActive rotates the plane's active block to a fresh free block.
+func (f *ftl) advanceActive(fp *flashPlane) {
+	if len(fp.freeList) == 0 {
+		// Emergency GC: free at least one block synchronously.
+		f.collect(fp, f.planeIDOf(fp))
+		if len(fp.freeList) == 0 {
+			panic("ssd: plane out of free blocks after GC (over-provisioning too small)")
+		}
+	}
+	nb := fp.freeList[len(fp.freeList)-1]
+	fp.freeList = fp.freeList[:len(fp.freeList)-1]
+	fp.active = nb
+	blk := &fp.blocks[nb]
+	if blk.pages == nil {
+		blk.pages = make([]int32, f.pagesPerBlock)
+	}
+	fillStale(blk.pages)
+	blk.writePtr = 0
+	blk.valid = 0
+	fp.allocSeq++
+	blk.allocSeq = fp.allocSeq
+}
+
+func (f *ftl) planeIDOf(fp *flashPlane) planeID {
+	for i := range f.planes {
+		if &f.planes[i] == fp {
+			return planeID(i)
+		}
+	}
+	return 0
+}
+
+// collect reclaims blocks on the plane until the free list is healthy.
+// It returns the number of valid-page moves and erases performed so the
+// engine can charge their time and energy.
+func (f *ftl) collect(fp *flashPlane, pl planeID) (moves, erasesDone int32) {
+	// Progress guard: a plane whose blocks are all (nearly) fully valid
+	// cannot be compacted further — each evacuation consumes as much
+	// space as the erase frees. Bound the rounds to avoid livelock.
+	maxRounds := 2 * int(f.blocksPerPlane)
+	for round := 0; int32(len(fp.freeList)) < f.gcMinFree && round < maxRounds; round++ {
+		victim := f.pickVictim(fp)
+		if victim < 0 {
+			break
+		}
+		blk := &fp.blocks[victim]
+		// Move surviving pages into the active block.
+		for slot := int32(0); slot < blk.writePtr; slot++ {
+			lp := blk.pages[slot]
+			if lp < 0 {
+				continue
+			}
+			if f.mapping[lp] != packPPA(pl, victim, slot) {
+				continue // stale
+			}
+			dst := &fp.blocks[fp.active]
+			if dst.full(f.pagesPerBlock) {
+				// The active block filled during GC; grab a free block
+				// directly (one is guaranteed: we only erase after moving).
+				if len(fp.freeList) == 0 {
+					// Cannot make progress; leave remaining pages.
+					break
+				}
+				f.advanceActive(fp)
+				dst = &fp.blocks[fp.active]
+			}
+			s := dst.writePtr
+			dst.writePtr++
+			dst.pages[s] = lp
+			dst.valid++
+			f.mapping[lp] = packPPA(pl, fp.active, s)
+			blk.pages[slot] = -1
+			blk.valid--
+			moves++
+		}
+		if blk.valid > 0 {
+			// Could not fully evacuate; give up to avoid livelock.
+			break
+		}
+		// Erase.
+		blk.writePtr = 0
+		blk.valid = 0
+		blk.eraseCount++
+		if blk.eraseCount > fp.maxErase {
+			fp.maxErase = blk.eraseCount
+		}
+		fp.freeList = append(fp.freeList, victim)
+		erasesDone++
+		fp.gcRuns++
+	}
+	fp.moveCount += int64(moves)
+	f.gcReads += int64(moves)
+	f.gcPrograms += int64(moves)
+	f.erases += int64(erasesDone)
+
+	// Static wear leveling: when the erase-count spread exceeds the
+	// threshold, swap a cold block with a hot one. Modeled as an extra
+	// full-block migration charged like GC moves.
+	if f.p.StaticWearLeveling && fp.maxErase-fp.minErase > int32(f.p.WearLevelingThresh) {
+		fp.wlSwaps++
+		fp.minErase = fp.maxErase - int32(f.p.WearLevelingThresh)/2
+		moves += f.pagesPerBlock
+		f.gcReads += int64(f.pagesPerBlock)
+		f.gcPrograms += int64(f.pagesPerBlock)
+		erasesDone++
+		f.erases++
+	}
+	return moves, erasesDone
+}
+
+// pickVictim selects a GC victim block index, or -1 when none qualifies.
+func (f *ftl) pickVictim(fp *flashPlane) int32 {
+	best := int32(-1)
+	switch f.p.GCPolicy {
+	case GCFIFO:
+		var oldest int64 = 1<<63 - 1
+		for i := range fp.blocks {
+			b := &fp.blocks[i]
+			if int32(i) == fp.active || !b.full(f.pagesPerBlock) {
+				continue
+			}
+			if b.valid >= f.pagesPerBlock {
+				continue // erasing a fully-valid block frees nothing
+			}
+			if b.allocSeq < oldest {
+				oldest = b.allocSeq
+				best = int32(i)
+			}
+		}
+	default: // GCGreedy
+		var minValid int32 = 1<<31 - 1
+		for i := range fp.blocks {
+			b := &fp.blocks[i]
+			if int32(i) == fp.active || !b.full(f.pagesPerBlock) {
+				continue
+			}
+			better := b.valid < minValid
+			// Dynamic wear leveling: among equally garbage-rich victims,
+			// prefer the least-worn block so erase counts stay even.
+			if f.p.DynamicWearLeveling && b.valid == minValid && best >= 0 &&
+				b.eraseCount < fp.blocks[best].eraseCount {
+				better = true
+			}
+			if better {
+				minValid = b.valid
+				best = int32(i)
+			}
+		}
+		// Refuse hopeless victims (everything still valid).
+		if best >= 0 && fp.blocks[best].valid >= f.pagesPerBlock {
+			return -1
+		}
+	}
+	return best
+}
+
+// lookup returns the plane that holds lp. Pages never written are given a
+// deterministic pseudo-location so that reads of cold data still exercise
+// the layout (they are spread exactly like striped writes would be).
+func (f *ftl) lookup(lp int64) planeID {
+	if v := f.mapping[lp]; v != unmapped {
+		pl, _, _ := unpackPPA(v)
+		return pl
+	}
+	ch, chip, die, plane := f.alloc.locate(uint64(lp))
+	return f.alloc.planeIndex(ch, chip, die, plane)
+}
+
+// --- Cached mapping table (DFTL-style). ---
+
+// cmt simulates the cached mapping table: an LRU of mapping regions.
+// A miss costs a flash read of the mapping page (charged by the engine);
+// a dirty eviction costs a mapping program.
+type cmt struct {
+	capacity int
+	ll       *list.List
+	entries  map[int64]*list.Element
+	gran     int64
+}
+
+type cmtEntry struct {
+	region int64
+	dirty  bool
+}
+
+// newCMT sizes the cached mapping table; scale is the device capacity
+// scale factor, so CMT coverage of the simulated space matches the real
+// CMT's coverage of the real device.
+func newCMT(p *DeviceParams, scale int64) *cmt {
+	gran := int64(p.MappingGranularity)
+	if gran < 1 {
+		gran = 1
+	}
+	capEntries := int(p.CMTBytes / int64(p.CMTEntryBytes) / scale)
+	if capEntries < 1 {
+		capEntries = 1
+	}
+	return &cmt{capacity: capEntries, ll: list.New(), entries: make(map[int64]*list.Element), gran: gran}
+}
+
+// access touches the mapping region of lp. It reports whether the access
+// missed and whether the resulting eviction wrote back a dirty entry.
+func (c *cmt) access(lp int64, write bool) (miss, dirtyEvict bool) {
+	region := lp / c.gran
+	if el, ok := c.entries[region]; ok {
+		c.ll.MoveToFront(el)
+		if write {
+			el.Value.(*cmtEntry).dirty = true
+		}
+		return false, false
+	}
+	miss = true
+	if c.ll.Len() >= c.capacity {
+		back := c.ll.Back()
+		if back != nil {
+			e := back.Value.(*cmtEntry)
+			dirtyEvict = e.dirty
+			delete(c.entries, e.region)
+			c.ll.Remove(back)
+		}
+	}
+	c.entries[region] = c.ll.PushFront(&cmtEntry{region: region, dirty: write})
+	return miss, dirtyEvict
+}
+
+// --- DRAM data cache. ---
+
+// dataCache simulates the controller DRAM data cache at page granularity
+// with LRU, FIFO or CFLRU replacement.
+type dataCache struct {
+	capacity int
+	policy   CachePolicy
+	ll       *list.List
+	entries  map[int64]*list.Element
+	dirty    int
+}
+
+type cacheEntry struct {
+	lp    int64
+	dirty bool
+}
+
+// newDataCache sizes the DRAM data cache; scale keeps its coverage of
+// the simulated space equal to the real cache's coverage of the device.
+func newDataCache(p *DeviceParams, scale int64) *dataCache {
+	line := int64(p.CacheLineBytes)
+	if line < 512 {
+		line = int64(p.PageSizeBytes)
+	}
+	capEntries := int(p.DataCacheBytes / line / scale)
+	if capEntries < 1 {
+		capEntries = 1
+	}
+	return &dataCache{capacity: capEntries, policy: p.CachePolicy, ll: list.New(), entries: make(map[int64]*list.Element)}
+}
+
+// read reports a hit; on hit the entry is refreshed (except FIFO).
+func (d *dataCache) read(lp int64) bool {
+	el, ok := d.entries[lp]
+	if ok && d.policy != CacheFIFO {
+		d.ll.MoveToFront(el)
+	}
+	return ok
+}
+
+// insert adds lp (dirty for writes). When a dirty entry is displaced it
+// returns that entry's logical page, which must be programmed to flash.
+func (d *dataCache) insert(lp int64, dirty bool) (evictedLP int64, dirtyEvict bool) {
+	if el, ok := d.entries[lp]; ok {
+		e := el.Value.(*cacheEntry)
+		if dirty && !e.dirty {
+			d.dirty++
+		}
+		e.dirty = e.dirty || dirty
+		if d.policy != CacheFIFO {
+			d.ll.MoveToFront(el)
+		}
+		return 0, false
+	}
+	if d.ll.Len() >= d.capacity {
+		victim := d.pickEvict()
+		if victim != nil {
+			e := victim.Value.(*cacheEntry)
+			evictedLP, dirtyEvict = e.lp, e.dirty
+			if e.dirty {
+				d.dirty--
+			}
+			delete(d.entries, e.lp)
+			d.ll.Remove(victim)
+		}
+	}
+	d.entries[lp] = d.ll.PushFront(&cacheEntry{lp: lp, dirty: dirty})
+	if dirty {
+		d.dirty++
+	}
+	return evictedLP, dirtyEvict
+}
+
+// dirtyFraction reports the share of cache lines holding unwritten data.
+func (d *dataCache) dirtyFraction() float64 {
+	if d.ll.Len() == 0 {
+		return 0
+	}
+	return float64(d.dirty) / float64(d.ll.Len())
+}
+
+// flushOldestDirty marks the least-recently-used dirty entry clean,
+// returning its logical page; ok is false when no entry is dirty.
+func (d *dataCache) flushOldestDirty() (lp int64, ok bool) {
+	for el := d.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if e.dirty {
+			e.dirty = false
+			d.dirty--
+			return e.lp, true
+		}
+	}
+	return 0, false
+}
+
+func (d *dataCache) pickEvict() *list.Element {
+	back := d.ll.Back()
+	if d.policy != CacheCFLRU {
+		return back
+	}
+	// CFLRU: scan a window from the back for a clean entry first.
+	const window = 16
+	el := back
+	for i := 0; i < window && el != nil; i++ {
+		if !el.Value.(*cacheEntry).dirty {
+			return el
+		}
+		el = el.Prev()
+	}
+	return back
+}

@@ -1,0 +1,96 @@
+package ssd
+
+import (
+	"autoblox/internal/trace"
+)
+
+// Host-side request admission: NVMe multi-queue submission and optional
+// adjacent-request merging.
+//
+// NVMe exposes QueueCount independent submission queues, each QueueDepth
+// deep; the device services them in round-robin. SATA has a single
+// 32-deep NCQ queue. The engine models admission as one completion
+// window per queue: request j of queue q dispatches when slot
+// (j mod QueueDepth) of queue q frees. Total outstanding commands are
+// therefore QueueDepth × QueueCount for NVMe, matching real devices.
+
+// hostQueues tracks per-queue completion windows.
+type hostQueues struct {
+	windows [][]int64 // [queue][slot] completion times
+	counts  []int     // requests admitted per queue
+}
+
+func newHostQueues(p *DeviceParams) *hostQueues {
+	qc := p.QueueCount
+	qd := p.QueueDepth
+	if p.HostInterface == SATA {
+		qc = 1
+		if qd > 32 {
+			qd = 32 // NCQ ceiling
+		}
+	}
+	if qc < 1 {
+		qc = 1
+	}
+	if qd < 1 {
+		qd = 1
+	}
+	h := &hostQueues{windows: make([][]int64, qc), counts: make([]int, qc)}
+	for i := range h.windows {
+		h.windows[i] = make([]int64, qd)
+	}
+	return h
+}
+
+// admit returns the dispatch time for a request arriving at `arrival` on
+// the least-loaded queue, and a commit function to record its completion.
+func (h *hostQueues) admit(arrival int64) (dispatch int64, commit func(done int64)) {
+	// Host drivers steer submissions to the queue with the earliest free
+	// slot (per-CPU queues drained independently).
+	bestQ, bestSlot, bestGate := 0, 0, int64(1<<62)
+	for q := range h.windows {
+		slot := h.counts[q] % len(h.windows[q])
+		gate := h.windows[q][slot]
+		if gate < bestGate {
+			bestQ, bestSlot, bestGate = q, slot, gate
+		}
+	}
+	dispatch = arrival
+	if bestGate > dispatch {
+		dispatch = bestGate
+	}
+	h.counts[bestQ]++
+	return dispatch, func(done int64) { h.windows[bestQ][bestSlot] = done }
+}
+
+// mergeRequests coalesces contiguous same-direction requests that arrive
+// within mergeWindowNS of each other (the block layer's request merging,
+// which the IOMergingEnabled parameter controls). Returns the merged
+// request stream and the number of merges performed.
+func mergeRequests(reqs []trace.Request) ([]trace.Request, int64) {
+	const (
+		mergeWindowNS  = 200_000 // 200µs plug window
+		maxMergedBytes = 1 << 20 // cap merged requests at 1MB
+	)
+	if len(reqs) == 0 {
+		return reqs, 0
+	}
+	out := make([]trace.Request, 0, len(reqs))
+	merged := int64(0)
+	cur := reqs[0]
+	for _, r := range reqs[1:] {
+		contiguous := cur.LBA+uint64(cur.Sectors) == r.LBA
+		sameOp := cur.Op == r.Op
+		inWindow := r.Arrival.Nanoseconds()-cur.Arrival.Nanoseconds() <= mergeWindowNS
+		smallEnough := (uint64(cur.Sectors)+uint64(r.Sectors))*512 <= maxMergedBytes
+		if contiguous && sameOp && inWindow && smallEnough {
+			cur.Sectors += r.Sectors
+			merged++
+			continue
+		}
+		out = append(out, cur)
+		cur = r
+	}
+	out = append(out, cur)
+	return out, merged
+}

@@ -1,0 +1,452 @@
+// Package ssdconf defines the tunable SSD configuration space AutoBlox
+// searches: 48 device parameters (§3.2's continuous, discrete, boolean
+// and categorical kinds), their commodity and what-if value grids, the
+// user-visible constraints (capacity, host interface, flash type, power
+// budget — the paper's set_cons interface), vectorization for the ML
+// models, and the neighbor enumeration that drives the discrete SGD
+// search of §3.4.
+package ssdconf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"autoblox/internal/ssd"
+)
+
+// Kind classifies a parameter the way §3.2 does.
+type Kind uint8
+
+const (
+	// Continuous parameters take a range discretized into N endpoints
+	// (data cache size, CMT size, over-provisioning, ...).
+	Continuous Kind = iota
+	// Discrete parameters take an explicit value list (channel counts,
+	// PCIe widths, ...).
+	Discrete
+	// Boolean parameters enable/disable a feature.
+	Boolean
+	// Categorical parameters one-hot encode an unordered choice (plane
+	// allocation scheme, cache policy).
+	Categorical
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Continuous:
+		return "continuous"
+	case Discrete:
+		return "discrete"
+	case Boolean:
+		return "boolean"
+	default:
+		return "categorical"
+	}
+}
+
+// Param is one tunable (or constrained) device parameter.
+type Param struct {
+	Name   string
+	Kind   Kind
+	Unit   string
+	Values []float64 // the grid; booleans use {0,1}; categoricals use 0..n-1
+	Labels []string  // for categoricals, one label per value
+	// Tunable marks parameters the search may move. Non-tunable
+	// parameters (host interface, flash type) are fixed by constraints.
+	Tunable bool
+	// Layout marks the seven chip-layout parameters plus page size whose
+	// product is bound by the capacity constraint.
+	Layout bool
+
+	apply func(d *ssd.DeviceParams, v float64)
+	get   func(d *ssd.DeviceParams) float64
+}
+
+// Stride is the grid-index step one SGD move takes on this parameter:
+// 1 for small grids, len/16 for the fine what-if grids, so a "step"
+// always moves the underlying value meaningfully.
+func (p *Param) Stride() int {
+	s := (len(p.Values) + 15) / 16
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Constraints is the user's set_cons(capacity, interface, flash_type,
+// power_budget) tuple, plus the tolerance applied to the discrete
+// capacity grid.
+type Constraints struct {
+	CapacityBytes     int64
+	CapacityTolerance float64 // fraction, default 0.15
+	Interface         ssd.Interface
+	Flash             ssd.FlashType
+	PowerBudgetWatts  float64 // 0 disables the power constraint
+}
+
+// DefaultConstraints reproduces the paper's §4.2 setting: 512GB NVMe MLC.
+func DefaultConstraints() Constraints {
+	return Constraints{
+		CapacityBytes:     512 << 30,
+		CapacityTolerance: 0.15,
+		Interface:         ssd.NVMe,
+		Flash:             ssd.MLC,
+		PowerBudgetWatts:  0,
+	}
+}
+
+// Space is the parameter space under a set of constraints.
+type Space struct {
+	Params []Param
+	Cons   Constraints
+	index  map[string]int
+}
+
+// Config assigns one grid index per parameter.
+type Config []int
+
+// Clone copies the configuration.
+func (c Config) Clone() Config { return append(Config(nil), c...) }
+
+// latencyGrids returns read/program/erase microsecond grids per flash
+// type; what-if widens them (Table 7 tunes device read latency 41–83µs
+// and program latency 583–1166µs for MLC).
+func latencyGrids(t ssd.FlashType, whatIf bool) (read, prog, erase []float64) {
+	switch t {
+	case ssd.SLC:
+		read, prog, erase = []float64{3, 5, 8, 12, 18, 25}, []float64{100, 150, 200, 300}, []float64{800, 1000, 1500, 2000}
+	case ssd.MLC:
+		read, prog, erase = []float64{41, 50, 60, 70, 83, 100}, []float64{583, 700, 900, 1000, 1166, 1400}, []float64{1500, 2000, 3000, 3800}
+	default:
+		read, prog, erase = []float64{70, 90, 110, 140}, []float64{1800, 2200, 2500, 3000}, []float64{3500, 4500, 5500}
+	}
+	if whatIf && t == ssd.MLC {
+		read = rangeGrid(41, 83, 43)
+		prog = rangeGrid(583, 1166, 584)
+	}
+	return read, prog, erase
+}
+
+// rangeGrid divides [lo, hi] uniformly into n endpoints.
+func rangeGrid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// NewSpace builds the commodity parameter space for the constraints.
+func NewSpace(cons Constraints) *Space { return newSpace(cons, false) }
+
+// NewWhatIfSpace builds the expanded space of §4.5 (Table 7): wider
+// layout bounds, finer DRAM grids and tunable flash timings, for design
+// exploration beyond today's commodity parts.
+func NewWhatIfSpace(cons Constraints) *Space { return newSpace(cons, true) }
+
+func newSpace(cons Constraints, whatIf bool) *Space {
+	if cons.CapacityTolerance <= 0 {
+		cons.CapacityTolerance = 0.15
+	}
+	read, prog, erase := latencyGrids(cons.Flash, whatIf)
+
+	channels := []float64{1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 32}
+	chips := []float64{1, 2, 3, 4, 5, 6, 8, 10, 12, 16}
+	dataCache := rangeGrid(64, 1024, 31) // 32MB steps: covers 800MB (Intel 750) and Table 5's values
+	cmt := rangeGrid(32, 640, 20)        // 32MB steps
+	rate := []float64{67, 100, 133, 166, 200, 266, 333, 400, 533, 667, 800, 1066, 1200}
+	// Commodity form factors (M.2/U.2/AIC) cap the host link at x8;
+	// wider links are a what-if exploration.
+	pcieLanes := []float64{1, 2, 4, 8}
+	if whatIf {
+		pcieLanes = []float64{1, 2, 4, 8, 16}
+		channels = rangeGrid(1, 64, 64)
+		chips = rangeGrid(1, 64, 64)
+		dataCache = rangeGrid(64, 2048, 63)
+		cmt = rangeGrid(64, 2048, 63)
+	}
+
+	us := func(v float64) time.Duration { return time.Duration(v * float64(time.Microsecond)) }
+	mb := func(v float64) int64 { return int64(v) << 20 }
+
+	params := []Param{
+		// --- Chip layout (7) + page size.
+		{Name: "FlashChannelCount", Kind: Discrete, Tunable: true, Layout: true, Values: channels,
+			apply: func(d *ssd.DeviceParams, v float64) { d.Channels = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.Channels) }},
+		{Name: "ChipNoPerChannel", Kind: Discrete, Tunable: true, Layout: true, Values: chips,
+			apply: func(d *ssd.DeviceParams, v float64) { d.ChipsPerChannel = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.ChipsPerChannel) }},
+		{Name: "DieNoPerChip", Kind: Discrete, Tunable: true, Layout: true, Values: []float64{1, 2, 4, 8},
+			apply: func(d *ssd.DeviceParams, v float64) { d.DiesPerChip = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.DiesPerChip) }},
+		{Name: "PlaneNoPerDie", Kind: Discrete, Tunable: true, Layout: true, Values: []float64{1, 2, 3, 4, 8, 16},
+			apply: func(d *ssd.DeviceParams, v float64) { d.PlanesPerDie = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.PlanesPerDie) }},
+		{Name: "BlockNoPerPlane", Kind: Discrete, Tunable: true, Layout: true, Values: []float64{128, 256, 512, 1024, 2048},
+			apply: func(d *ssd.DeviceParams, v float64) { d.BlocksPerPlane = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.BlocksPerPlane) }},
+		{Name: "PageNoPerBlock", Kind: Discrete, Tunable: true, Layout: true, Values: []float64{64, 128, 256, 384, 512, 768, 1024},
+			apply: func(d *ssd.DeviceParams, v float64) { d.PagesPerBlock = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.PagesPerBlock) }},
+		{Name: "PageCapacity", Kind: Discrete, Unit: "B", Tunable: true, Layout: true, Values: []float64{2048, 4096, 8192, 16384},
+			apply: func(d *ssd.DeviceParams, v float64) { d.PageSizeBytes = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.PageSizeBytes) }},
+
+		// --- DRAM (continuous in the paper's sense).
+		{Name: "DataCacheSize", Kind: Continuous, Unit: "MB", Tunable: true, Values: dataCache,
+			apply: func(d *ssd.DeviceParams, v float64) { d.DataCacheBytes = mb(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.DataCacheBytes >> 20) }},
+		{Name: "CMTCapacity", Kind: Continuous, Unit: "MB", Tunable: true, Values: cmt,
+			apply: func(d *ssd.DeviceParams, v float64) { d.CMTBytes = mb(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.CMTBytes >> 20) }},
+
+		// --- Channel and flash timing.
+		{Name: "ChannelWidth", Kind: Discrete, Unit: "bit", Tunable: whatIf, Values: []float64{8, 16, 32},
+			apply: func(d *ssd.DeviceParams, v float64) { d.ChannelWidthBit = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.ChannelWidthBit) }},
+		{Name: "ChannelTransferRate", Kind: Discrete, Unit: "MT/s", Tunable: whatIf, Values: rate,
+			apply: func(d *ssd.DeviceParams, v float64) { d.ChannelMTps = v },
+			get:   func(d *ssd.DeviceParams) float64 { return d.ChannelMTps }},
+		{Name: "PageReadLatency", Kind: Discrete, Unit: "us", Tunable: whatIf, Values: read,
+			apply: func(d *ssd.DeviceParams, v float64) { d.ReadLatency = us(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.ReadLatency) / float64(time.Microsecond) }},
+		{Name: "PageProgramLatency", Kind: Discrete, Unit: "us", Tunable: whatIf, Values: prog,
+			apply: func(d *ssd.DeviceParams, v float64) { d.ProgramLatency = us(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.ProgramLatency) / float64(time.Microsecond) }},
+		{Name: "BlockEraseLatency", Kind: Discrete, Unit: "us", Tunable: whatIf, Values: erase,
+			apply: func(d *ssd.DeviceParams, v float64) { d.EraseLatency = us(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.EraseLatency) / float64(time.Microsecond) }},
+		{Name: "SuspendProgramTime", Kind: Discrete, Unit: "us", Tunable: true, Values: []float64{10, 25, 50, 100},
+			apply: func(d *ssd.DeviceParams, v float64) { d.SuspendProgram = us(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.SuspendProgram) / float64(time.Microsecond) }},
+		{Name: "SuspendEraseTime", Kind: Discrete, Unit: "us", Tunable: true, Values: []float64{25, 50, 100, 200},
+			apply: func(d *ssd.DeviceParams, v float64) { d.SuspendErase = us(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.SuspendErase) / float64(time.Microsecond) }},
+
+		// --- Host interface.
+		{Name: "QueueDepth", Kind: Discrete, Tunable: true, Values: []float64{1, 2, 4, 8, 16, 32, 64, 128, 256},
+			apply: func(d *ssd.DeviceParams, v float64) { d.QueueDepth = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.QueueDepth) }},
+		{Name: "QueueCount", Kind: Discrete, Tunable: true, Values: []float64{1, 2, 4, 8, 16},
+			apply: func(d *ssd.DeviceParams, v float64) { d.QueueCount = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.QueueCount) }},
+		{Name: "PCIeLanes", Kind: Discrete, Tunable: true, Values: pcieLanes,
+			apply: func(d *ssd.DeviceParams, v float64) { d.PCIeLanes = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.PCIeLanes) }},
+		{Name: "PCIeLaneBandwidth", Kind: Discrete, Unit: "MB/s", Tunable: whatIf, Values: []float64{250, 500, 985, 1969},
+			apply: func(d *ssd.DeviceParams, v float64) { d.PCIeLaneMBps = v },
+			get:   func(d *ssd.DeviceParams) float64 { return d.PCIeLaneMBps }},
+
+		// --- FTL and policies.
+		{Name: "OverprovisioningRatio", Kind: Continuous, Tunable: true, Values: []float64{0.03, 0.05, 0.07, 0.10, 0.15, 0.20, 0.28},
+			apply: func(d *ssd.DeviceParams, v float64) { d.OverprovisionRatio = v },
+			get:   func(d *ssd.DeviceParams) float64 { return d.OverprovisionRatio }},
+		{Name: "GCThreshold", Kind: Continuous, Unit: "%", Tunable: true, Values: []float64{2, 5, 10, 15, 20},
+			apply: func(d *ssd.DeviceParams, v float64) { d.GCThresholdPct = v },
+			get:   func(d *ssd.DeviceParams) float64 { return d.GCThresholdPct }},
+		{Name: "StaticWearlevelingThreshold", Kind: Discrete, Tunable: true, Values: []float64{25, 50, 100, 200, 400},
+			apply: func(d *ssd.DeviceParams, v float64) { d.WearLevelingThresh = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.WearLevelingThresh) }},
+		{Name: "PageMetadataCapacity", Kind: Discrete, Unit: "B", Tunable: true, Values: []float64{128, 224, 448, 896},
+			apply: func(d *ssd.DeviceParams, v float64) { d.PageMetadataBytes = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.PageMetadataBytes) }},
+		{Name: "BadBlockRatio", Kind: Continuous, Unit: "%", Tunable: true, Values: []float64{0.1, 0.5, 1, 2},
+			apply: func(d *ssd.DeviceParams, v float64) { d.BadBlockPct = v },
+			get:   func(d *ssd.DeviceParams) float64 { return d.BadBlockPct }},
+		{Name: "ReadRetryLimit", Kind: Discrete, Tunable: true, Values: []float64{1, 2, 3, 5, 8},
+			apply: func(d *ssd.DeviceParams, v float64) { d.ReadRetryLimit = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.ReadRetryLimit) }},
+		{Name: "CacheLineSize", Kind: Discrete, Unit: "KB", Tunable: true, Values: []float64{4, 8, 16, 32},
+			apply: func(d *ssd.DeviceParams, v float64) { d.CacheLineBytes = int(v) << 10 },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.CacheLineBytes >> 10) }},
+		{Name: "CMTEntrySize", Kind: Discrete, Unit: "B", Tunable: true, Values: []float64{4, 8, 16},
+			apply: func(d *ssd.DeviceParams, v float64) { d.CMTEntryBytes = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.CMTEntryBytes) }},
+		{Name: "MappingGranularity", Kind: Discrete, Unit: "pages", Tunable: true, Values: []float64{1, 2, 4, 8},
+			apply: func(d *ssd.DeviceParams, v float64) { d.MappingGranularity = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.MappingGranularity) }},
+		{Name: "WriteBufferFlushThreshold", Kind: Continuous, Unit: "%", Tunable: true, Values: []float64{50, 60, 70, 80, 90},
+			apply: func(d *ssd.DeviceParams, v float64) { d.WriteBufferFlushPct = v },
+			get:   func(d *ssd.DeviceParams) float64 { return d.WriteBufferFlushPct }},
+		{Name: "ControllerClock", Kind: Discrete, Unit: "MHz", Tunable: true, Values: []float64{200, 300, 400, 500, 667, 800},
+			apply: func(d *ssd.DeviceParams, v float64) { d.ControllerMHz = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.ControllerMHz) }},
+		{Name: "DRAMFrequency", Kind: Discrete, Unit: "MHz", Tunable: true, Values: []float64{400, 533, 667, 800, 1066, 1200},
+			apply: func(d *ssd.DeviceParams, v float64) { d.DRAMMHz = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.DRAMMHz) }},
+		{Name: "DRAMBusWidth", Kind: Discrete, Unit: "bit", Tunable: true, Values: []float64{16, 32, 64},
+			apply: func(d *ssd.DeviceParams, v float64) { d.DRAMBusBits = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.DRAMBusBits) }},
+		{Name: "ECCLatency", Kind: Discrete, Unit: "us", Tunable: whatIf, Values: []float64{2, 4, 8, 16},
+			apply: func(d *ssd.DeviceParams, v float64) { d.ECCLatency = us(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.ECCLatency) / float64(time.Microsecond) }},
+		{Name: "FirmwareOverhead", Kind: Discrete, Unit: "us", Tunable: true, Values: []float64{1, 2, 3, 5, 8},
+			apply: func(d *ssd.DeviceParams, v float64) { d.FirmwareOverhead = us(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.FirmwareOverhead) / float64(time.Microsecond) }},
+
+		// --- Booleans.
+		boolParam("GreedyGC", func(d *ssd.DeviceParams, on bool) {
+			if on {
+				d.GCPolicy = ssd.GCGreedy
+			} else {
+				d.GCPolicy = ssd.GCFIFO
+			}
+		}, func(d *ssd.DeviceParams) bool { return d.GCPolicy == ssd.GCGreedy }),
+		boolParam("StaticWearleveling", func(d *ssd.DeviceParams, on bool) { d.StaticWearLeveling = on },
+			func(d *ssd.DeviceParams) bool { return d.StaticWearLeveling }),
+		boolParam("DynamicWearleveling", func(d *ssd.DeviceParams, on bool) { d.DynamicWearLeveling = on },
+			func(d *ssd.DeviceParams) bool { return d.DynamicWearLeveling }),
+		boolParam("CopybackEnabled", func(d *ssd.DeviceParams, on bool) { d.CopybackEnabled = on },
+			func(d *ssd.DeviceParams) bool { return d.CopybackEnabled }),
+		boolParam("SuspendEnabled", func(d *ssd.DeviceParams, on bool) { d.SuspendEnabled = on },
+			func(d *ssd.DeviceParams) bool { return d.SuspendEnabled }),
+		boolParam("ReadCacheEnabled", func(d *ssd.DeviceParams, on bool) { d.ReadCacheEnabled = on },
+			func(d *ssd.DeviceParams) bool { return d.ReadCacheEnabled }),
+		boolParam("IOMergingEnabled", func(d *ssd.DeviceParams, on bool) { d.IOMergingEnabled = on },
+			func(d *ssd.DeviceParams) bool { return d.IOMergingEnabled }),
+		boolParam("TransactionSchedOOO", func(d *ssd.DeviceParams, on bool) { d.TransactionSchedOOO = on },
+			func(d *ssd.DeviceParams) bool { return d.TransactionSchedOOO }),
+		boolParam("CompressionEnabled", func(d *ssd.DeviceParams, on bool) {},
+			func(d *ssd.DeviceParams) bool { return false }),
+
+		// --- Categoricals.
+		{Name: "PlaneAllocationScheme", Kind: Categorical, Tunable: true,
+			Values: rangeGrid(0, float64(ssd.NumAllocSchemes-1), ssd.NumAllocSchemes),
+			Labels: allocLabels(),
+			apply:  func(d *ssd.DeviceParams, v float64) { d.PlaneAllocScheme = ssd.AllocScheme(int(v)) },
+			get:    func(d *ssd.DeviceParams) float64 { return float64(d.PlaneAllocScheme) }},
+		{Name: "CachePolicy", Kind: Categorical, Tunable: true,
+			Values: []float64{0, 1, 2}, Labels: []string{"LRU", "FIFO", "CFLRU"},
+			apply: func(d *ssd.DeviceParams, v float64) { d.CachePolicy = ssd.CachePolicy(int(v)) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.CachePolicy) }},
+
+		// --- Constrained (non-tunable) categoricals.
+		{Name: "Interface", Kind: Categorical, Tunable: false,
+			Values: []float64{0, 1}, Labels: []string{"NVMe", "SATA"},
+			apply: func(d *ssd.DeviceParams, v float64) { d.HostInterface = ssd.Interface(int(v)) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.HostInterface) }},
+		{Name: "FlashType", Kind: Categorical, Tunable: false,
+			Values: []float64{0, 1, 2}, Labels: []string{"SLC", "MLC", "TLC"},
+			apply: func(d *ssd.DeviceParams, v float64) { d.FlashType = ssd.FlashType(int(v)) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.FlashType) }},
+	}
+
+	s := &Space{Params: params, Cons: cons, index: make(map[string]int, len(params))}
+	for i, p := range s.Params {
+		s.index[p.Name] = i
+	}
+	return s
+}
+
+func boolParam(name string, set func(*ssd.DeviceParams, bool), get func(*ssd.DeviceParams) bool) Param {
+	return Param{
+		Name: name, Kind: Boolean, Tunable: true, Values: []float64{0, 1},
+		apply: func(d *ssd.DeviceParams, v float64) { set(d, v >= 0.5) },
+		get: func(d *ssd.DeviceParams) float64 {
+			if get(d) {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+func allocLabels() []string {
+	out := make([]string, ssd.NumAllocSchemes)
+	for i := range out {
+		out[i] = ssd.AllocScheme(i).String()
+	}
+	return out
+}
+
+// NumParams returns the parameter count (48).
+func (s *Space) NumParams() int { return len(s.Params) }
+
+// ParamIndex returns the index of a named parameter.
+func (s *Space) ParamIndex(name string) (int, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("ssdconf: unknown parameter %q", name)
+	}
+	return i, nil
+}
+
+// Value returns the concrete value cfg selects for parameter i.
+func (s *Space) Value(cfg Config, i int) float64 { return s.Params[i].Values[cfg[i]] }
+
+// ValueByName returns the concrete value of a named parameter.
+func (s *Space) ValueByName(cfg Config, name string) (float64, error) {
+	i, err := s.ParamIndex(name)
+	if err != nil {
+		return 0, err
+	}
+	return s.Value(cfg, i), nil
+}
+
+// SetByName moves cfg's grid index for name to the closest grid point to
+// value.
+func (s *Space) SetByName(cfg Config, name string, value float64) error {
+	i, err := s.ParamIndex(name)
+	if err != nil {
+		return err
+	}
+	cfg[i] = nearestIndex(s.Params[i].Values, value)
+	return nil
+}
+
+// SearchSpaceSize returns the product of all tunable grid sizes.
+func (s *Space) SearchSpaceSize() float64 {
+	size := 1.0
+	for _, p := range s.Params {
+		if p.Tunable {
+			size *= float64(len(p.Values))
+		}
+	}
+	return size
+}
+
+// FromDevice snaps a concrete device to the nearest grid configuration.
+func (s *Space) FromDevice(d ssd.DeviceParams) Config {
+	cfg := make(Config, len(s.Params))
+	for i, p := range s.Params {
+		cfg[i] = nearestIndex(p.Values, p.get(&d))
+	}
+	// Constrained parameters always follow the constraints.
+	s.applyConstraints(cfg)
+	return cfg
+}
+
+// ToDevice materializes a simulator configuration from cfg. Fields not
+// covered by the space (e.g. InitialOccupancyFrac) keep defaults.
+func (s *Space) ToDevice(cfg Config) ssd.DeviceParams {
+	d := ssd.DefaultParams()
+	for i, p := range s.Params {
+		p.apply(&d, p.Values[cfg[i]])
+	}
+	return d
+}
+
+func (s *Space) applyConstraints(cfg Config) {
+	if i, ok := s.index["Interface"]; ok {
+		cfg[i] = int(s.Cons.Interface)
+	}
+	if i, ok := s.index["FlashType"]; ok {
+		cfg[i] = int(s.Cons.Flash)
+	}
+}
+
+func nearestIndex(grid []float64, v float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, g := range grid {
+		if d := math.Abs(g - v); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func benchTrace(n int) *Trace {
+	t := &Trace{Name: "bench"}
+	for i := 0; i < n; i++ {
+		t.Requests = append(t.Requests, Request{
+			Arrival: time.Duration(i) * 50 * time.Microsecond,
+			LBA:     uint64(i*37) % (1 << 30),
+			Sectors: 16,
+			Op:      Op(i % 2),
+		})
+	}
+	return t
+}
+
+// BenchmarkWindowFeatures measures per-window feature extraction — the
+// Table 6 "extract workload features" component.
+func BenchmarkWindowFeatures(b *testing.B) {
+	w := benchTrace(DefaultWindowSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WindowFeatures(w)
+	}
+}
+
+func BenchmarkWindows100K(b *testing.B) {
+	tr := benchTrace(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Windows(tr, DefaultWindowSize)
+	}
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"math"
+)
+
+// DefaultWindowSize is the number of trace entries per characterization
+// window. The paper uses 3,000 entries by default: fewer entries lose
+// access patterns, more slow down the normalization/PCA/clustering
+// pipeline.
+const DefaultWindowSize = 3000
+
+// NumWindowFeatures is the dimensionality of the per-window feature
+// vector produced by WindowFeatures.
+const NumWindowFeatures = 18
+
+// Windows partitions the trace into consecutive windows of size entries;
+// a trailing partial window is kept when it has at least size/2 entries.
+func Windows(t *Trace, size int) []*Trace {
+	if size <= 0 {
+		size = DefaultWindowSize
+	}
+	var out []*Trace
+	n := len(t.Requests)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			if n-lo < size/2 && lo != 0 {
+				break
+			}
+			hi = n
+		}
+		out = append(out, t.Slice(lo, hi))
+	}
+	return out
+}
+
+// WindowFeatures reduces one window to a fixed-length numeric vector.
+//
+// The paper normalizes each window's timestamp, size, address and op
+// fields against the window's starting entry and feeds the normalized
+// window through PCA. A raw 3,000×4 window is 12,000 dimensions; we apply
+// the same normalization and summarize each window with 18 statistics of
+// exactly the fields the paper names (relative timestamps → intensity and
+// burstiness, relative addresses → sequentiality, jump magnitudes and
+// locality, sizes, and op mix), then PCA reduces those to 5 dimensions.
+// Monotonic addresses and small time gaps remain separable exactly as in
+// §3.1's examples.
+func WindowFeatures(w *Trace) []float64 {
+	f := make([]float64, NumWindowFeatures)
+	n := len(w.Requests)
+	if n == 0 {
+		return f
+	}
+	first := w.Requests[0]
+
+	var (
+		reads, seq, nearSeq, increasing int
+		readBytes, writeBytes           float64
+		sizes                           = make([]float64, 0, n)
+		gaps                            = make([]float64, 0, n-1)
+		jumps                           = make([]float64, 0, n-1)
+		minLBA, maxLBA                  = w.Requests[0].LBA, w.Requests[0].LBA
+	)
+	// Histogram over the window's relative address span for entropy.
+	const bins = 16
+	hist := make([]float64, bins)
+
+	prevEnd := first.LBA + uint64(first.Sectors)
+	prevArrival := first.Arrival
+	prevLBA := first.LBA
+	for i, r := range w.Requests {
+		if r.Op == Read {
+			reads++
+			readBytes += float64(r.Bytes())
+		} else {
+			writeBytes += float64(r.Bytes())
+		}
+		sizes = append(sizes, float64(r.Sectors))
+		if r.LBA < minLBA {
+			minLBA = r.LBA
+		}
+		if r.LBA > maxLBA {
+			maxLBA = r.LBA
+		}
+		if i > 0 {
+			gaps = append(gaps, r.Arrival.Seconds()-prevArrival.Seconds())
+			var jump float64
+			if r.LBA >= prevEnd {
+				jump = float64(r.LBA - prevEnd)
+			} else {
+				jump = -float64(prevEnd - r.LBA)
+			}
+			jumps = append(jumps, math.Abs(jump))
+			if jump == 0 {
+				seq++
+			}
+			if math.Abs(jump) < 256 {
+				nearSeq++
+			}
+			if r.LBA > prevLBA {
+				increasing++
+			}
+			prevArrival = r.Arrival
+			prevEnd = r.LBA + uint64(r.Sectors)
+			prevLBA = r.LBA
+		}
+	}
+	span := float64(maxLBA - minLBA)
+	if span <= 0 {
+		span = 1
+	}
+	for _, r := range w.Requests {
+		b := int(float64(r.LBA-minLBA) / span * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		hist[b]++
+	}
+
+	meanSize, stdSize := meanStd(sizes)
+	meanGap, stdGap := meanStd(gaps)
+	meanJump, stdJump := meanStd(jumps)
+	dur := w.Requests[n-1].Arrival.Seconds() - first.Arrival.Seconds()
+	if dur <= 0 {
+		dur = 1e-9
+	}
+	pairs := float64(maxInt(n-1, 1))
+
+	f[0] = float64(reads) / float64(n)                    // read ratio
+	f[1] = math.Log1p(meanSize)                           // mean I/O size (sectors)
+	f[2] = math.Log1p(stdSize)                            // size dispersion
+	f[3] = math.Log1p(meanGap * 1e6)                      // mean inter-arrival (µs)
+	f[4] = math.Log1p(stdGap * 1e6)                       // arrival burstiness
+	f[5] = float64(seq) / pairs                           // strictly sequential fraction
+	f[6] = float64(nearSeq) / pairs                       // near-sequential fraction
+	f[7] = math.Log1p(meanJump)                           // mean |address jump|
+	f[8] = math.Log1p(stdJump)                            // jump dispersion
+	f[9] = math.Log1p(span)                               // address span
+	f[10] = float64(increasing) / pairs                   // monotonicity
+	f[11] = entropy(hist)                                 // spatial entropy
+	f[12] = math.Log1p(float64(n) / dur)                  // IOPS
+	f[13] = math.Log1p((readBytes + writeBytes) / dur)    // bytes/sec
+	f[14] = safeDiv(writeBytes, readBytes+writeBytes)     // write-byte fraction
+	f[15] = safeDiv(meanJump, span)                       // relative jump scale
+	f[16] = burstFraction(gaps, meanGap)                  // fraction of bursty gaps
+	f[17] = safeDiv(readBytes, float64(maxInt(reads, 1))) // mean read bytes
+	if reads > 0 {
+		f[17] = math.Log1p(f[17])
+	}
+	return f
+}
+
+// FeatureMatrix converts windows to a feature matrix suitable for PCA:
+// one row per window.
+func FeatureMatrix(windows []*Trace) [][]float64 {
+	out := make([][]float64, len(windows))
+	for i, w := range windows {
+		out[i] = WindowFeatures(w)
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+func entropy(hist []float64) float64 {
+	var total float64
+	for _, h := range hist {
+		total += h
+	}
+	if total == 0 {
+		return 0
+	}
+	var e float64
+	for _, h := range hist {
+		if h > 0 {
+			p := h / total
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+func burstFraction(gaps []float64, mean float64) float64 {
+	if len(gaps) == 0 || mean <= 0 {
+		return 0
+	}
+	var bursts int
+	for _, g := range gaps {
+		if g < 0.1*mean {
+			bursts++
+		}
+	}
+	return float64(bursts) / float64(len(gaps))
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,218 @@
+// Package trace models block-level I/O traces: the request format, a
+// blktrace-style text parser/writer, the window partitioning and
+// normalization of AutoBlox's workload characterization (§3.1), and the
+// per-window feature extraction that feeds PCA + k-means.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Op is the I/O operation type.
+type Op uint8
+
+const (
+	// Read is a block read request.
+	Read Op = iota
+	// Write is a block write request.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Request is one block I/O request.
+type Request struct {
+	// Arrival is the request submission time relative to trace start.
+	Arrival time.Duration
+	// LBA is the starting logical block address, in 512-byte sectors.
+	LBA uint64
+	// Sectors is the request length in 512-byte sectors.
+	Sectors uint32
+	// Op is Read or Write.
+	Op Op
+}
+
+// Bytes returns the request size in bytes.
+func (r Request) Bytes() uint64 { return uint64(r.Sectors) * 512 }
+
+// Trace is an ordered sequence of requests with a name used for
+// clustering bookkeeping.
+type Trace struct {
+	Name     string
+	Requests []Request
+}
+
+// Duration returns the arrival time of the last request.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	return t.Requests[len(t.Requests)-1].Arrival
+}
+
+// ReadFraction returns the fraction of requests that are reads.
+func (t *Trace) ReadFraction() float64 {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	var reads int
+	for _, r := range t.Requests {
+		if r.Op == Read {
+			reads++
+		}
+	}
+	return float64(reads) / float64(len(t.Requests))
+}
+
+// TotalBytes returns the sum of request sizes.
+func (t *Trace) TotalBytes() uint64 {
+	var b uint64
+	for _, r := range t.Requests {
+		b += r.Bytes()
+	}
+	return b
+}
+
+// Slice returns a sub-trace of requests [lo, hi).
+func (t *Trace) Slice(lo, hi int) *Trace {
+	return &Trace{Name: t.Name, Requests: t.Requests[lo:hi]}
+}
+
+// Compress returns a copy of the trace with all arrival times divided by
+// factor. Compressing arrivals turns a timestamped replay into a
+// device-capability stress test: once the offered rate far exceeds the
+// device, measured throughput reflects what the hardware can sustain
+// rather than what the host offered (used by what-if throughput goals).
+func (t *Trace) Compress(factor float64) *Trace {
+	if factor <= 0 {
+		factor = 1
+	}
+	out := &Trace{Name: t.Name, Requests: make([]Request, len(t.Requests))}
+	for i, r := range t.Requests {
+		r.Arrival = time.Duration(float64(r.Arrival) / factor)
+		out.Requests[i] = r
+	}
+	return out
+}
+
+// Split partitions the trace into a training prefix holding frac of the
+// requests and a validation suffix with the remainder — the 70/30 split
+// the paper uses for clustering validation.
+func (t *Trace) Split(frac float64) (train, valid *Trace) {
+	cut := int(float64(len(t.Requests)) * frac)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(t.Requests) {
+		cut = len(t.Requests)
+	}
+	return t.Slice(0, cut), t.Slice(cut, len(t.Requests))
+}
+
+// Normalize rewrites absolute block addresses into relative offsets in a
+// uniform address space, as §3.1 requires: the absolute value of a block
+// address depends on the allocator, so only offsets from the smallest
+// address seen carry workload signal. I/O size and type are unmodified.
+// The receiver is modified in place and returned for chaining.
+func (t *Trace) Normalize() *Trace {
+	if len(t.Requests) == 0 {
+		return t
+	}
+	min := t.Requests[0].LBA
+	for _, r := range t.Requests {
+		if r.LBA < min {
+			min = r.LBA
+		}
+	}
+	for i := range t.Requests {
+		t.Requests[i].LBA -= min
+	}
+	return t
+}
+
+// ParseBlktrace reads a simplified blktrace-style text format, one
+// request per line:
+//
+//	<timestamp-seconds> <lba-sectors> <sectors> <R|W>
+//
+// Lines starting with '#' and blank lines are ignored.
+func ParseBlktrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	tr := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		ts, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp %q: %w", lineNo, fields[0], err)
+		}
+		lba, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad lba %q: %w", lineNo, fields[1], err)
+		}
+		sectors, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad length %q: %w", lineNo, fields[2], err)
+		}
+		var op Op
+		switch strings.ToUpper(fields[3]) {
+		case "R", "READ":
+			op = Read
+		case "W", "WRITE":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[3])
+		}
+		tr.Requests = append(tr.Requests, Request{
+			Arrival: time.Duration(ts * float64(time.Second)),
+			LBA:     lba,
+			Sectors: uint32(sectors),
+			Op:      op,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	sort.SliceStable(tr.Requests, func(i, j int) bool {
+		return tr.Requests[i].Arrival < tr.Requests[j].Arrival
+	})
+	return tr, nil
+}
+
+// WriteBlktrace emits the trace in the format ParseBlktrace accepts.
+func WriteBlktrace(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if t.Name != "" {
+		if _, err := fmt.Fprintf(bw, "# workload: %s\n", t.Name); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Requests {
+		if _, err := fmt.Fprintf(bw, "%.6f %d %d %s\n",
+			r.Arrival.Seconds(), r.LBA, r.Sectors, r.Op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

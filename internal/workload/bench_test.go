@@ -1,0 +1,13 @@
+package workload
+
+import "testing"
+
+// BenchmarkGenerate measures synthetic-trace generation throughput.
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Database, Options{Requests: 10000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
