@@ -89,6 +89,9 @@ type Options struct {
 	// category and retrains the clustering with one more cluster (§3.1;
 	// paper default 20). Values <1 select the paper default.
 	NewCategoryAfter int
+	// Parallel bounds concurrent validation simulations (0 selects
+	// runtime.GOMAXPROCS(0)). Results are identical at any setting.
+	Parallel int
 	// WhatIfSpace switches the expanded §4.5 bounds on.
 	WhatIfSpace bool
 }
@@ -218,6 +221,7 @@ func (f *Framework) ensureEnv() error {
 		return errors.New("autoblox: LearnWorkloads must run before tuning")
 	}
 	f.validator = core.NewValidator(f.Space, f.traces)
+	f.validator.Parallel = f.opts.Parallel
 	g, err := core.NewGrader(f.validator, f.refCfg, f.opts.Alpha, f.opts.Beta)
 	if err != nil {
 		return err

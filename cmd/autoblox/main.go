@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -65,6 +66,7 @@ type commonFlags struct {
 	requests int
 	iters    int
 	seed     int64
+	parallel int
 }
 
 func registerCommon(fs *flag.FlagSet) *commonFlags {
@@ -77,6 +79,7 @@ func registerCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.requests, "requests", 12000, "synthetic trace length")
 	fs.IntVar(&c.iters, "iters", 20, "tuner iterations")
 	fs.Int64Var(&c.seed, "seed", 42, "RNG seed")
+	fs.IntVar(&c.parallel, "parallel", runtime.GOMAXPROCS(0), "max concurrent validation simulations")
 	return c
 }
 
@@ -103,7 +106,7 @@ func (c *commonFlags) constraints() autoblox.Constraints {
 
 func (c *commonFlags) framework(whatIf bool) *autoblox.Framework {
 	opts := autoblox.Options{
-		DBPath: c.db, Seed: c.seed, WhatIfSpace: whatIf,
+		DBPath: c.db, Seed: c.seed, WhatIfSpace: whatIf, Parallel: c.parallel,
 		Tuner: autoblox.TunerOptions{MaxIterations: c.iters},
 	}
 	fw, err := autoblox.New(c.constraints(), opts)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"autoblox/internal/experiments"
@@ -23,6 +24,7 @@ func main() {
 	requests := flag.Int("requests", 0, "override trace length (requests per workload)")
 	iters := flag.Int("iters", 0, "override tuner max iterations")
 	seed := flag.Int64("seed", 0, "override RNG seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent validation simulations")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	csvDir := flag.String("csv", "", "also export artifact data as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -46,6 +48,7 @@ func main() {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
+	scale.Parallel = *parallel
 
 	filter := map[string]bool{}
 	if *only != "" {

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autoblox/internal/autodb"
@@ -20,19 +22,53 @@ const (
 	DefaultBeta = 0.1
 )
 
+// simKey identifies one (configuration, trace) simulation in the cache.
+// A struct key cannot collide by construction; the former string key
+// cfg.Key()+"|"+name was ambiguous for names containing the separator.
+type simKey struct {
+	cfg  string // ssdconf.Config.Key()
+	name string // trace name ("<cluster>#<i>")
+}
+
+func cacheKey(cfgKey, name string) simKey { return simKey{cfg: cfgKey, name: name} }
+
+// inflightSim tracks an in-progress simulation so that concurrent
+// lookups of the same key wait for the one leader instead of running a
+// duplicate simulation (singleflight).
+type inflightSim struct {
+	done chan struct{}
+	perf autodb.Perf
+	err  error
+}
+
 // Validator measures configurations on workloads with the SSD simulator,
 // memoizing results: the same (configuration, workload) pair is never
-// simulated twice within a tuning session.
+// simulated twice within a tuning session — not even when requested
+// concurrently (in-flight simulations are deduplicated, singleflight).
+//
+// Simulations fan out over a bounded worker pool: MeasureBatch runs a
+// whole (candidate × cluster × trace) frontier concurrently, and a
+// validator-wide semaphore bounds the total number of simulations in
+// flight across all callers. Because each ssd.Simulator.Run is fully
+// independent and deterministic, parallel and serial execution fill the
+// cache with bit-identical values.
 type Validator struct {
 	Space *ssdconf.Space
 	// Workloads maps a workload-cluster name to its representative
 	// traces (the geometric mean is taken within a cluster, per §3.4).
 	Workloads map[string][]*trace.Trace
+	// Parallel bounds how many simulations may run concurrently across
+	// all measurement calls; 0 (or negative) selects
+	// runtime.GOMAXPROCS(0). Set it before the first measurement.
+	Parallel int
 
-	mu      sync.Mutex
-	cache   map[string]autodb.Perf
-	simRuns int
-	simWall time.Duration
+	mu       sync.Mutex
+	cache    map[simKey]autodb.Perf
+	inflight map[simKey]*inflightSim
+	sem      chan struct{} // validator-wide simulation slots (lazy)
+
+	simRuns atomic.Int64
+	simWall atomic.Int64 // nanoseconds
 }
 
 // NewValidator builds a validator over one representative trace per
@@ -42,40 +78,85 @@ func NewValidator(space *ssdconf.Space, workloads map[string]*trace.Trace) *Vali
 	for k, tr := range workloads {
 		m[k] = []*trace.Trace{tr}
 	}
-	return &Validator{Space: space, Workloads: m, cache: make(map[string]autodb.Perf)}
+	return NewValidatorGroups(space, m)
 }
 
 // NewValidatorGroups builds a validator with multiple traces per cluster.
 func NewValidatorGroups(space *ssdconf.Space, groups map[string][]*trace.Trace) *Validator {
-	return &Validator{Space: space, Workloads: groups, cache: make(map[string]autodb.Perf)}
+	return &Validator{
+		Space:     space,
+		Workloads: groups,
+		cache:     make(map[simKey]autodb.Perf),
+		inflight:  make(map[simKey]*inflightSim),
+	}
 }
 
 // SimRuns reports how many simulator invocations were not served from
 // cache (the paper's dominant overhead, Table 6).
-func (v *Validator) SimRuns() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.simRuns
-}
+func (v *Validator) SimRuns() int { return int(v.simRuns.Load()) }
 
 // SimWall reports the cumulative wall-clock time spent inside the SSD
-// simulator (efficiency validation time, Table 6).
-func (v *Validator) SimWall() time.Duration {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.simWall
+// simulator, summed over all workers (efficiency validation time,
+// Table 6). Under parallel validation this exceeds elapsed wall time.
+func (v *Validator) SimWall() time.Duration { return time.Duration(v.simWall.Load()) }
+
+// workers resolves the concurrency bound.
+func (v *Validator) workers() int {
+	if v.Parallel > 0 {
+		return v.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
-// MeasureTrace runs one configuration against one trace.
+// slots returns the validator-wide simulation semaphore, sized on first
+// use from the Parallel bound.
+func (v *Validator) slots() chan struct{} {
+	v.mu.Lock()
+	if v.sem == nil {
+		v.sem = make(chan struct{}, v.workers())
+	}
+	s := v.sem
+	v.mu.Unlock()
+	return s
+}
+
+// MeasureTrace runs one configuration against one trace. Concurrent
+// calls with the same (configuration, trace) share a single simulation.
 func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, tr *trace.Trace) (autodb.Perf, error) {
-	key := cfg.Key() + "|" + name
+	key := cacheKey(cfg.Key(), name)
 	v.mu.Lock()
 	if p, ok := v.cache[key]; ok {
 		v.mu.Unlock()
 		return p, nil
 	}
+	if fl, ok := v.inflight[key]; ok {
+		// Another goroutine is already simulating this key: wait for it
+		// rather than duplicating the run.
+		v.mu.Unlock()
+		<-fl.done
+		return fl.perf, fl.err
+	}
+	fl := &inflightSim{done: make(chan struct{})}
+	v.inflight[key] = fl
 	v.mu.Unlock()
 
+	sem := v.slots()
+	sem <- struct{}{}
+	fl.perf, fl.err = v.simulate(cfg, tr)
+	<-sem
+
+	v.mu.Lock()
+	if fl.err == nil {
+		v.cache[key] = fl.perf
+	}
+	delete(v.inflight, key) // errors are not cached; a retry re-simulates
+	v.mu.Unlock()
+	close(fl.done)
+	return fl.perf, fl.err
+}
+
+// simulate is the uncached single-simulation path.
+func (v *Validator) simulate(cfg ssdconf.Config, tr *trace.Trace) (autodb.Perf, error) {
 	dev := v.Space.ToDevice(cfg)
 	sim, err := ssd.NewSimulator(dev)
 	if err != nil {
@@ -83,24 +164,107 @@ func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, tr *trace.Trac
 	}
 	t0 := time.Now()
 	res, err := sim.Run(tr)
-	wall := time.Since(t0)
 	if err != nil {
 		return autodb.Perf{}, fmt.Errorf("core: validator run: %w", err)
 	}
-	p := autodb.Perf{
+	v.simRuns.Add(1)
+	v.simWall.Add(time.Since(t0).Nanoseconds())
+	return autodb.Perf{
 		LatencyNS:     res.AvgLatency.Nanoseconds(),
 		P99LatencyNS:  res.P99Latency.Nanoseconds(),
 		ThroughputBps: res.ThroughputBps,
 		EnergyJoules:  res.EnergyJoules,
 		PowerWatts:    res.AvgPowerWatts,
-	}
-	v.mu.Lock()
-	v.cache[key] = p
-	v.simRuns++
-	v.simWall += wall
-	v.mu.Unlock()
-	return p, nil
+	}, nil
 }
+
+// batchJob is one (configuration, trace) simulation of a batch.
+type batchJob struct {
+	cfg  ssdconf.Config
+	name string
+	tr   *trace.Trace
+}
+
+// MeasureBatch measures every (configuration × cluster × trace)
+// combination, fanning the simulations out over the validator's worker
+// bound. It warms the cache; callers read results back through
+// MeasureTrace / MeasureCluster, which then hit. Overlapping keys —
+// within the batch or against other concurrent callers — trigger
+// exactly one simulation each, so SimRuns grows by exactly the number
+// of distinct cold keys.
+func (v *Validator) MeasureBatch(cfgs []ssdconf.Config, clusters []string) error {
+	var jobs []batchJob
+	for _, cl := range clusters {
+		traces, ok := v.Workloads[cl]
+		if !ok || len(traces) == 0 {
+			return fmt.Errorf("core: unknown workload cluster %q", cl)
+		}
+		for _, cfg := range cfgs {
+			for i, tr := range traces {
+				jobs = append(jobs, batchJob{cfg: cfg, name: traceName(cl, i), tr: tr})
+			}
+		}
+	}
+	return v.measureJobs(jobs)
+}
+
+// MeasureConfigs measures many configurations against one explicit
+// trace — the batch entry point for the §3.3 pruning sweeps.
+func (v *Validator) MeasureConfigs(cfgs []ssdconf.Config, name string, tr *trace.Trace) error {
+	jobs := make([]batchJob, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = batchJob{cfg: cfg, name: name, tr: tr}
+	}
+	return v.measureJobs(jobs)
+}
+
+// measureJobs drains the job list through a bounded worker pool. The
+// first error wins; remaining queued jobs are skipped.
+func (v *Validator) measureJobs(jobs []batchJob) error {
+	n := v.workers()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n <= 1 {
+		for _, j := range jobs {
+			if _, err := v.MeasureTrace(j.cfg, j.name, j.tr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	ch := make(chan batchJob)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if failed.Load() {
+					continue
+				}
+				if _, err := v.MeasureTrace(j.cfg, j.name, j.tr); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// traceName is the canonical cache name of a cluster's i-th trace.
+func traceName(cluster string, i int) string { return fmt.Sprintf("%s#%d", cluster, i) }
 
 // MeasureCluster runs cfg on every trace of a cluster and returns the
 // per-trace results keyed "<cluster>#<i>".
@@ -111,7 +275,7 @@ func (v *Validator) MeasureCluster(cfg ssdconf.Config, cluster string) ([]autodb
 	}
 	out := make([]autodb.Perf, len(traces))
 	for i, tr := range traces {
-		p, err := v.MeasureTrace(cfg, fmt.Sprintf("%s#%d", cluster, i), tr)
+		p, err := v.MeasureTrace(cfg, traceName(cluster, i), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -125,6 +289,18 @@ func (v *Validator) Clusters() []string {
 	out := make([]string, 0, len(v.Workloads))
 	for k := range v.Workloads {
 		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+// NonTargetClusters returns every cluster except the target, sorted.
+func (v *Validator) NonTargetClusters(target string) []string {
+	out := make([]string, 0, len(v.Workloads))
+	for k := range v.Workloads {
+		if k != target {
+			out = append(out, k)
+		}
 	}
 	sortStrings(out)
 	return out
@@ -147,10 +323,15 @@ type Grader struct {
 	Ref map[string][]autodb.Perf
 }
 
-// NewGrader measures the reference configuration on every cluster.
+// NewGrader measures the reference configuration on every cluster, as
+// one parallel batch.
 func NewGrader(v *Validator, refCfg ssdconf.Config, alpha, beta float64) (*Grader, error) {
 	g := &Grader{Alpha: alpha, Beta: beta, Ref: make(map[string][]autodb.Perf)}
-	for _, cl := range v.Clusters() {
+	clusters := v.Clusters()
+	if err := v.MeasureBatch([]ssdconf.Config{refCfg}, clusters); err != nil {
+		return nil, err
+	}
+	for _, cl := range clusters {
 		ps, err := v.MeasureCluster(refCfg, cl)
 		if err != nil {
 			return nil, err

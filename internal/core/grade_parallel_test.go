@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/trace"
+	"autoblox/internal/workload"
+)
+
+// TestCacheKeyRegression guards the struct-key fix: the former string
+// key cfg.Key()+"|"+name could not tell ("a", "b|c") from ("a|b", "c").
+func TestCacheKeyRegression(t *testing.T) {
+	if cacheKey("a", "b|c") == cacheKey("a|b", "c") {
+		t.Fatal("cache key collides across the config/name boundary")
+	}
+	if cacheKey("a", "b") != cacheKey("a", "b") {
+		t.Fatal("identical inputs must produce identical keys")
+	}
+}
+
+// TestCacheKeyPipeClusterNames is the behavioral half of the regression:
+// a validator whose cluster names contain the old separator must still
+// treat distinct (config, trace) pairs as distinct simulations.
+func TestCacheKeyPipeClusterNames(t *testing.T) {
+	space := ssdconf.NewSpace(ssdconf.DefaultConstraints())
+	tr := workload.MustGenerate(workload.Database, workload.Options{Requests: 1500, Seed: 3})
+	v := NewValidator(space, map[string]*trace.Trace{"a|b": tr, "a": tr})
+	ref := space.FromDevice(ssd.Intel750())
+	if _, err := v.MeasureTrace(ref, "a|b#0", tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.MeasureTrace(ref, "a#0", tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.SimRuns(); got != 2 {
+		t.Fatalf("SimRuns = %d, want 2 distinct simulations", got)
+	}
+}
+
+// distinctConfigs derives n configurations with distinct cache keys by
+// walking one numeric parameter's grid.
+func distinctConfigs(t *testing.T, space *ssdconf.Space, ref ssdconf.Config, n int) []ssdconf.Config {
+	t.Helper()
+	i, err := space.ParamIndex("QueueDepth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := len(space.Params[i].Values)
+	if n > vals {
+		t.Fatalf("need %d values on QueueDepth, grid has %d", n, vals)
+	}
+	out := make([]ssdconf.Config, n)
+	for k := 0; k < n; k++ {
+		cfg := ref.Clone()
+		cfg[i] = k
+		out[k] = cfg
+	}
+	return out
+}
+
+// TestMeasureBatchMatchesSerial: the parallel batch path must fill the
+// cache with measurements identical to the serial MeasureTrace path.
+func TestMeasureBatchMatchesSerial(t *testing.T) {
+	space := ssdconf.NewSpace(ssdconf.DefaultConstraints())
+	ws := map[string]*trace.Trace{
+		"Database":  workload.MustGenerate(workload.Database, workload.Options{Requests: 1500, Seed: 5}),
+		"WebSearch": workload.MustGenerate(workload.WebSearch, workload.Options{Requests: 1500, Seed: 5}),
+	}
+	ref := space.FromDevice(ssd.Intel750())
+	cfgs := distinctConfigs(t, space, ref, 3)
+
+	serial := NewValidator(space, ws)
+	serial.Parallel = 1
+	par := NewValidator(space, ws)
+	par.Parallel = 8
+
+	if err := par.MeasureBatch(cfgs, par.Clusters()); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		for _, cl := range serial.Clusters() {
+			name := cl + "#0"
+			a, err := serial.MeasureTrace(cfg, name, ws[cl])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.MeasureTrace(cfg, name, ws[cl]) // cache hit
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("parallel result differs for %s/%s:\n serial   %+v\n parallel %+v",
+					cfg.Key(), name, a, b)
+			}
+		}
+	}
+	want := len(cfgs) * len(ws)
+	if got := par.SimRuns(); got != want {
+		t.Fatalf("parallel SimRuns = %d, want %d", got, want)
+	}
+}
+
+// TestSingleflightStress hammers the validator from 64 goroutines with
+// heavily overlapping keys. Exactly one simulation per distinct key may
+// run: SimRuns must equal the number of distinct (config, trace) pairs.
+func TestSingleflightStress(t *testing.T) {
+	space := ssdconf.NewSpace(ssdconf.DefaultConstraints())
+	ws := map[string]*trace.Trace{
+		"Database": workload.MustGenerate(workload.Database, workload.Options{Requests: 1500, Seed: 7}),
+		"KVStore":  workload.MustGenerate(workload.KVStore, workload.Options{Requests: 1500, Seed: 7}),
+	}
+	v := NewValidator(space, ws)
+	v.Parallel = 8
+	ref := space.FromDevice(ssd.Intel750())
+	cfgs := distinctConfigs(t, space, ref, 4)
+	clusters := v.Clusters()
+
+	const goroutines = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				// Half the goroutines batch everything at once...
+				if err := v.MeasureBatch(cfgs, clusters); err != nil {
+					errs <- err
+				}
+				return
+			}
+			// ...the rest issue single lookups in rotating order.
+			for k := 0; k < len(cfgs)*len(clusters); k++ {
+				cfg := cfgs[(g+k)%len(cfgs)]
+				cl := clusters[(g+k)%len(clusters)]
+				if _, err := v.MeasureTrace(cfg, cl+"#0", ws[cl]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	distinct := len(cfgs) * len(clusters)
+	if got := v.SimRuns(); got != distinct {
+		t.Fatalf("SimRuns = %d, want %d (duplicate simulation slipped past singleflight)", got, distinct)
+	}
+}
+
+// parallelTunerEnv is testEnv with an explicit worker bound, applied
+// before the grader's reference batch so every simulation goes through
+// the configured pool.
+func parallelTunerEnv(t *testing.T, parallel int) (*ssdconf.Space, *Validator, *Grader, ssdconf.Config) {
+	t.Helper()
+	space := ssdconf.NewSpace(ssdconf.DefaultConstraints())
+	ws := map[string]*trace.Trace{}
+	for _, c := range []workload.Category{workload.Database, workload.WebSearch, workload.CloudStorage} {
+		ws[string(c)] = workload.MustGenerate(c, workload.Options{Requests: 2000, Seed: 21})
+	}
+	v := NewValidator(space, ws)
+	v.Parallel = parallel
+	ref := space.FromDevice(ssd.Intel750())
+	g, err := NewGrader(v, ref, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space, v, g, ref
+}
+
+// TestTuneSerialParallelEquivalence is the acceptance-criteria test:
+// Tune at -parallel 1 and -parallel 8 with the same seed must return the
+// identical best configuration, grade, trajectory and simulation count.
+func TestTuneSerialParallelEquivalence(t *testing.T) {
+	run := func(parallel int) *TuneResult {
+		space, v, g, ref := parallelTunerEnv(t, parallel)
+		tuner, err := NewTuner(space, v, g, TunerOptions{Seed: 5, MaxIterations: 6, SGDSteps: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tuner.Tune(string(workload.Database), []ssdconf.Config{ref})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+
+	if !ssdconf.Equal(serial.Best, parallel.Best) {
+		t.Fatalf("best configs differ:\n serial   %s\n parallel %s",
+			serial.Best.Key(), parallel.Best.Key())
+	}
+	if serial.BestGrade != parallel.BestGrade {
+		t.Fatalf("best grades differ: serial %v, parallel %v", serial.BestGrade, parallel.BestGrade)
+	}
+	if serial.Iterations != parallel.Iterations {
+		t.Fatalf("iteration counts differ: serial %d, parallel %d", serial.Iterations, parallel.Iterations)
+	}
+	if len(serial.Trajectory) != len(parallel.Trajectory) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(serial.Trajectory), len(parallel.Trajectory))
+	}
+	for i := range serial.Trajectory {
+		if serial.Trajectory[i] != parallel.Trajectory[i] {
+			t.Fatalf("trajectories diverge at %d: %v vs %v",
+				i, serial.Trajectory[i], parallel.Trajectory[i])
+		}
+	}
+	if serial.SimRuns != parallel.SimRuns {
+		t.Fatalf("simulation counts differ: serial %d, parallel %d (a duplicate or skipped sim)",
+			serial.SimRuns, parallel.SimRuns)
+	}
+}

@@ -79,6 +79,24 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 		return nil, err
 	}
 
+	// Enumerate the whole config×value sweep up front and fan the
+	// simulations out as one parallel batch; the assembly loop below
+	// then reads every point from the cache.
+	var sweepCfgs []ssdconf.Config
+	for i, p := range v.Space.Params {
+		if p.Kind == ssdconf.Boolean || p.Kind == ssdconf.Categorical {
+			continue
+		}
+		for idx := base[i]; idx < len(p.Values); idx++ {
+			cfg := base.Clone()
+			cfg[i] = idx
+			sweepCfgs = append(sweepCfgs, cfg)
+		}
+	}
+	if err := v.MeasureConfigs(sweepCfgs, refName, tr); err != nil {
+		return nil, err
+	}
+
 	res := &CoarseResult{Sweeps: map[string][]SweepPoint{}, Sensitivity: map[string]float64{}}
 	for i, p := range v.Space.Params {
 		if p.Kind == ssdconf.Boolean || p.Kind == ssdconf.Categorical {
@@ -90,7 +108,7 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 		for idx := base[i]; idx < len(p.Values); idx++ {
 			cfg := base.Clone()
 			cfg[i] = idx
-			perf, err := v.MeasureTrace(cfg, refName, tr)
+			perf, err := v.MeasureTrace(cfg, refName, tr) // cache hit
 			if err != nil {
 				return nil, err
 			}
@@ -167,11 +185,14 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 		return nil, errors.New("core: nothing left to regress after coarse pruning")
 	}
 
+	// Sample acceptance depends only on the constraint checks, never on a
+	// measurement, so the full sample set can be drawn up front (keeping
+	// the rng sequence identical to the old measure-as-you-go loop) and
+	// simulated as one parallel batch.
 	rng := rand.New(rand.NewSource(opts.Seed))
-	var rows [][]float64
-	var ys []float64
+	var samples []ssdconf.Config
 	attempts := 0
-	for len(rows) < opts.Samples && attempts < opts.Samples*6 {
+	for len(samples) < opts.Samples && attempts < opts.Samples*6 {
 		attempts++
 		cfg := base.Clone()
 		// Perturb a random subset of kept axes.
@@ -188,7 +209,19 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 		if v.Space.CheckConstraints(cfg) != nil {
 			continue
 		}
-		perf, err := v.MeasureTrace(cfg, refName, tr)
+		samples = append(samples, cfg)
+	}
+	if len(samples) < 8 {
+		return nil, fmt.Errorf("core: only %d valid samples for ridge fit", len(samples))
+	}
+	if err := v.MeasureConfigs(samples, refName, tr); err != nil {
+		return nil, err
+	}
+
+	var rows [][]float64
+	var ys []float64
+	for _, cfg := range samples {
+		perf, err := v.MeasureTrace(cfg, refName, tr) // cache hit
 		if err != nil {
 			return nil, err
 		}
@@ -198,9 +231,6 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 		}
 		rows = append(rows, row)
 		ys = append(ys, g.Performance(perf, refPerf))
-	}
-	if len(rows) < 8 {
-		return nil, fmt.Errorf("core: only %d valid samples for ridge fit", len(rows))
 	}
 
 	x := linalg.FromRows(rows)

@@ -71,6 +71,9 @@ func RandomSearch(space *ssdconf.Space, v *Validator, g *Grader, target string, 
 	res.Best = best.cfg
 	res.BestGrade = best.grade
 	res.BestPerf = map[string][]autodb.Perf{}
+	if err := v.MeasureBatch([]ssdconf.Config{best.cfg}, v.Clusters()); err != nil {
+		return nil, err
+	}
 	for _, cl := range v.Clusters() {
 		ps, err := v.MeasureCluster(best.cfg, cl)
 		if err != nil {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
@@ -164,7 +166,12 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 	var validated []entry
 	seen := map[string]bool{}
 
-	// ① initialize the model with the initial configuration set.
+	// ① initialize the model with the initial configuration set. The
+	// whole initial frontier's target-cluster runs fan out as one batch;
+	// the non-target runs batch after the power-budget filter so a
+	// rejected configuration costs no non-target simulations — the same
+	// economy as serial evaluation, just concurrent.
+	var initCfgs []ssdconf.Config
 	for _, cfg := range initial {
 		if err := t.Space.CheckConstraints(cfg); err != nil {
 			continue
@@ -172,11 +179,30 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 		if seen[cfg.Key()] {
 			continue
 		}
+		seen[cfg.Key()] = true
+		initCfgs = append(initCfgs, cfg)
+	}
+	if err := t.Validator.MeasureBatch(initCfgs, []string{target}); err != nil {
+		return nil, err
+	}
+	var live []ssdconf.Config
+	for _, cfg := range initCfgs {
+		perfs, err := t.Validator.MeasureCluster(cfg, target) // cache hit
+		if err != nil {
+			return nil, err
+		}
+		if !t.overPowerBudget(perfs) {
+			live = append(live, cfg)
+		}
+	}
+	if err := t.Validator.MeasureBatch(live, t.Validator.NonTargetClusters(target)); err != nil {
+		return nil, err
+	}
+	for _, cfg := range initCfgs {
 		e, rejected, err := t.evaluate(target, cfg, math.Inf(-1), res)
 		if err != nil {
 			return nil, err
 		}
-		seen[cfg.Key()] = true
 		if rejected {
 			continue
 		}
@@ -235,11 +261,15 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 		}
 	}
 
-	// Final report: fully measure the best configuration everywhere.
+	// Final report: fully measure the best configuration everywhere, as
+	// one parallel batch.
 	best := bestEntry(validated)
 	res.Best = best.cfg
 	res.BestGrade = best.grade
 	res.BestPerf = map[string][]autodb.Perf{}
+	if err := t.Validator.MeasureBatch([]ssdconf.Config{best.cfg}, t.Validator.Clusters()); err != nil {
+		return nil, err
+	}
 	for _, cl := range t.Validator.Clusters() {
 		ps, err := t.Validator.MeasureCluster(best.cfg, cl)
 		if err != nil {
@@ -266,13 +296,9 @@ func (t *Tuner) evaluate(target string, cfg ssdconf.Config, worst float64, res *
 	}
 	// Power budget check (§3.4): drop configurations whose modeled
 	// power exceeds the budget.
-	if budget := t.Space.Cons.PowerBudgetWatts; budget > 0 {
-		for _, p := range perfs {
-			if p.PowerWatts > budget {
-				res.RejectedByPower++
-				return e, true, nil
-			}
-		}
+	if t.overPowerBudget(perfs) {
+		res.RejectedByPower++
+		return e, true, nil
 	}
 	e.targetPerf = t.Grader.ClusterPerformance(target, perfs)
 	e.latSp, e.tputSp = clusterSpeedups(t.Grader, target, perfs)
@@ -288,12 +314,15 @@ func (t *Tuner) evaluate(target string, cfg ssdconf.Config, worst float64, res *
 		return e, false, nil
 	}
 
+	// Non-target validation: the candidate's whole remaining frontier
+	// (every non-target cluster × trace) fans out as one batch.
+	nonTargets := t.Validator.NonTargetClusters(target)
+	if err := t.Validator.MeasureBatch([]ssdconf.Config{cfg}, nonTargets); err != nil {
+		return e, false, err
+	}
 	nonTarget := map[string]float64{}
-	for _, cl := range t.Validator.Clusters() {
-		if cl == target {
-			continue
-		}
-		ps, err := t.Validator.MeasureCluster(cfg, cl)
+	for _, cl := range nonTargets {
+		ps, err := t.Validator.MeasureCluster(cfg, cl) // cache hit
 		if err != nil {
 			return e, false, err
 		}
@@ -302,6 +331,21 @@ func (t *Tuner) evaluate(target string, cfg ssdconf.Config, worst float64, res *
 	e.grade = t.Grader.Grade(e.targetPerf, nonTarget, len(t.Validator.Workloads))
 	e.full = true
 	return e, false, nil
+}
+
+// overPowerBudget reports whether any target-cluster measurement exceeds
+// the constraint set's power budget (0 disables the check).
+func (t *Tuner) overPowerBudget(perfs []autodb.Perf) bool {
+	budget := t.Space.Cons.PowerBudgetWatts
+	if budget <= 0 {
+		return false
+	}
+	for _, p := range perfs {
+		if p.PowerWatts > budget {
+			return true
+		}
+	}
+	return false
 }
 
 // pickRoot selects a random entry among the top-K grades.
@@ -409,7 +453,13 @@ func (t *Tuner) fitGPR(validated []entry) *gpr.GP {
 
 func (t *Tuner) predict(gp *gpr.GP, c ssdconf.Config) float64 {
 	if gp == nil {
-		return t.rng.Float64() * 1e-6 // explore arbitrarily before the model exists
+		// Explore arbitrarily before the model exists. The noise is
+		// derived per candidate — hash(base seed, config key) — rather
+		// than drawn from the shared RNG stream, so a candidate's score
+		// is a pure function of (seed, candidate): independent of
+		// evaluation order and of how many workers the validator fans
+		// simulations over (serial ≡ parallel determinism).
+		return t.explorationNoise(c)
 	}
 	m, s, err := gp.Predict([][]float64{t.Space.Vector(c)})
 	if err != nil {
@@ -418,6 +468,18 @@ func (t *Tuner) predict(gp *gpr.GP, c ssdconf.Config) float64 {
 	// UCB: the paper notes BO "quantifies the exploration trade-offs
 	// with predicted mean and variance values".
 	return m[0] + 0.5*s[0]
+}
+
+// explorationNoise maps (seed, config key) to a deterministic tie-break
+// score in [0, 1e-6) via FNV-1a — the per-candidate derived-seed rule.
+func (t *Tuner) explorationNoise(c ssdconf.Config) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(t.Opts.Seed))
+	h.Write(b[:])
+	h.Write([]byte(c.Key()))
+	// Top 53 bits → uniform float64 in [0, 1), scaled down.
+	return float64(h.Sum64()>>11) / (1 << 53) * 1e-6
 }
 
 func (t *Tuner) converged(traj []float64) bool {

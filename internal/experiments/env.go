@@ -32,6 +32,7 @@ type Scale struct {
 	SGDSteps      int   // SGD steps per iteration
 	PruneSamples  int   // fine-pruning sample count
 	Seed          int64 // global seed
+	Parallel      int   // validation workers (0 = GOMAXPROCS)
 }
 
 // DefaultScale is sized for CI and benchmarks.
@@ -90,6 +91,7 @@ func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []
 		return nil, fmt.Errorf("experiments: reference violates constraints: %w", err)
 	}
 	e.Validator = core.NewValidator(space, e.Traces)
+	e.Validator.Parallel = scale.Parallel
 	g, err := core.NewGrader(e.Validator, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 	if err != nil {
 		return nil, err

@@ -28,7 +28,8 @@ type MatrixOptions struct {
 	// pruning and training of each workload can be performed in
 	// parallel". Results are identical to the sequential run (each
 	// target's search is independently seeded; the shared validation
-	// cache only changes who pays for a simulation, not its result).
+	// cache's singleflight dedup only changes who pays for a
+	// simulation, not its result).
 	Parallel bool
 	// Targets restricts the tuned targets (default: every workload).
 	Targets []string
@@ -165,6 +166,7 @@ func runTarget(e *Env, target string, opts MatrixOptions) (*TargetRun, error) {
 		// otherwise make whichever variant runs second look nearly free.
 		runFresh := func(useOrder bool) (*core.TuneResult, error) {
 			v := core.NewValidator(e.Space, e.Traces)
+			v.Parallel = e.Scale.Parallel
 			g, err := core.NewGrader(v, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 			if err != nil {
 				return nil, err

@@ -86,7 +86,11 @@ func RunTable6(e *Env) (*OverheadResult, error) {
 		return nil, err
 	}
 	// A dedicated validator so cached results don't hide validation cost.
+	// Serial workers: SimWall sums per-worker simulation time, so under
+	// parallelism it can exceed elapsed wall-clock and the learning-time
+	// subtraction below would go negative.
 	fresh := core.NewValidator(e.Space, e.Traces)
+	fresh.Parallel = 1
 	grader, err := core.NewGrader(fresh, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 	if err != nil {
 		return nil, err

@@ -26,7 +26,7 @@ var (
 )
 
 func scaleKey(s Scale, tag string) string {
-	return fmt.Sprintf("%s|%d|%d|%d|%d|%d", tag, s.Requests, s.MaxIterations, s.SGDSteps, s.PruneSamples, s.Seed)
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d|%d", tag, s.Requests, s.MaxIterations, s.SGDSteps, s.PruneSamples, s.Seed, s.Parallel)
 }
 
 // StudiedEnv returns (building once) the Table 1 environment: studied

@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -345,5 +346,25 @@ func TestScaleGeometryPreservesSmallDevices(t *testing.T) {
 	bpp2, ppb2 := scaleGeometry(&big, big.TotalPlanes())
 	if int64(big.TotalPlanes())*int64(bpp2)*int64(ppb2) > 8*targetSimPages {
 		t.Fatal("huge device not scaled enough")
+	}
+}
+
+// TestSimulatorRunDeterminism locks in the property the parallel
+// validation engine depends on: Run has no hidden randomness or
+// shared state, so the same (device, trace) pair always produces a
+// byte-identical Result — every latency, energy and operation counter.
+func TestSimulatorRunDeterminism(t *testing.T) {
+	p := DefaultParams()
+	tr := testTrace(workload.Database, 3000)
+	a := runTrace(t, p, tr)
+	b := runTrace(t, p, tr)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("simulator nondeterministic for identical inputs:\n first  %+v\n second %+v", a, b)
+	}
+	// A fresh simulator over a fresh (identically seeded) trace must
+	// agree too — the validator may rebuild either between runs.
+	c := runTrace(t, DefaultParams(), testTrace(workload.Database, 3000))
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("simulator result depends on instance identity:\n first %+v\n fresh %+v", a, c)
 	}
 }
