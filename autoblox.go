@@ -24,6 +24,7 @@ import (
 
 	"autoblox/internal/autodb"
 	"autoblox/internal/core"
+	"autoblox/internal/obs"
 	"autoblox/internal/ssd"
 	"autoblox/internal/ssdconf"
 	"autoblox/internal/trace"
@@ -94,6 +95,11 @@ type Options struct {
 	Parallel int
 	// WhatIfSpace switches the expanded §4.5 bounds on.
 	WhatIfSpace bool
+	// Metrics, when set, receives counters and latency histograms from
+	// the validator and every simulation it runs. nil disables metric
+	// collection at zero cost. Instrumentation never perturbs results:
+	// runs with and without a registry are bit-for-bit identical.
+	Metrics *obs.Registry
 }
 
 // Framework is the top-level AutoBlox object tying together the
@@ -222,6 +228,7 @@ func (f *Framework) ensureEnv() error {
 	}
 	f.validator = core.NewValidator(f.Space, f.traces)
 	f.validator.Parallel = f.opts.Parallel
+	f.validator.Obs = f.opts.Metrics
 	g, err := core.NewGrader(f.validator, f.refCfg, f.opts.Alpha, f.opts.Beta)
 	if err != nil {
 		return err

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	autoblox learn   -db autoblox.db [-requests 20000]
-//	autoblox recommend -db autoblox.db -trace new.trace [-capacity 512 -iface nvme -flash mlc -power 5]
+//	autoblox recommend -db autoblox.db -blktrace new.trace [-capacity 512 -iface nvme -flash mlc -power 5]
 //	autoblox prune   -db autoblox.db -target Database
 //	autoblox whatif  -target WebSearch -latency 3
 //	autoblox tune    -db autoblox.db -target Database
+//
+// Every subcommand also accepts the observability flags -metrics <file>,
+// -trace <file> (Chrome trace_event JSONL), -pprof <addr> and -progress.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"autoblox"
+	"autoblox/internal/cliobs"
 	"autoblox/internal/ssd"
 	"autoblox/internal/trace"
 	"autoblox/internal/workload"
@@ -67,10 +71,11 @@ type commonFlags struct {
 	iters    int
 	seed     int64
 	parallel int
+	obs      *cliobs.Flags
 }
 
 func registerCommon(fs *flag.FlagSet) *commonFlags {
-	c := &commonFlags{}
+	c := &commonFlags{obs: cliobs.Register(fs)}
 	fs.StringVar(&c.db, "db", "autoblox.db", "AutoDB path")
 	fs.IntVar(&c.capacity, "capacity", 512, "capacity constraint (GB)")
 	fs.StringVar(&c.iface, "iface", "nvme", "interface constraint: nvme or sata")
@@ -104,10 +109,22 @@ func (c *commonFlags) constraints() autoblox.Constraints {
 	return cons
 }
 
+// setupObs activates the observability flags, exiting on error.
+func (c *commonFlags) setupObs() func() {
+	cleanup, err := c.obs.Setup(c.iters)
+	if err != nil {
+		fatal(err)
+	}
+	return cleanup
+}
+
+// framework builds the Framework; call after setupObs so the metrics
+// registry (when requested) is attached to the validator.
 func (c *commonFlags) framework(whatIf bool) *autoblox.Framework {
 	opts := autoblox.Options{
 		DBPath: c.db, Seed: c.seed, WhatIfSpace: whatIf, Parallel: c.parallel,
-		Tuner: autoblox.TunerOptions{MaxIterations: c.iters},
+		Metrics: c.obs.Reg,
+		Tuner:   autoblox.TunerOptions{MaxIterations: c.iters},
 	}
 	fw, err := autoblox.New(c.constraints(), opts)
 	if err != nil {
@@ -131,6 +148,7 @@ func runLearn(args []string) {
 	fs := flag.NewFlagSet("learn", flag.ExitOnError)
 	c := registerCommon(fs)
 	fs.Parse(args)
+	defer c.setupObs()()
 	fw := c.framework(false)
 	defer fw.Close()
 	learnStudied(fw, c)
@@ -141,13 +159,15 @@ func runLearn(args []string) {
 func runRecommend(args []string) {
 	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
 	c := registerCommon(fs)
-	tracePath := fs.String("trace", "", "trace to recommend for ('-' = stdin)")
+	tracePath := fs.String("blktrace", "", "blktrace file to recommend for ('-' = stdin)")
 	cat := fs.String("workload", "", "or: synthesize this workload category")
 	fs.Parse(args)
 
+	defer c.setupObs()()
 	fw := c.framework(false)
 	defer fw.Close()
 	learnStudied(fw, c)
+	fw.SetProgress(c.obs.Prog.Update)
 
 	var tr *autoblox.Trace
 	var err error
@@ -163,7 +183,7 @@ func runRecommend(args []string) {
 			tr, err = trace.ParseBlktrace(f)
 		}
 	default:
-		fatal(fmt.Errorf("recommend: need -trace or -workload"))
+		fatal(fmt.Errorf("recommend: need -blktrace or -workload"))
 	}
 	if err != nil {
 		fatal(err)
@@ -191,14 +211,16 @@ func runTune(args []string) {
 	verbose := fs.Bool("v", false, "print per-iteration progress")
 	fs.Parse(args)
 
+	defer c.setupObs()()
 	fw := c.framework(false)
 	defer fw.Close()
 	learnStudied(fw, c)
-	if *verbose {
-		fw.SetProgress(func(iter int, best float64) {
+	fw.SetProgress(func(iter int, best float64) {
+		c.obs.Prog.Update(iter, best)
+		if *verbose {
 			fmt.Fprintf(os.Stderr, "  iteration %3d: best grade %.4f\n", iter+1, best)
-		})
-	}
+		}
+	})
 	res, err := fw.Tune(*target)
 	if err != nil {
 		fatal(err)
@@ -215,6 +237,7 @@ func runPrune(args []string) {
 	target := fs.String("target", "Database", "target workload category")
 	fs.Parse(args)
 
+	defer c.setupObs()()
 	fw := c.framework(false)
 	defer fw.Close()
 	learnStudied(fw, c)
@@ -236,9 +259,11 @@ func runWhatIf(args []string) {
 	tputGoal := fs.Float64("throughput", 0, "throughput-gain goal (e.g. 3 = 3x)")
 	fs.Parse(args)
 
+	defer c.setupObs()()
 	fw := c.framework(true)
 	defer fw.Close()
 	learnStudied(fw, c)
+	fw.SetProgress(c.obs.Prog.Update)
 	res, err := fw.WhatIf(autoblox.WhatIfGoal{
 		Target: *target, LatencyReduction: *latGoal, ThroughputGain: *tputGoal,
 	})

@@ -1,0 +1,30 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// structured JSON report on stdout:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_1.json
+//
+// CI uses it to publish benchmark numbers as a machine-readable
+// artifact.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"autoblox/internal/benchparse"
+)
+
+func main() {
+	rep, err := benchparse.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,9 @@
 //
 // Experiment ids: fig2 fig4 fig5 tab1 tab4 tab5 tab6 tab7 tab8 tab9
 // fig7 fig8 fig9 fig10 fig11 fig12.
+//
+// The observability flags -metrics <file>, -trace <file> (Chrome
+// trace_event JSONL), -pprof <addr> and -progress are also accepted.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"runtime"
 	"strings"
 
+	"autoblox/internal/cliobs"
 	"autoblox/internal/experiments"
 )
 
@@ -28,6 +32,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	csvDir := flag.String("csv", "", "also export artifact data as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -49,6 +54,14 @@ func main() {
 		scale.Seed = *seed
 	}
 	scale.Parallel = *parallel
+
+	cleanup, err := obsFlags.Setup(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer cleanup()
+	scale.Obs = obsFlags.Reg
 
 	filter := map[string]bool{}
 	if *only != "" {

@@ -12,10 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux served by -pprof
 	"os"
 	"strings"
 	"time"
 
+	"autoblox/internal/cliobs"
+	"autoblox/internal/obs"
 	"autoblox/internal/ssd"
 	"autoblox/internal/trace"
 	"autoblox/internal/workload"
@@ -31,7 +35,17 @@ func main() {
 	channels := flag.Int("channels", 0, "override channel count")
 	cacheMB := flag.Int("cache", 0, "override data cache size (MB)")
 	qd := flag.Int("qd", 0, "override queue depth")
+	metrics := flag.String("metrics", "", "write simulator metrics to this file (.json = JSON snapshot, else Prometheus text)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ssdsim: pprof:", err)
+			}
+		}()
+	}
 
 	var dev ssd.DeviceParams
 	switch strings.ToLower(*config) {
@@ -93,10 +107,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ssdsim:", err)
 		os.Exit(1)
 	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		sim.Obs = reg
+	}
 	res, err := sim.Run(tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssdsim:", err)
 		os.Exit(1)
+	}
+	if reg != nil {
+		cliobs.WriteMetrics(reg, *metrics)
 	}
 
 	fmt.Printf("device:   %s, %dch x %dchip x %ddie x %dplane, %s page %dB, cache %dMB, CMT %dMB, QD %d\n",
@@ -105,7 +127,10 @@ func main() {
 	fmt.Printf("capacity: %.1f GB raw / %.1f GB usable\n",
 		float64(dev.CapacityBytes())/1e9, float64(dev.UsableBytes())/1e9)
 	fmt.Printf("requests: %d over %v\n", res.Requests, res.Makespan.Round(time.Millisecond))
-	fmt.Printf("latency:  avg %v  p99 %v\n", res.AvgLatency.Round(time.Microsecond), res.P99Latency.Round(time.Microsecond))
+	fmt.Printf("latency:  avg %v  p50 %v  p95 %v  p99 %v  p99.9 %v\n",
+		res.AvgLatency.Round(time.Microsecond), res.P50Latency.Round(time.Microsecond),
+		res.P95Latency.Round(time.Microsecond), res.P99Latency.Round(time.Microsecond),
+		res.P999Latency.Round(time.Microsecond))
 	fmt.Printf("tput:     %.1f MB/s (%.0f IOPS)\n", res.ThroughputBps/1e6, res.IOPS)
 	fmt.Printf("energy:   %.3f J (%.2f W avg)\n", res.EnergyJoules, res.AvgPowerWatts)
 	fmt.Printf("flash:    %d reads, %d programs, %d erases, WA %.2f, %d GC runs\n",

@@ -1,0 +1,118 @@
+// Package benchparse converts `go test -bench` text output into a
+// structured report, so CI can publish benchmark numbers as a JSON
+// artifact instead of a log to eyeball.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every value-unit pair on the line:
+	// the standard ns/op, B/op, allocs/op plus any b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+	// SimsPerSec is derived when a benchmark reports both ns/op and a
+	// simulation-count metric: simulations ÷ wall seconds. Zero when
+	// underivable.
+	SimsPerSec float64 `json:"sims_per_sec,omitempty"`
+}
+
+// Report is a full parsed `go test -bench` run.
+type Report struct {
+	// Env carries the header lines (goos, goarch, pkg, cpu). With
+	// multiple packages in one run, the last header wins per key.
+	Env        map[string]string `json:"env"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// envKeys are the `go test -bench` header lines worth keeping.
+var envKeys = map[string]bool{"goos": true, "goarch": true, "pkg": true, "cpu": true}
+
+// Parse reads `go test -bench` output. Unrecognized lines (PASS, ok,
+// test log output) are skipped; a line that starts like a benchmark but
+// does not parse is an error.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ":"); ok && envKeys[k] {
+			rep.Env[k] = strings.TrimSpace(v)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one "BenchmarkName-P  N  value unit  value unit ..."
+// line.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("benchparse: short benchmark line %q", line)
+	}
+	b := Benchmark{Procs: 1, Metrics: map[string]float64{}}
+	b.Name = fields[0]
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchparse: iterations in %q: %w", line, err)
+	}
+	b.Iterations = n
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("benchparse: unpaired value/unit in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchparse: value %q in %q: %w", rest[i], line, err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	b.SimsPerSec = simsPerSec(b.Metrics)
+	return b, nil
+}
+
+// simsPerSec derives simulations/second from a per-op simulation count
+// and the per-op wall time. Matches the "avg_simulations" metric of the
+// root benchmarks and any future unit naming simulations.
+func simsPerSec(metrics map[string]float64) float64 {
+	ns, ok := metrics["ns/op"]
+	if !ok || ns <= 0 {
+		return 0
+	}
+	for unit, v := range metrics {
+		if unit == "sims" || strings.Contains(unit, "simulations") {
+			return v / (ns / 1e9)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: autoblox
+cpu: AMD EPYC 7B13
+BenchmarkFig2Clustering-8          	       1	 512345678 ns/op	        95.20 accuracy_%	  123456 B/op	     789 allocs/op
+BenchmarkFig8LearningTime-8        	       1	2000000000 ns/op	        12.00 avg_iterations	       150.0 avg_simulations
+BenchmarkDisabledCounter    	1000000000	         0.2505 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	autoblox	14.2s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env["goos"] != "linux" || rep.Env["cpu"] != "AMD EPYC 7B13" {
+		t.Fatalf("env = %+v", rep.Env)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	fig2 := rep.Benchmarks[0]
+	if fig2.Name != "BenchmarkFig2Clustering" || fig2.Procs != 8 || fig2.Iterations != 1 {
+		t.Fatalf("fig2 = %+v", fig2)
+	}
+	if fig2.Metrics["ns/op"] != 512345678 || fig2.Metrics["accuracy_%"] != 95.2 ||
+		fig2.Metrics["allocs/op"] != 789 {
+		t.Fatalf("fig2 metrics = %+v", fig2.Metrics)
+	}
+	if fig2.SimsPerSec != 0 {
+		t.Fatalf("fig2 has no sims metric, SimsPerSec = %g", fig2.SimsPerSec)
+	}
+
+	// 150 simulations over 2s of op time → 75 sims/sec.
+	learn := rep.Benchmarks[1]
+	if learn.SimsPerSec != 75 {
+		t.Fatalf("SimsPerSec = %g, want 75", learn.SimsPerSec)
+	}
+
+	// No -P suffix: procs defaults to 1.
+	disabled := rep.Benchmarks[2]
+	if disabled.Name != "BenchmarkDisabledCounter" || disabled.Procs != 1 ||
+		disabled.Iterations != 1000000000 {
+		t.Fatalf("disabled = %+v", disabled)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX abc 1 ns/op",   // non-numeric iterations
+		"BenchmarkX 1 12 ns/op 34", // unpaired trailing value
+		"BenchmarkX 1 oops ns/op",  // non-numeric metric value
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := Parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}

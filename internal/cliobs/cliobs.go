@@ -1,0 +1,108 @@
+// Package cliobs wires the observability layer (internal/obs) into
+// command-line binaries: it registers the shared -metrics, -trace,
+// -pprof and -progress flags and activates the requested observers.
+// With no flags set the run is uninstrumented and the hooks cost
+// nothing.
+package cliobs
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux served by -pprof
+	"os"
+	"strings"
+
+	"autoblox/internal/core"
+	"autoblox/internal/obs"
+)
+
+// Flags holds the parsed observability flags and, after Setup, the live
+// registry and progress reporter (nil when not requested).
+type Flags struct {
+	Metrics  string
+	Trace    string
+	Pprof    string
+	Progress bool
+
+	Reg  *obs.Registry
+	Prog *obs.Progress
+}
+
+// Register adds the observability flags to a flag set.
+func Register(fs *flag.FlagSet) *Flags {
+	o := &Flags{}
+	fs.StringVar(&o.Metrics, "metrics", "", "write metrics to this file at exit (.json = JSON snapshot, else Prometheus text)")
+	fs.StringVar(&o.Trace, "trace", "", "write a Chrome trace_event JSONL file (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&o.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.BoolVar(&o.Progress, "progress", false, "print a sims/sec + ETA ticker to stderr")
+	return o
+}
+
+// Setup activates the requested observers and returns a cleanup to
+// defer. iters seeds the progress ETA with the expected iteration count
+// (0 disables the ETA).
+func (o *Flags) Setup(iters int) (cleanup func(), err error) {
+	var closers []func()
+	if o.Pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(o.Pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
+	if o.Trace != "" {
+		f, err := os.Create(o.Trace)
+		if err != nil {
+			return nil, err
+		}
+		bw := bufio.NewWriter(f)
+		tr := obs.NewTracer(bw)
+		obs.SetTracer(tr)
+		closers = append(closers, func() {
+			obs.SetTracer(nil)
+			if err := tr.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+			bw.Flush()
+			f.Close()
+		})
+	}
+	if o.Metrics != "" || o.Progress {
+		o.Reg = obs.NewRegistry()
+	}
+	if o.Progress {
+		o.Prog = obs.NewProgress(os.Stderr, o.Reg.Counter(core.MetricSimRuns), 0)
+		o.Prog.SetTotal(iters)
+		o.Prog.Start()
+		closers = append(closers, o.Prog.Stop)
+	}
+	if o.Metrics != "" {
+		closers = append(closers, func() { WriteMetrics(o.Reg, o.Metrics) })
+	}
+	return func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}, nil
+}
+
+// WriteMetrics dumps a registry snapshot: JSON for .json paths,
+// Prometheus text exposition otherwise.
+func WriteMetrics(reg *obs.Registry, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		return
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = reg.WriteJSON(f)
+	} else {
+		err = reg.WritePrometheus(f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+	}
+}

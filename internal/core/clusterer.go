@@ -14,6 +14,7 @@ import (
 
 	"autoblox/internal/kmeans"
 	"autoblox/internal/linalg"
+	"autoblox/internal/obs"
 	"autoblox/internal/pca"
 	"autoblox/internal/trace"
 )
@@ -82,6 +83,8 @@ type Assignment struct {
 // TrainClusterer fits the clustering pipeline on one representative
 // trace per category.
 func TrainClusterer(traces []*trace.Trace, cfg ClustererConfig) (*Clusterer, error) {
+	sp := obs.StartSpan("clustering").ArgInt("traces", int64(len(traces)))
+	defer sp.End()
 	if len(traces) == 0 {
 		return nil, errors.New("core: no training traces")
 	}

@@ -9,10 +9,32 @@ import (
 	"time"
 
 	"autoblox/internal/autodb"
+	"autoblox/internal/obs"
 	"autoblox/internal/ssd"
 	"autoblox/internal/ssdconf"
 	"autoblox/internal/trace"
 )
+
+// Registry metric names recorded by an instrumented validator. Every
+// MeasureTrace call resolves as exactly one of: a cache hit, a coalesced
+// wait on another goroutine's in-flight run, or a fresh simulation.
+const (
+	MetricSimRuns   = "validator_sim_runs_total"
+	MetricCacheHits = "validator_cache_hits_total"
+	MetricCoalesced = "validator_coalesced_waits_total"
+	// MetricQueueWait is the time a fresh simulation waited for a worker
+	// slot; MetricSimTime is its in-simulator time. Comparing the two
+	// histograms separates queueing pressure from simulation cost.
+	MetricQueueWait = "validator_queue_wait_ns"
+	MetricSimTime   = "validator_sim_time_ns"
+	MetricDedupWait = "validator_dedup_wait_ns"
+)
+
+// MetricWorkerBusy names the per-worker busy-time counter of the batch
+// pool ("validator_worker_busy_ns{worker=\"N\"}").
+func MetricWorkerBusy(worker int) string {
+	return fmt.Sprintf(`validator_worker_busy_ns{worker="%d"}`, worker)
+}
 
 // Default hyperparameters from the paper's sensitivity studies (§4.6).
 const (
@@ -61,14 +83,26 @@ type Validator struct {
 	// all measurement calls; 0 (or negative) selects
 	// runtime.GOMAXPROCS(0). Set it before the first measurement.
 	Parallel int
+	// Obs, when non-nil, receives detailed metrics (cache hits, dedup
+	// waits, queue wait vs in-sim time, per-worker utilization) and is
+	// propagated to every simulator it runs. It never influences
+	// measurement results. Set it before the first measurement.
+	Obs *obs.Registry
 
 	mu       sync.Mutex
 	cache    map[simKey]autodb.Perf
 	inflight map[simKey]*inflightSim
 	sem      chan struct{} // validator-wide simulation slots (lazy)
 
-	simRuns atomic.Int64
-	simWall atomic.Int64 // nanoseconds
+	simRuns   atomic.Int64
+	simWall   atomic.Int64 // aggregate per-worker in-simulator ns
+	cacheHits atomic.Int64
+	coalesced atomic.Int64
+	// firstStartNS/lastEndNS bracket the real wall-clock span covered by
+	// simulations (unix ns): lastEnd-firstStart is elapsed time, not the
+	// per-worker sum simWall accumulates.
+	firstStartNS atomic.Int64
+	lastEndNS    atomic.Int64
 }
 
 // NewValidator builds a validator over one representative trace per
@@ -95,10 +129,84 @@ func NewValidatorGroups(space *ssdconf.Space, groups map[string][]*trace.Trace) 
 // cache (the paper's dominant overhead, Table 6).
 func (v *Validator) SimRuns() int { return int(v.simRuns.Load()) }
 
-// SimWall reports the cumulative wall-clock time spent inside the SSD
-// simulator, summed over all workers (efficiency validation time,
-// Table 6). Under parallel validation this exceeds elapsed wall time.
+// SimWall reports the cumulative time spent inside the SSD simulator,
+// summed over all workers (efficiency validation time, Table 6).
+//
+// Deprecated: the name suggests wall-clock time, but under parallel
+// validation the per-worker sum exceeds the real elapsed span. Use
+// Stats(), which reports both quantities unambiguously (SimBusy vs
+// WallSpan).
 func (v *Validator) SimWall() time.Duration { return time.Duration(v.simWall.Load()) }
+
+// ValidatorStats is a point-in-time snapshot of the validator's
+// always-on counters (kept regardless of whether Obs is set).
+type ValidatorStats struct {
+	// SimRuns counts fresh simulations (distinct cold keys).
+	SimRuns int64
+	// CacheHits counts MeasureTrace calls served from the memo cache.
+	CacheHits int64
+	// CoalescedWaits counts calls that waited on another goroutine's
+	// in-flight simulation of the same key (singleflight dedup).
+	CoalescedWaits int64
+	// SimBusy is the aggregate in-simulator time summed over workers;
+	// under parallel validation it exceeds WallSpan by up to the worker
+	// count.
+	SimBusy time.Duration
+	// WallSpan is the real elapsed span from the first simulation's start
+	// to the last simulation's end (0 until a simulation ran). It still
+	// includes any non-simulation time between batches, so it upper-bounds
+	// rather than equals total simulation wall time.
+	WallSpan time.Duration
+}
+
+// Utilization returns SimBusy / (workers × WallSpan): the mean fraction
+// of the worker pool kept busy over the simulated span.
+func (s ValidatorStats) Utilization(workers int) float64 {
+	if workers <= 0 || s.WallSpan <= 0 {
+		return 0
+	}
+	return float64(s.SimBusy) / (float64(workers) * float64(s.WallSpan))
+}
+
+// Stats snapshots the validator counters.
+func (v *Validator) Stats() ValidatorStats {
+	st := ValidatorStats{
+		SimRuns:        v.simRuns.Load(),
+		CacheHits:      v.cacheHits.Load(),
+		CoalescedWaits: v.coalesced.Load(),
+		SimBusy:        time.Duration(v.simWall.Load()),
+	}
+	if first := v.firstStartNS.Load(); first != 0 {
+		if last := v.lastEndNS.Load(); last > first {
+			st.WallSpan = time.Duration(last - first)
+		}
+	}
+	return st
+}
+
+// markSimSpan folds one simulation's [start, end] into the wall-span
+// bracket.
+func (v *Validator) markSimSpan(start, end time.Time) {
+	s, e := start.UnixNano(), end.UnixNano()
+	for {
+		cur := v.firstStartNS.Load()
+		if cur != 0 && cur <= s {
+			break
+		}
+		if v.firstStartNS.CompareAndSwap(cur, s) {
+			break
+		}
+	}
+	for {
+		cur := v.lastEndNS.Load()
+		if cur >= e {
+			break
+		}
+		if v.lastEndNS.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+}
 
 // workers resolves the concurrency bound.
 func (v *Validator) workers() int {
@@ -127,13 +235,23 @@ func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, tr *trace.Trac
 	v.mu.Lock()
 	if p, ok := v.cache[key]; ok {
 		v.mu.Unlock()
+		v.cacheHits.Add(1)
+		v.Obs.Counter(MetricCacheHits).Inc()
 		return p, nil
 	}
 	if fl, ok := v.inflight[key]; ok {
 		// Another goroutine is already simulating this key: wait for it
 		// rather than duplicating the run.
 		v.mu.Unlock()
-		<-fl.done
+		v.coalesced.Add(1)
+		v.Obs.Counter(MetricCoalesced).Inc()
+		if r := v.Obs; r != nil {
+			t0 := time.Now()
+			<-fl.done
+			r.Histogram(MetricDedupWait).Record(time.Since(t0).Nanoseconds())
+		} else {
+			<-fl.done
+		}
 		return fl.perf, fl.err
 	}
 	fl := &inflightSim{done: make(chan struct{})}
@@ -141,7 +259,9 @@ func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, tr *trace.Trac
 	v.mu.Unlock()
 
 	sem := v.slots()
+	waitStart := time.Now()
 	sem <- struct{}{}
+	v.Obs.Histogram(MetricQueueWait).Record(time.Since(waitStart).Nanoseconds())
 	fl.perf, fl.err = v.simulate(cfg, tr)
 	<-sem
 
@@ -162,13 +282,18 @@ func (v *Validator) simulate(cfg ssdconf.Config, tr *trace.Trace) (autodb.Perf, 
 	if err != nil {
 		return autodb.Perf{}, fmt.Errorf("core: validator: %w", err)
 	}
+	sim.Obs = v.Obs
 	t0 := time.Now()
 	res, err := sim.Run(tr)
 	if err != nil {
 		return autodb.Perf{}, fmt.Errorf("core: validator run: %w", err)
 	}
+	t1 := time.Now()
 	v.simRuns.Add(1)
-	v.simWall.Add(time.Since(t0).Nanoseconds())
+	v.simWall.Add(t1.Sub(t0).Nanoseconds())
+	v.markSimSpan(t0, t1)
+	v.Obs.Counter(MetricSimRuns).Inc()
+	v.Obs.Histogram(MetricSimTime).Record(t1.Sub(t0).Nanoseconds())
 	return autodb.Perf{
 		LatencyNS:     res.AvgLatency.Nanoseconds(),
 		P99LatencyNS:  res.P99Latency.Nanoseconds(),
@@ -242,18 +367,27 @@ func (v *Validator) measureJobs(jobs []batchJob) error {
 	ch := make(chan batchJob)
 	for w := 0; w < n; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Per-worker busy time: utilization = busy / batch span.
+			var busy *obs.Counter
+			if r := v.Obs; r != nil {
+				busy = r.Counter(MetricWorkerBusy(w))
+			}
 			for j := range ch {
 				if failed.Load() {
 					continue
 				}
+				t0 := time.Now()
 				if _, err := v.MeasureTrace(j.cfg, j.name, j.tr); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 				}
+				if busy != nil {
+					busy.Add(time.Since(t0).Nanoseconds())
+				}
 			}
-		}()
+		}(w)
 	}
 	for _, j := range jobs {
 		ch <- j
@@ -328,6 +462,8 @@ type Grader struct {
 func NewGrader(v *Validator, refCfg ssdconf.Config, alpha, beta float64) (*Grader, error) {
 	g := &Grader{Alpha: alpha, Beta: beta, Ref: make(map[string][]autodb.Perf)}
 	clusters := v.Clusters()
+	sp := obs.StartSpan("reference").ArgInt("clusters", int64(len(clusters)))
+	defer sp.End()
 	if err := v.MeasureBatch([]ssdconf.Config{refCfg}, clusters); err != nil {
 		return nil, err
 	}

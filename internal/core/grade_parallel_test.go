@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
+	"autoblox/internal/obs"
 	"autoblox/internal/ssd"
 	"autoblox/internal/ssdconf"
 	"autoblox/internal/trace"
@@ -153,12 +155,28 @@ func TestSingleflightStress(t *testing.T) {
 	if got := v.SimRuns(); got != distinct {
 		t.Fatalf("SimRuns = %d, want %d (duplicate simulation slipped past singleflight)", got, distinct)
 	}
+
+	// Dedup accounting: every MeasureTrace call resolves as exactly one of
+	// {fresh simulation, cache hit, coalesced wait}. The batching half
+	// issues 8 lookups per MeasureBatch, the lookup half 8 each.
+	st := v.Stats()
+	totalCalls := int64(goroutines * len(cfgs) * len(clusters))
+	if st.SimRuns != int64(distinct) {
+		t.Fatalf("Stats().SimRuns = %d, want %d", st.SimRuns, distinct)
+	}
+	if got := st.SimRuns + st.CacheHits + st.CoalescedWaits; got != totalCalls {
+		t.Fatalf("fresh(%d) + cacheHits(%d) + coalesced(%d) = %d, want %d total MeasureTrace calls",
+			st.SimRuns, st.CacheHits, st.CoalescedWaits, got, totalCalls)
+	}
+	if st.SimBusy <= 0 || st.WallSpan <= 0 {
+		t.Fatalf("Stats() timing not recorded: SimBusy=%v WallSpan=%v", st.SimBusy, st.WallSpan)
+	}
 }
 
 // parallelTunerEnv is testEnv with an explicit worker bound, applied
 // before the grader's reference batch so every simulation goes through
 // the configured pool.
-func parallelTunerEnv(t *testing.T, parallel int) (*ssdconf.Space, *Validator, *Grader, ssdconf.Config) {
+func parallelTunerEnv(t *testing.T, parallel int, reg *obs.Registry) (*ssdconf.Space, *Validator, *Grader, ssdconf.Config) {
 	t.Helper()
 	space := ssdconf.NewSpace(ssdconf.DefaultConstraints())
 	ws := map[string]*trace.Trace{}
@@ -167,6 +185,7 @@ func parallelTunerEnv(t *testing.T, parallel int) (*ssdconf.Space, *Validator, *
 	}
 	v := NewValidator(space, ws)
 	v.Parallel = parallel
+	v.Obs = reg
 	ref := space.FromDevice(ssd.Intel750())
 	g, err := NewGrader(v, ref, DefaultAlpha, DefaultBeta)
 	if err != nil {
@@ -177,10 +196,12 @@ func parallelTunerEnv(t *testing.T, parallel int) (*ssdconf.Space, *Validator, *
 
 // TestTuneSerialParallelEquivalence is the acceptance-criteria test:
 // Tune at -parallel 1 and -parallel 8 with the same seed must return the
-// identical best configuration, grade, trajectory and simulation count.
+// identical best configuration, grade, trajectory and simulation count —
+// and so must a fully instrumented run (metrics registry + active
+// tracer), proving observability never perturbs results.
 func TestTuneSerialParallelEquivalence(t *testing.T) {
-	run := func(parallel int) *TuneResult {
-		space, v, g, ref := parallelTunerEnv(t, parallel)
+	run := func(parallel int, reg *obs.Registry) *TuneResult {
+		space, v, g, ref := parallelTunerEnv(t, parallel, reg)
 		tuner, err := NewTuner(space, v, g, TunerOptions{Seed: 5, MaxIterations: 6, SGDSteps: 3})
 		if err != nil {
 			t.Fatal(err)
@@ -191,30 +212,56 @@ func TestTuneSerialParallelEquivalence(t *testing.T) {
 		}
 		return res
 	}
-	serial := run(1)
-	parallel := run(8)
+	serial := run(1, nil)
+	parallel := run(8, nil)
 
-	if !ssdconf.Equal(serial.Best, parallel.Best) {
-		t.Fatalf("best configs differ:\n serial   %s\n parallel %s",
-			serial.Best.Key(), parallel.Best.Key())
-	}
-	if serial.BestGrade != parallel.BestGrade {
-		t.Fatalf("best grades differ: serial %v, parallel %v", serial.BestGrade, parallel.BestGrade)
-	}
-	if serial.Iterations != parallel.Iterations {
-		t.Fatalf("iteration counts differ: serial %d, parallel %d", serial.Iterations, parallel.Iterations)
-	}
-	if len(serial.Trajectory) != len(parallel.Trajectory) {
-		t.Fatalf("trajectory lengths differ: %d vs %d", len(serial.Trajectory), len(parallel.Trajectory))
-	}
-	for i := range serial.Trajectory {
-		if serial.Trajectory[i] != parallel.Trajectory[i] {
-			t.Fatalf("trajectories diverge at %d: %v vs %v",
-				i, serial.Trajectory[i], parallel.Trajectory[i])
+	// Third run: parallel AND observed — metrics registry attached and a
+	// live global tracer capturing spans. Must be bit-for-bit identical
+	// to the uninstrumented serial run.
+	reg := obs.NewRegistry()
+	var traceBuf bytes.Buffer
+	obs.SetTracer(obs.NewTracer(&traceBuf))
+	observed := run(8, reg)
+	obs.SetTracer(nil)
+
+	check := func(label string, got *TuneResult) {
+		t.Helper()
+		if !ssdconf.Equal(serial.Best, got.Best) {
+			t.Fatalf("best configs differ:\n serial %s\n %s %s",
+				serial.Best.Key(), label, got.Best.Key())
+		}
+		if serial.BestGrade != got.BestGrade {
+			t.Fatalf("best grades differ: serial %v, %s %v", serial.BestGrade, label, got.BestGrade)
+		}
+		if serial.Iterations != got.Iterations {
+			t.Fatalf("iteration counts differ: serial %d, %s %d", serial.Iterations, label, got.Iterations)
+		}
+		if len(serial.Trajectory) != len(got.Trajectory) {
+			t.Fatalf("trajectory lengths differ: %d vs %s %d", len(serial.Trajectory), label, len(got.Trajectory))
+		}
+		for i := range serial.Trajectory {
+			if serial.Trajectory[i] != got.Trajectory[i] {
+				t.Fatalf("trajectories diverge at %d: %v vs %s %v",
+					i, serial.Trajectory[i], label, got.Trajectory[i])
+			}
+		}
+		if serial.SimRuns != got.SimRuns {
+			t.Fatalf("simulation counts differ: serial %d, %s %d (a duplicate or skipped sim)",
+				serial.SimRuns, label, got.SimRuns)
 		}
 	}
-	if serial.SimRuns != parallel.SimRuns {
-		t.Fatalf("simulation counts differ: serial %d, parallel %d (a duplicate or skipped sim)",
-			serial.SimRuns, parallel.SimRuns)
+	check("parallel", parallel)
+	check("observed", observed)
+
+	// The instrumented run must actually have produced telemetry.
+	if got := reg.Counter(MetricSimRuns).Value(); got == 0 {
+		t.Fatal("instrumented run recorded no simulations in the registry")
+	}
+	if reg.Histogram(MetricSimTime).Count() == 0 {
+		t.Fatal("instrumented run recorded no sim-time samples")
+	}
+	if !bytes.Contains(traceBuf.Bytes(), []byte(`"name":"tune"`)) ||
+		!bytes.Contains(traceBuf.Bytes(), []byte(`"name":"iteration"`)) {
+		t.Fatalf("trace output missing tune/iteration spans:\n%.500s", traceBuf.String())
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"autoblox/internal/linalg"
+	"autoblox/internal/obs"
 	"autoblox/internal/ridge"
 	"autoblox/internal/ssdconf"
 )
@@ -68,6 +69,8 @@ type CoarseResult struct {
 // on the performance even if they break the configuration constraints").
 func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, opts PruneOptions) (*CoarseResult, error) {
 	opts.defaults()
+	sp := obs.StartSpan("coarse-prune").Arg("target", target)
+	defer sp.End()
 	traces, ok := v.Workloads[target]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown target %q", target)
@@ -159,6 +162,8 @@ type FineResult struct {
 // values, and prunes parameters with |coefficient| below the threshold.
 func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coarseInsensitive []string, opts PruneOptions) (*FineResult, error) {
 	opts.defaults()
+	sp := obs.StartSpan("fine-prune").Arg("target", target)
+	defer sp.End()
 	traces, ok := v.Workloads[target]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown target %q", target)

@@ -12,6 +12,7 @@ import (
 
 	"autoblox/internal/autodb"
 	"autoblox/internal/gpr"
+	"autoblox/internal/obs"
 	"autoblox/internal/ssdconf"
 )
 
@@ -161,6 +162,8 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 	}
 	start := time.Now()
 	simStart := t.Validator.SimRuns()
+	tsp := obs.StartSpan("tune").Arg("target", target)
+	defer tsp.End()
 
 	res := &TuneResult{Target: target}
 	var validated []entry
@@ -182,31 +185,38 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 		seen[cfg.Key()] = true
 		initCfgs = append(initCfgs, cfg)
 	}
-	if err := t.Validator.MeasureBatch(initCfgs, []string{target}); err != nil {
+	if err := func() error {
+		sp := obs.StartSpan("frontier").ArgInt("configs", int64(len(initCfgs)))
+		defer sp.End()
+		if err := t.Validator.MeasureBatch(initCfgs, []string{target}); err != nil {
+			return err
+		}
+		var live []ssdconf.Config
+		for _, cfg := range initCfgs {
+			perfs, err := t.Validator.MeasureCluster(cfg, target) // cache hit
+			if err != nil {
+				return err
+			}
+			if !t.overPowerBudget(perfs) {
+				live = append(live, cfg)
+			}
+		}
+		if err := t.Validator.MeasureBatch(live, t.Validator.NonTargetClusters(target)); err != nil {
+			return err
+		}
+		for _, cfg := range initCfgs {
+			e, rejected, err := t.evaluate(target, cfg, math.Inf(-1), res)
+			if err != nil {
+				return err
+			}
+			if rejected {
+				continue
+			}
+			validated = append(validated, e)
+		}
+		return nil
+	}(); err != nil {
 		return nil, err
-	}
-	var live []ssdconf.Config
-	for _, cfg := range initCfgs {
-		perfs, err := t.Validator.MeasureCluster(cfg, target) // cache hit
-		if err != nil {
-			return nil, err
-		}
-		if !t.overPowerBudget(perfs) {
-			live = append(live, cfg)
-		}
-	}
-	if err := t.Validator.MeasureBatch(live, t.Validator.NonTargetClusters(target)); err != nil {
-		return nil, err
-	}
-	for _, cfg := range initCfgs {
-		e, rejected, err := t.evaluate(target, cfg, math.Inf(-1), res)
-		if err != nil {
-			return nil, err
-		}
-		if rejected {
-			continue
-		}
-		validated = append(validated, e)
 	}
 	if len(validated) == 0 {
 		return nil, errors.New("core: no initial configuration satisfies the constraints (capacity/power)")
@@ -216,47 +226,63 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 	for iter := 0; iter < t.Opts.MaxIterations; iter++ {
 		res.Iterations++
 
-		// ② pick a search root among the top-K grades (random within
-		// the top three prevents premature convergence, §3.4).
-		root := t.pickRoot(validated)
+		// The iteration body runs in a closure so its trace span ends
+		// exactly once on every exit path (advance, no-candidate,
+		// convergence, error).
+		stop, err := func() (bool, error) {
+			sp := obs.StartSpan("iteration").ArgInt("iter", int64(iter))
+			defer sp.End()
 
-		// ③/④ SGD + GPR search for the next candidate.
-		cand := t.sgdSearch(root, validated, seen, iter)
-		if cand == nil {
-			noProgress++
-			res.Trajectory = append(res.Trajectory, bestGrade(validated))
-			if noProgress >= 3 {
-				res.Converged = true
-				break
+			// ② pick a search root among the top-K grades (random within
+			// the top three prevents premature convergence, §3.4).
+			root := t.pickRoot(validated)
+
+			// ③/④ SGD + GPR search for the next candidate.
+			cand := t.sgdSearch(root, validated, seen, iter)
+			if cand == nil {
+				noProgress++
+				res.Trajectory = append(res.Trajectory, bestGrade(validated))
+				if noProgress >= 3 {
+					res.Converged = true
+					return true, nil
+				}
+				return false, nil
 			}
-			continue
-		}
-		noProgress = 0
+			noProgress = 0
+			sp.Arg("config", cand.Key())
 
-		// ⑤ efficiency validation.
-		worst := worstRetainedGrade(validated, t.Opts.TopK)
-		e, rejected, err := t.evaluate(target, cand, worst, res)
+			// ⑤ efficiency validation.
+			worst := worstRetainedGrade(validated, t.Opts.TopK)
+			e, rejected, err := t.evaluate(target, cand, worst, res)
+			if err != nil {
+				return true, err
+			}
+			seen[cand.Key()] = true
+			if !rejected {
+				validated = append(validated, e)
+			}
+
+			res.Trajectory = append(res.Trajectory, bestGrade(validated))
+			if t.Opts.OnIteration != nil {
+				t.Opts.OnIteration(iter, bestGrade(validated))
+			}
+			if t.Opts.StopCondition != nil {
+				b := bestEntry(validated)
+				if t.Opts.StopCondition(b.latSp, b.tputSp) {
+					res.Converged = true
+					return true, nil
+				}
+			}
+			if t.converged(res.Trajectory) {
+				res.Converged = true
+				return true, nil
+			}
+			return false, nil
+		}()
 		if err != nil {
 			return nil, err
 		}
-		seen[cand.Key()] = true
-		if !rejected {
-			validated = append(validated, e)
-		}
-
-		res.Trajectory = append(res.Trajectory, bestGrade(validated))
-		if t.Opts.OnIteration != nil {
-			t.Opts.OnIteration(iter, bestGrade(validated))
-		}
-		if t.Opts.StopCondition != nil {
-			b := bestEntry(validated)
-			if t.Opts.StopCondition(b.latSp, b.tputSp) {
-				res.Converged = true
-				break
-			}
-		}
-		if t.converged(res.Trajectory) {
-			res.Converged = true
+		if stop {
 			break
 		}
 	}
@@ -267,16 +293,20 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 	res.Best = best.cfg
 	res.BestGrade = best.grade
 	res.BestPerf = map[string][]autodb.Perf{}
+	msp := obs.StartSpan("final-measure").Arg("config", best.cfg.Key())
 	if err := t.Validator.MeasureBatch([]ssdconf.Config{best.cfg}, t.Validator.Clusters()); err != nil {
+		msp.End()
 		return nil, err
 	}
 	for _, cl := range t.Validator.Clusters() {
 		ps, err := t.Validator.MeasureCluster(best.cfg, cl)
 		if err != nil {
+			msp.End()
 			return nil, err
 		}
 		res.BestPerf[cl] = ps
 	}
+	msp.End()
 	res.SimRuns = t.Validator.SimRuns() - simStart
 	res.Elapsed = time.Since(start)
 	return res, nil

@@ -16,6 +16,7 @@ import (
 	"io"
 
 	"autoblox/internal/core"
+	"autoblox/internal/obs"
 	"autoblox/internal/ssd"
 	"autoblox/internal/ssdconf"
 	"autoblox/internal/trace"
@@ -33,6 +34,9 @@ type Scale struct {
 	PruneSamples  int   // fine-pruning sample count
 	Seed          int64 // global seed
 	Parallel      int   // validation workers (0 = GOMAXPROCS)
+	// Obs, when set, receives validator/simulator metrics. Optional and
+	// free when nil; never affects the measured results.
+	Obs *obs.Registry
 }
 
 // DefaultScale is sized for CI and benchmarks.
@@ -92,6 +96,7 @@ func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []
 	}
 	e.Validator = core.NewValidator(space, e.Traces)
 	e.Validator.Parallel = scale.Parallel
+	e.Validator.Obs = scale.Obs
 	g, err := core.NewGrader(e.Validator, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 	if err != nil {
 		return nil, err

@@ -86,9 +86,11 @@ func RunTable6(e *Env) (*OverheadResult, error) {
 		return nil, err
 	}
 	// A dedicated validator so cached results don't hide validation cost.
-	// Serial workers: SimWall sums per-worker simulation time, so under
-	// parallelism it can exceed elapsed wall-clock and the learning-time
-	// subtraction below would go negative.
+	// Serial workers: Stats().SimBusy sums per-worker simulation time
+	// (NOT elapsed wall-clock — under parallelism the sum exceeds the
+	// real span, Stats().WallSpan, and the learning-time subtraction
+	// below would go negative). Pinning Parallel=1 makes SimBusy and
+	// WallSpan coincide so "total - SimBusy" is a valid learning cost.
 	fresh := core.NewValidator(e.Space, e.Traces)
 	fresh.Parallel = 1
 	grader, err := core.NewGrader(fresh, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
@@ -108,7 +110,7 @@ func RunTable6(e *Env) (*OverheadResult, error) {
 
 	// Efficiency validation is the simulator time per search iteration;
 	// learning is everything else (GPR fits, SGD walks, bookkeeping).
-	simWall := fresh.SimWall()
+	simWall := fresh.Stats().SimBusy
 	if res.Iterations > 0 {
 		out.EfficiencyValidation = simWall / time.Duration(res.Iterations)
 		learning := total - simWall

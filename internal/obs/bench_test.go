@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The disabled-observability path must be a zero-allocation nil check:
+// the <2% overhead budget on the tuning benchmarks depends on it.
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("x").Inc()
+	}
+}
+
+func BenchmarkDisabledHistogram(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	SetTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan("x").ArgInt("i", int64(i)).End()
+	}
+}
+
+func BenchmarkEnabledHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := NewTracer(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.StartSpan("x").End()
+	}
+}
+
+func TestDisabledOpsDoNotAllocate(t *testing.T) {
+	var r *Registry
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Counter("x").Inc()
+		r.Histogram("h").Record(1)
+		r.Gauge("g").Set(1)
+		StartSpan("s").Arg("k", "v").End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability allocated %.1f times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress periodically prints a one-line status — simulations/second
+// from a counter, plus iteration progress and an ETA when the caller
+// feeds them in — to a writer (typically stderr). It is purely an
+// observer: it never influences the computation it reports on.
+type Progress struct {
+	w        io.Writer
+	sims     *Counter // may be nil; rate then reads as 0
+	interval time.Duration
+
+	total atomic.Int64
+	iter  atomic.Int64
+	best  atomic.Uint64 // float64 bits
+
+	start    time.Time
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewProgress builds a reporter over a sims counter. A zero interval
+// defaults to 2s.
+func NewProgress(w io.Writer, sims *Counter, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Progress{
+		w: w, sims: sims, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// SetTotal declares the expected iteration count (enables the ETA).
+func (p *Progress) SetTotal(n int) {
+	if p != nil {
+		p.total.Store(int64(n))
+	}
+}
+
+// Update records iteration progress; wire it into TunerOptions.OnIteration.
+func (p *Progress) Update(iter int, best float64) {
+	if p == nil {
+		return
+	}
+	p.iter.Store(int64(iter) + 1)
+	p.best.Store(math.Float64bits(best))
+}
+
+// Start launches the ticker goroutine.
+func (p *Progress) Start() {
+	if p == nil {
+		return
+	}
+	p.start = time.Now()
+	go func() {
+		defer close(p.done)
+		tick := time.NewTicker(p.interval)
+		defer tick.Stop()
+		lastSims := p.sims.Value()
+		lastTime := p.start
+		for {
+			select {
+			case <-p.stop:
+				return
+			case now := <-tick.C:
+				cur := p.sims.Value()
+				rate := float64(cur-lastSims) / now.Sub(lastTime).Seconds()
+				lastSims, lastTime = cur, now
+				p.line(cur, rate)
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker and prints a final summary line.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		<-p.done
+		elapsed := time.Since(p.start)
+		cur := p.sims.Value()
+		fmt.Fprintf(p.w, "progress: done: %d sims in %v (%.1f sims/s)\n",
+			cur, elapsed.Round(time.Millisecond), float64(cur)/elapsed.Seconds())
+	})
+}
+
+// line prints one status line.
+func (p *Progress) line(sims int64, rate float64) {
+	fmt.Fprintf(p.w, "progress: %d sims (%.1f/s)", sims, rate)
+	iter, total := p.iter.Load(), p.total.Load()
+	if iter > 0 {
+		fmt.Fprintf(p.w, " iter %d", iter)
+		if total > 0 {
+			fmt.Fprintf(p.w, "/%d", total)
+		}
+		fmt.Fprintf(p.w, " best %.4f", math.Float64frombits(p.best.Load()))
+		if total > iter {
+			eta := time.Duration(float64(time.Since(p.start)) / float64(iter) * float64(total-iter))
+			fmt.Fprintf(p.w, " eta %v", eta.Round(time.Second))
+		}
+	}
+	fmt.Fprintln(p.w)
+}

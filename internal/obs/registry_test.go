@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Record(9)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil registry counter = %d, want 0", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same name must return the same counter handle")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("same name must return the same histogram handle")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("hits").Inc()
+				r.Gauge("load").Set(float64(i))
+				r.Histogram("lat").Record(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+	if got := r.Histogram("lat").Count(); got != 16000 {
+		t.Fatalf("histogram count = %d, want 16000", got)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	g := &Gauge{}
+	g.Set(1.25)
+	g.Add(0.75)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge = %v, want 2.0", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_runs_total").Add(42)
+	r.Counter(`worker_busy_ns{worker="3"}`).Add(7)
+	r.Gauge("queue_depth").Set(3.5)
+	h := r.Histogram("latency_ns")
+	h.Record(10)
+	h.Record(10)
+	h.Record(1000)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sim_runs_total 42\n",
+		`worker_busy_ns{worker="3"} 7` + "\n",
+		"queue_depth 3.5\n",
+		`latency_ns_bucket{le="10"} 2` + "\n",
+		`latency_ns_bucket{le="+Inf"} 3` + "\n",
+		"latency_ns_sum 1020\n",
+		"latency_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be monotone: the 1000-sample bucket
+	// line carries the full count.
+	if !strings.Contains(out, "} 3\n") {
+		t.Errorf("expected a cumulative bucket reaching 3:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Add(5)
+	r.Histogram("lat").Record(100)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["runs"] != 5 {
+		t.Fatalf("counters = %+v, want runs=5", s.Counters)
+	}
+	if h := s.Histograms["lat"]; h.Count != 1 || h.P50 < 100 {
+		t.Fatalf("histogram snapshot = %+v", s.Histograms["lat"])
+	}
+}

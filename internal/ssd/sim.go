@@ -2,20 +2,29 @@ package ssd
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"time"
 
+	"autoblox/internal/obs"
 	"autoblox/internal/trace"
 )
 
 // Result carries the measured performance and energy of one simulation.
 type Result struct {
 	Requests int
-	// AvgLatency is the mean request latency.
+	// AvgLatency is the mean request latency (exact).
 	AvgLatency time.Duration
-	// P99Latency is the 99th-percentile request latency.
-	P99Latency time.Duration
+	// P50/P95/P99/P999Latency are request-latency quantiles estimated
+	// from a log-linear histogram of every request (conservative
+	// nearest-rank upper bounds, ≤1/32 relative bucket error — see
+	// obs.Histogram.Quantile). The histogram replaces the former
+	// sort-the-whole-latency-slice single-P99 computation.
+	P50Latency  time.Duration
+	P95Latency  time.Duration
+	P99Latency  time.Duration
+	P999Latency time.Duration
+	// LatencyHistogram is the full per-request latency distribution
+	// (nanosecond samples) the quantiles above are read from.
+	LatencyHistogram obs.HistogramSnapshot
 	// ThroughputBps is total payload bytes divided by makespan.
 	ThroughputBps float64
 	// IOPS is requests divided by makespan.
@@ -53,7 +62,20 @@ type Result struct {
 // Simulator runs traces against a device configuration.
 type Simulator struct {
 	p DeviceParams
+	// Obs, when non-nil, receives cross-run metrics: the shared
+	// per-request latency histogram plus GC-pause and channel-stall
+	// distributions. It never influences simulation results — instrumented
+	// and uninstrumented runs are bit-for-bit identical — and may be
+	// shared by concurrently running simulators (recording is atomic).
+	Obs *obs.Registry
 }
+
+// Registry metric names recorded by instrumented simulations.
+const (
+	MetricRequestLatency = "ssd_request_latency_ns"
+	MetricGCPause        = "ssd_gc_pause_ns"
+	MetricChannelStall   = "ssd_channel_stall_ns"
+)
 
 // NewSimulator validates params and returns a simulator.
 func NewSimulator(p DeviceParams) (*Simulator, error) {
@@ -78,6 +100,13 @@ func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
 		return nil, err
 	}
 	eng.warmup(tr)
+	// Observability handles attach after warm-up so registry histograms
+	// only see measured-phase events (warm-up replays the trace once).
+	if s.Obs != nil {
+		eng.reqHist = s.Obs.Histogram(MetricRequestLatency)
+		eng.gcHist = s.Obs.Histogram(MetricGCPause)
+		eng.stallHist = s.Obs.Histogram(MetricChannelStall)
+	}
 	return eng.run(tr)
 }
 
@@ -155,6 +184,13 @@ type engine struct {
 	dramAccesses           int64
 	mergedRequests         int64
 	proactiveFlushes       int64
+
+	// latHist is the per-run request-latency histogram Result quantiles
+	// are computed from (always allocated).
+	latHist *obs.Histogram
+	// Registry-backed histograms; nil (no-op) when the simulator runs
+	// uninstrumented.
+	reqHist, gcHist, stallHist *obs.Histogram
 }
 
 func newEngine(p *DeviceParams) (*engine, error) {
@@ -168,6 +204,7 @@ func newEngine(p *DeviceParams) (*engine, error) {
 		cmt:         newCMT(p, f.capScale),
 		cache:       newDataCache(p, f.capScale),
 		channelFree: make([]int64, p.Channels),
+		latHist:     obs.NewHistogram(),
 	}
 	e.readNS = p.ReadLatency.Nanoseconds()
 	e.progNS = p.ProgramLatency.Nanoseconds()
@@ -251,7 +288,10 @@ func (e *engine) run(tr *trace.Trace) (*Result, error) {
 		e.hostFree = xferBegin + hostXfer
 		done = xferBegin + hostXfer
 		commit(done)
-		latencies[i] = done - dispatch
+		lat := done - dispatch
+		latencies[i] = lat
+		e.latHist.Record(lat)
+		e.reqHist.Record(lat)
 		if done > lastCompletion {
 			lastCompletion = done
 		}
@@ -386,6 +426,7 @@ func (e *engine) flashRead(pl planeID, t int64) int64 {
 	xferBegin := cellDone
 	if e.channelFree[ch] > xferBegin {
 		xferBegin = e.channelFree[ch]
+		e.stallHist.Record(xferBegin - cellDone)
 	}
 	e.channelFree[ch] = xferBegin + e.xferNS
 	e.channelBusyNS += e.xferNS
@@ -399,6 +440,7 @@ func (e *engine) flashProgram(pl planeID, t int64) (busStart int64) {
 	busStart = t
 	if e.channelFree[ch] > busStart {
 		busStart = e.channelFree[ch]
+		e.stallHist.Record(busStart - t)
 	}
 	e.channelFree[ch] = busStart + e.xferNS
 	e.channelBusyNS += e.xferNS
@@ -437,6 +479,9 @@ func (e *engine) chargeGC(pl planeID, moves, erases int32, t int64) {
 			busy -= idle
 		}
 	}
+	// The foreground spill (post-idle-absorption) is the GC pause a
+	// request actually observes; absorbed background GC records as 0.
+	e.gcHist.Record(busy)
 	fp.nextFree += busy
 }
 
@@ -447,9 +492,11 @@ func (e *engine) buildResult(latencies []int64, totalBytes uint64, firstArrival,
 		sum += l
 	}
 	r.AvgLatency = time.Duration(sum / int64(len(latencies)))
-	sorted := append([]int64(nil), latencies...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	r.P99Latency = time.Duration(sorted[int(math.Ceil(float64(len(sorted))*0.99))-1])
+	r.P50Latency = time.Duration(e.latHist.Quantile(0.50))
+	r.P95Latency = time.Duration(e.latHist.Quantile(0.95))
+	r.P99Latency = time.Duration(e.latHist.Quantile(0.99))
+	r.P999Latency = time.Duration(e.latHist.Quantile(0.999))
+	r.LatencyHistogram = e.latHist.Snapshot()
 
 	makespan := lastCompletion - firstArrival
 	if makespan <= 0 {

@@ -108,6 +108,18 @@ func TestBasicRunSane(t *testing.T) {
 	if res.AvgLatency <= 0 || res.P99Latency < res.AvgLatency {
 		t.Fatalf("latency stats wrong: avg=%v p99=%v", res.AvgLatency, res.P99Latency)
 	}
+	// The histogram-derived quantiles must be ordered and bounded by the
+	// observed extremes.
+	if res.P50Latency <= 0 || res.P50Latency > res.P95Latency ||
+		res.P95Latency > res.P99Latency || res.P99Latency > res.P999Latency {
+		t.Fatalf("quantiles out of order: p50=%v p95=%v p99=%v p99.9=%v",
+			res.P50Latency, res.P95Latency, res.P99Latency, res.P999Latency)
+	}
+	if h := res.LatencyHistogram; h.Count != int64(res.Requests) ||
+		res.P999Latency.Nanoseconds() > h.Max {
+		t.Fatalf("latency histogram inconsistent: count=%d requests=%d p99.9=%v max=%dns",
+			h.Count, res.Requests, res.P999Latency, h.Max)
+	}
 	if res.ThroughputBps <= 0 || res.IOPS <= 0 {
 		t.Fatalf("throughput wrong: %g Bps %g IOPS", res.ThroughputBps, res.IOPS)
 	}

@@ -12,10 +12,12 @@ package autoblox_test
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
 	"autoblox/internal/core"
+	"autoblox/internal/obs"
 	"autoblox/internal/ssd"
 	"autoblox/internal/ssdconf"
 	"autoblox/internal/trace"
@@ -91,6 +93,43 @@ func BenchmarkTuneSerialVsParallel(b *testing.B) {
 			b.ReportMetric(float64(sims), "sims")
 		})
 	}
+}
+
+// BenchmarkTuneObserved repeats the parallel-8 tuning run with the full
+// observability stack live — a metrics registry on the validator and a
+// global tracer streaming spans to io.Discard. Comparing its ns/op
+// against BenchmarkTuneSerialVsParallel/parallel-8 measures the
+// instrumentation overhead; the nil-hook (disabled) path is covered by
+// the obs package's zero-allocation benchmarks.
+func BenchmarkTuneObserved(b *testing.B) {
+	ws := benchTraces(b)
+	var grade float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		v, ref := coldValidator(ws, 8)
+		v.Obs = obs.NewRegistry()
+		obs.SetTracer(obs.NewTracer(io.Discard))
+		b.StartTimer()
+		g, err := core.NewGrader(v, ref, core.DefaultAlpha, core.DefaultBeta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuner, err := core.NewTuner(v.Space, v, g, core.TunerOptions{
+			Seed: 5, MaxIterations: 6, SGDSteps: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tuner.Tune(string(workload.Database), []ssdconf.Config{ref})
+		if err != nil {
+			b.Fatal(err)
+		}
+		grade = res.BestGrade
+		b.StopTimer()
+		obs.SetTracer(nil)
+		b.StartTimer()
+	}
+	b.ReportMetric(grade, "best_grade")
 }
 
 // BenchmarkMatrixSweepSerialVsParallel isolates the batch engine: a
