@@ -424,20 +424,26 @@ func Simulate(dev DeviceParams, tr *Trace) (*SimResult, error) {
 }
 
 // DescribeConfig formats the Table 5 critical parameters of a
-// configuration.
+// configuration, plus the selected policies by their registry names.
 func (f *Framework) DescribeConfig(cfg Config) string {
 	names := []string{"CMTCapacity", "DataCacheSize", "FlashChannelCount", "ChipNoPerChannel",
-		"DieNoPerChip", "PlaneNoPerDie", "BlockNoPerPlane", "PageNoPerBlock"}
+		"DieNoPerChip", "PlaneNoPerDie", "BlockNoPerPlane", "PageNoPerBlock",
+		"GCPolicy", "CachePolicy", "PlaneAllocationScheme"}
 	out := ""
 	for _, n := range names {
-		v, err := f.Space.ValueByName(cfg, n)
+		i, err := f.Space.ParamIndex(n)
 		if err != nil {
 			continue
 		}
 		if out != "" {
 			out += " "
 		}
-		out += fmt.Sprintf("%s=%g", n, v)
+		p := &f.Space.Params[i]
+		if p.Kind == ssdconf.Categorical && cfg[i] < len(p.Labels) {
+			out += fmt.Sprintf("%s=%s", n, p.Labels[cfg[i]])
+			continue
+		}
+		out += fmt.Sprintf("%s=%g", n, p.Values[cfg[i]])
 	}
 	return out
 }

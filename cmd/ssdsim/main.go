@@ -35,6 +35,9 @@ func main() {
 	channels := flag.Int("channels", 0, "override channel count")
 	cacheMB := flag.Int("cache", 0, "override data cache size (MB)")
 	qd := flag.Int("qd", 0, "override queue depth")
+	gcPolicy := flag.String("gc", "", "override GC victim policy: "+ssd.DescribeGCPolicies())
+	cachePolicy := flag.String("cachepolicy", "", "override cache replacement policy: "+ssd.DescribeCachePolicies())
+	alloc := flag.String("alloc", "", "override plane allocation scheme: "+strings.Join(ssd.AllocSchemeNames(), ", "))
 	metrics := flag.String("metrics", "", "write simulator metrics to this file (.json = JSON snapshot, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -73,6 +76,30 @@ func main() {
 	}
 	if *qd > 0 {
 		dev.QueueDepth = *qd
+	}
+	if *gcPolicy != "" {
+		pol, err := ssd.ParseGCPolicy(*gcPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssdsim:", err)
+			os.Exit(2)
+		}
+		dev.GCPolicy = pol
+	}
+	if *cachePolicy != "" {
+		pol, err := ssd.ParseCachePolicy(*cachePolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssdsim:", err)
+			os.Exit(2)
+		}
+		dev.CachePolicy = pol
+	}
+	if *alloc != "" {
+		scheme, err := ssd.ParseAllocScheme(*alloc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssdsim:", err)
+			os.Exit(2)
+		}
+		dev.PlaneAllocScheme = scheme
 	}
 
 	parse := trace.ParseBlktrace
@@ -124,6 +151,8 @@ func main() {
 	fmt.Printf("device:   %s, %dch x %dchip x %ddie x %dplane, %s page %dB, cache %dMB, CMT %dMB, QD %d\n",
 		dev.HostInterface, dev.Channels, dev.ChipsPerChannel, dev.DiesPerChip, dev.PlanesPerDie,
 		dev.FlashType, dev.PageSizeBytes, dev.DataCacheBytes>>20, dev.CMTBytes>>20, dev.QueueDepth)
+	fmt.Printf("policies: gc %s, cache %s, alloc %s\n",
+		dev.GCPolicy, dev.CachePolicy, dev.PlaneAllocScheme)
 	fmt.Printf("capacity: %.1f GB raw / %.1f GB usable\n",
 		float64(dev.CapacityBytes())/1e9, float64(dev.UsableBytes())/1e9)
 	fmt.Printf("requests: %d over %v\n", res.Requests, res.Makespan.Round(time.Millisecond))

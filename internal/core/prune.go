@@ -62,11 +62,39 @@ type CoarseResult struct {
 	Insensitive []string
 }
 
-// CoarsePrune sweeps every numeric tunable parameter across its grid
-// while holding the rest at the baseline, measuring Formula 1 on the
-// target workload. Configuration constraints are deliberately ignored
-// (§3.3: this stage "only prune[s] parameters that have almost no impact
-// on the performance even if they break the configuration constraints").
+// sweepIndices enumerates the grid indices a coarse sweep visits for one
+// parameter, baseline first so the sweep's first point scores 0. Numeric
+// grids grow upward from the baseline (Fig. 4's shape); categorical
+// domains are unordered, so every alternative value is visited.
+func sweepIndices(p *ssdconf.Param, baseIdx int) []int {
+	out := []int{baseIdx}
+	if p.Kind == ssdconf.Categorical {
+		for idx := range p.Values {
+			if idx != baseIdx {
+				out = append(out, idx)
+			}
+		}
+		return out
+	}
+	for idx := baseIdx + 1; idx < len(p.Values); idx++ {
+		out = append(out, idx)
+	}
+	return out
+}
+
+// coarseSkip reports whether CoarsePrune leaves a parameter out of the
+// sweep set: booleans (their two points carry no trend) and categorical
+// parameters pinned by constraints.
+func coarseSkip(p *ssdconf.Param) bool {
+	return p.Kind == ssdconf.Boolean || (p.Kind == ssdconf.Categorical && !p.Tunable)
+}
+
+// CoarsePrune sweeps every numeric tunable parameter across its grid —
+// and every tunable categorical across its whole domain — while holding
+// the rest at the baseline, measuring Formula 1 on the target workload.
+// Configuration constraints are deliberately ignored (§3.3: this stage
+// "only prune[s] parameters that have almost no impact on the
+// performance even if they break the configuration constraints").
 func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, opts PruneOptions) (*CoarseResult, error) {
 	opts.defaults()
 	sp := obs.StartSpan("coarse-prune").Arg("target", target)
@@ -86,11 +114,12 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 	// simulations out as one parallel batch; the assembly loop below
 	// then reads every point from the cache.
 	var sweepCfgs []ssdconf.Config
-	for i, p := range v.Space.Params {
-		if p.Kind == ssdconf.Boolean || p.Kind == ssdconf.Categorical {
+	for i := range v.Space.Params {
+		p := &v.Space.Params[i]
+		if coarseSkip(p) {
 			continue
 		}
-		for idx := base[i]; idx < len(p.Values); idx++ {
+		for _, idx := range sweepIndices(p, base[i]) {
 			cfg := base.Clone()
 			cfg[i] = idx
 			sweepCfgs = append(sweepCfgs, cfg)
@@ -101,14 +130,15 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 	}
 
 	res := &CoarseResult{Sweeps: map[string][]SweepPoint{}, Sensitivity: map[string]float64{}}
-	for i, p := range v.Space.Params {
-		if p.Kind == ssdconf.Boolean || p.Kind == ssdconf.Categorical {
+	for i := range v.Space.Params {
+		p := &v.Space.Params[i]
+		if coarseSkip(p) {
 			continue
 		}
 		baseVal := p.Values[base[i]]
 		var sweep []SweepPoint
 		maxAbs := 0.0
-		for idx := base[i]; idx < len(p.Values); idx++ {
+		for _, idx := range sweepIndices(p, base[i]) {
 			cfg := base.Clone()
 			cfg[i] = idx
 			perf, err := v.MeasureTrace(cfg, refName, tr) // cache hit
@@ -116,9 +146,13 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 				return nil, err
 			}
 			score := g.Performance(perf, refPerf)
+			mult := p.Values[idx] / nonZero(baseVal)
+			if p.Kind == ssdconf.Categorical {
+				mult = 1 // unordered domain: a value ratio is meaningless
+			}
 			sweep = append(sweep, SweepPoint{
 				Value:       p.Values[idx],
-				Multiplier:  p.Values[idx] / nonZero(baseVal),
+				Multiplier:  mult,
 				Performance: score,
 			})
 			if a := math.Abs(score); a > maxAbs {
@@ -179,16 +213,24 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 	for _, n := range coarseInsensitive {
 		dropped[n] = true
 	}
-	var cols []int
+	// Numeric and boolean axes regress on their raw value; tunable
+	// categorical axes get a one-hot dummy block each (their wire values
+	// are unordered, so a single scalar column would invent an ordering).
+	var cols, catCols []int
 	for i, p := range v.Space.Params {
-		if !p.Tunable || p.Kind == ssdconf.Categorical || dropped[p.Name] {
+		if !p.Tunable || dropped[p.Name] {
+			continue
+		}
+		if p.Kind == ssdconf.Categorical {
+			catCols = append(catCols, i)
 			continue
 		}
 		cols = append(cols, i)
 	}
-	if len(cols) == 0 {
+	if len(cols)+len(catCols) == 0 {
 		return nil, errors.New("core: nothing left to regress after coarse pruning")
 	}
+	perturbAxes := append(append([]int(nil), cols...), catCols...)
 
 	// Sample acceptance depends only on the constraint checks, never on a
 	// measurement, so the full sample set can be drawn up front (keeping
@@ -201,7 +243,7 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 		attempts++
 		cfg := base.Clone()
 		// Perturb a random subset of kept axes.
-		for _, c := range cols {
+		for _, c := range perturbAxes {
 			if rng.Float64() < 0.35 {
 				cfg[c] = rng.Intn(len(v.Space.Params[c].Values))
 			}
@@ -223,6 +265,10 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 		return nil, err
 	}
 
+	width := len(cols)
+	for _, c := range catCols {
+		width += len(v.Space.Params[c].Values)
+	}
 	var rows [][]float64
 	var ys []float64
 	for _, cfg := range samples {
@@ -230,9 +276,14 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 		if err != nil {
 			return nil, err
 		}
-		row := make([]float64, len(cols))
+		row := make([]float64, width)
 		for j, c := range cols {
 			row[j] = v.Space.Value(cfg, c)
+		}
+		off := len(cols)
+		for _, c := range catCols {
+			row[off+cfg[c]] = 1
+			off += len(v.Space.Params[c].Values)
 		}
 		rows = append(rows, row)
 		ys = append(ys, g.Performance(perf, refPerf))
@@ -250,15 +301,30 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 		coef float64
 	}
 	var keep []ranked
-	for j, c := range cols {
-		name := v.Space.Params[c].Name
-		coef := model.Coef[j]
+	record := func(name string, coef float64) {
 		res.Coefficients[name] = coef
 		if math.Abs(coef) < opts.CoefficientThreshold {
 			res.Pruned = append(res.Pruned, name)
 		} else {
 			keep = append(keep, ranked{name, coef})
 		}
+	}
+	for j, c := range cols {
+		record(v.Space.Params[c].Name, model.Coef[j])
+	}
+	// A categorical's influence is its strongest dummy: the largest
+	// |coefficient| across the one-hot block, sign preserved.
+	off := len(cols)
+	for _, c := range catCols {
+		p := &v.Space.Params[c]
+		coef := 0.0
+		for k := range p.Values {
+			if d := model.Coef[off+k]; math.Abs(d) > math.Abs(coef) {
+				coef = d
+			}
+		}
+		off += len(p.Values)
+		record(p.Name, coef)
 	}
 	sort.Strings(res.Pruned)
 	sort.SliceStable(keep, func(a, b int) bool {

@@ -15,8 +15,14 @@ func TestCoarsePrune(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Sweeps) != 35 {
-		t.Fatalf("swept %d numeric parameters, want 35 (Fig. 4)", len(res.Sweeps))
+	if len(res.Sweeps) != 38 {
+		t.Fatalf("swept %d parameters, want 38 (Fig. 4's 35 numeric + 3 tunable categoricals)", len(res.Sweeps))
+	}
+	// Tunable categoricals are swept across their whole domain.
+	for name, n := range map[string]int{"PlaneAllocationScheme": 16, "CachePolicy": 4, "GCPolicy": 3} {
+		if got := len(res.Sweeps[name]); got != n {
+			t.Fatalf("%s sweep has %d points, want %d (full domain)", name, got, n)
+		}
 	}
 	// Known-inert parameters must be found insensitive.
 	found := map[string]bool{}
@@ -60,6 +66,24 @@ func TestFinePrune(t *testing.T) {
 	}
 	if len(fine.Coefficients) == 0 {
 		t.Fatal("no coefficients")
+	}
+	// Tunable categoricals that survive coarse pruning participate in
+	// the regression (one-hot) and receive a coefficient like every
+	// numeric axis; coarse-insensitive ones are dropped like any other.
+	coarseDropped := map[string]bool{}
+	for _, n := range coarse.Insensitive {
+		coarseDropped[n] = true
+	}
+	anyCat := false
+	for _, name := range []string{"PlaneAllocationScheme", "CachePolicy", "GCPolicy"} {
+		_, ok := fine.Coefficients[name]
+		if ok == coarseDropped[name] {
+			t.Fatalf("%s: in coefficients=%v but coarse-insensitive=%v", name, ok, coarseDropped[name])
+		}
+		anyCat = anyCat || ok
+	}
+	if !anyCat {
+		t.Fatal("no categorical axis reached the ridge fit on this workload")
 	}
 	// Order is sorted by |coefficient| descending.
 	prev := 1e18
@@ -161,6 +185,85 @@ func TestTunerWithTuningOrder(t *testing.T) {
 	}
 	if res.BestGrade < 0 {
 		t.Fatalf("ordered tuning regressed below reference: %g", res.BestGrade)
+	}
+}
+
+// The two tests below pin synthetic environments where one of this
+// repo's newly registered policies is the measurable optimum along its
+// axis, and assert the tuner discovers it end-to-end (registry →
+// ssdconf dimension → NeighborsOf → SGD walk → Best config).
+
+func TestTunerSelectsCostBenefitGC(t *testing.T) {
+	// A deliberately tiny-capacity constraint keeps absolute over-
+	// provisioning small, so GC runs within a short trace; on the
+	// RadiusAuth cluster the wear-aware cost-benefit victim beats both
+	// greedy and fifo.
+	cons := ssdconf.DefaultConstraints()
+	cons.CapacityBytes = 16 << 20
+	space := ssdconf.NewSpace(cons)
+	tiny := ssd.DefaultParams()
+	tiny.Channels, tiny.ChipsPerChannel, tiny.DiesPerChip, tiny.PlanesPerDie = 1, 1, 1, 1
+	tiny.BlocksPerPlane, tiny.PagesPerBlock, tiny.PageSizeBytes = 128, 64, 2048
+	base := space.FromDevice(tiny)
+	if err := space.CheckConstraints(base); err != nil {
+		t.Fatalf("base violates constraints: %v", err)
+	}
+	target := string(workload.RadiusAuth)
+	v := NewValidator(space, map[string]*trace.Trace{
+		target: workload.MustGenerate(workload.RadiusAuth, workload.Options{Requests: 2500, Seed: 21}),
+	})
+	g, err := NewGrader(v, base, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(space, v, g, TunerOptions{
+		Seed: 5, MaxIterations: 6, SGDSteps: 3,
+		UseTuningOrder: true, Order: []string{"GCPolicy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune(target, []ssdconf.Config{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := space.ToDevice(res.Best); d.GCPolicy != ssd.GCCostBenefit {
+		t.Fatalf("tuner selected gc policy %s (grade %g), want costbenefit", d.GCPolicy, res.BestGrade)
+	}
+	if res.BestGrade <= 0 {
+		t.Fatalf("selecting costbenefit should improve on the greedy baseline, grade = %g", res.BestGrade)
+	}
+}
+
+func TestTunerSelectsClockCache(t *testing.T) {
+	// On the LiveMaps cluster with the commodity reference device the
+	// CLOCK replacement policy strictly beats LRU, FIFO and CFLRU.
+	space := ssdconf.NewSpace(ssdconf.DefaultConstraints())
+	base := space.FromDevice(ssd.Intel750())
+	target := string(workload.LiveMaps)
+	v := NewValidator(space, map[string]*trace.Trace{
+		target: workload.MustGenerate(workload.LiveMaps, workload.Options{Requests: 2500, Seed: 21}),
+	})
+	g, err := NewGrader(v, base, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(space, v, g, TunerOptions{
+		Seed: 5, MaxIterations: 6, SGDSteps: 3,
+		UseTuningOrder: true, Order: []string{"CachePolicy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune(target, []ssdconf.Config{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := space.ToDevice(res.Best); d.CachePolicy != ssd.CacheCLOCK {
+		t.Fatalf("tuner selected cache policy %s (grade %g), want CLOCK", d.CachePolicy, res.BestGrade)
+	}
+	if res.BestGrade <= 0 {
+		t.Fatalf("selecting CLOCK should improve on the LRU baseline, grade = %g", res.BestGrade)
 	}
 }
 

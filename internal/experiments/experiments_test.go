@@ -59,8 +59,10 @@ func TestFig45(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Coarse.Sweeps) != 35 {
-		t.Fatalf("coarse sweeps = %d, want 35", len(r.Coarse.Sweeps))
+	// 35 numeric sweeps + the 3 tunable categorical policy dimensions
+	// (PlaneAllocationScheme, CachePolicy, GCPolicy).
+	if len(r.Coarse.Sweeps) != 38 {
+		t.Fatalf("coarse sweeps = %d, want 38", len(r.Coarse.Sweeps))
 	}
 	if len(r.Fine.Order) == 0 {
 		t.Fatal("fine pruning produced no order")

@@ -35,52 +35,76 @@ const (
 	NumAllocSchemes = 16
 )
 
-var allocNames = [NumAllocSchemes]string{
-	"CWDP", "CWPD", "CDWP", "CDPW", "CPWD", "CPDW",
-	"WCDP", "WCPD", "WDCP", "WDPC", "WPCD", "WPDC",
-	"CW", "WC", "CD", "CP",
+// planeAllocator decides where consecutively striped logical pages land
+// and how dense plane indices map back to coordinates. All registered
+// schemes share the ordered-stride allocator below; the interface is
+// the seam a future non-linear placement policy would implement.
+type planeAllocator interface {
+	// locate maps a stripe counter to (channel, chip, die, plane).
+	locate(counter uint64) (ch, chip, die, plane int)
+	// planeIndex flattens coordinates into a dense plane index.
+	planeIndex(ch, chip, die, plane int) planeID
+	// channelOf recovers the channel from a dense plane index.
+	channelOf(p planeID) int
 }
 
-// axis order per scheme: 0=Channel, 1=Way(chip), 2=Die, 3=Plane;
-// fastest-varying axis first.
-var allocOrders = [NumAllocSchemes][4]int{
-	{0, 1, 2, 3}, // CWDP
-	{0, 1, 3, 2}, // CWPD
-	{0, 2, 1, 3}, // CDWP
-	{0, 2, 3, 1}, // CDPW
-	{0, 3, 1, 2}, // CPWD
-	{0, 3, 2, 1}, // CPDW
-	{1, 0, 2, 3}, // WCDP
-	{1, 0, 3, 2}, // WCPD
-	{1, 2, 0, 3}, // WDCP
-	{1, 2, 3, 0}, // WDPC
-	{1, 3, 0, 2}, // WPCD
-	{1, 3, 2, 0}, // WPDC
-	{0, 1, 2, 3}, // CW (same expansion as CWDP)
-	{1, 0, 2, 3}, // WC
-	{0, 2, 1, 3}, // CD
-	{0, 3, 1, 2}, // CP
+// allocSchemeTable is the single source of truth for the plane
+// allocation domain: row order defines the wire value, and each row
+// carries the axis priority its ordered allocator stripes with
+// (0=Channel, 1=Way/chip, 2=Die, 3=Plane; fastest-varying first).
+var allocSchemeTable = [NumAllocSchemes]struct {
+	name  string
+	order [4]int
+}{
+	AllocCWDP: {"CWDP", [4]int{0, 1, 2, 3}},
+	AllocCWPD: {"CWPD", [4]int{0, 1, 3, 2}},
+	AllocCDWP: {"CDWP", [4]int{0, 2, 1, 3}},
+	AllocCDPW: {"CDPW", [4]int{0, 2, 3, 1}},
+	AllocCPWD: {"CPWD", [4]int{0, 3, 1, 2}},
+	AllocCPDW: {"CPDW", [4]int{0, 3, 2, 1}},
+	AllocWCDP: {"WCDP", [4]int{1, 0, 2, 3}},
+	AllocWCPD: {"WCPD", [4]int{1, 0, 3, 2}},
+	AllocWDCP: {"WDCP", [4]int{1, 2, 0, 3}},
+	AllocWDPC: {"WDPC", [4]int{1, 2, 3, 0}},
+	AllocWPCD: {"WPCD", [4]int{1, 3, 0, 2}},
+	AllocWPDC: {"WPDC", [4]int{1, 3, 2, 0}},
+	AllocCW:   {"CW", [4]int{0, 1, 2, 3}}, // same expansion as CWDP
+	AllocWC:   {"WC", [4]int{1, 0, 2, 3}},
+	AllocCD:   {"CD", [4]int{0, 2, 1, 3}},
+	AllocCP:   {"CP", [4]int{0, 3, 1, 2}},
 }
 
-func (a AllocScheme) valid() bool { return a < NumAllocSchemes }
+var allocSchemes = func() *policyDomain {
+	names := make([]string, len(allocSchemeTable))
+	docs := make([]string, len(allocSchemeTable))
+	for i, e := range allocSchemeTable {
+		names[i] = e.name
+	}
+	return newPolicyDomain("plane allocation scheme", names, docs)
+}()
+
+func (a AllocScheme) valid() bool { return allocSchemes.valid(uint8(a)) }
 
 // String returns the scheme's axis mnemonic.
 func (a AllocScheme) String() string {
 	if !a.valid() {
 		return fmt.Sprintf("AllocScheme(%d)", uint8(a))
 	}
-	return allocNames[a]
+	return allocSchemes.name(uint8(a))
 }
 
 // ParseAllocScheme resolves a mnemonic like "CWDP".
 func ParseAllocScheme(s string) (AllocScheme, error) {
-	for i, n := range allocNames {
-		if n == s {
-			return AllocScheme(i), nil
-		}
-	}
-	return 0, fmt.Errorf("ssd: unknown allocation scheme %q", s)
+	v, err := allocSchemes.parse(s)
+	return AllocScheme(v), err
 }
+
+// AllocSchemeNames returns the scheme mnemonics in value order.
+func AllocSchemeNames() []string { return allocSchemes.allNames() }
+
+// newPlaneAllocator instantiates the device's configured scheme; the
+// caller validates p first.
+func newPlaneAllocator(p *DeviceParams) planeAllocator { return newAllocator(p) }
 
 // planeID flattens a (channel, chip, die, plane) coordinate.
 type planeID int32
@@ -97,7 +121,7 @@ type allocator struct {
 
 func newAllocator(p *DeviceParams) *allocator {
 	a := &allocator{
-		order: allocOrders[p.PlaneAllocScheme],
+		order: allocSchemeTable[p.PlaneAllocScheme].order,
 		dims:  [4]int{p.Channels, p.ChipsPerChannel, p.DiesPerChip, p.PlanesPerDie},
 	}
 	stride := 1

@@ -1,0 +1,208 @@
+package ssd
+
+import "container/list"
+
+// CachePolicy selects the data-cache replacement policy.
+type CachePolicy uint8
+
+const (
+	// CacheLRU evicts the least-recently-used entry.
+	CacheLRU CachePolicy = iota
+	// CacheFIFO evicts in insertion order.
+	CacheFIFO
+	// CacheCFLRU prefers evicting clean entries over dirty ones.
+	CacheCFLRU
+	// CacheCLOCK approximates LRU with a second-chance sweep over a
+	// reference bit, the classic low-overhead CLOCK algorithm.
+	CacheCLOCK
+)
+
+// cacheReplacementPolicy decides how dataCache entries age and which
+// one is displaced when the cache is full. The cache owns the list and
+// map bookkeeping; the policy only orders it.
+type cacheReplacementPolicy interface {
+	// touched refreshes el after a hit (read or overwrite).
+	touched(d *dataCache, el *list.Element)
+	// pickEvict chooses the entry to displace; nil means evict nothing.
+	pickEvict(d *dataCache) *list.Element
+}
+
+// cachePolicyTable is the single source of truth for the cache
+// replacement domain: row order defines the wire value. To add a
+// policy, append a row and implement its type below.
+var cachePolicyTable = []policyEntry[cacheReplacementPolicy]{
+	CacheLRU:   {name: "LRU", doc: "evict least recently used", make: func(*DeviceParams) cacheReplacementPolicy { return lruCache{} }},
+	CacheFIFO:  {name: "FIFO", doc: "evict in insertion order", make: func(*DeviceParams) cacheReplacementPolicy { return fifoCache{} }},
+	CacheCFLRU: {name: "CFLRU", doc: "LRU preferring clean pages", make: func(*DeviceParams) cacheReplacementPolicy { return cflruCache{} }},
+	CacheCLOCK: {name: "CLOCK", doc: "second-chance approximation of LRU", make: func(*DeviceParams) cacheReplacementPolicy { return clockCache{} }},
+}
+
+var cachePolicies = domainOf("cache policy", cachePolicyTable)
+
+func (c CachePolicy) valid() bool { return cachePolicies.valid(uint8(c)) }
+
+// String returns the policy's registry name.
+func (c CachePolicy) String() string { return cachePolicies.name(uint8(c)) }
+
+// ParseCachePolicy resolves a registry name like "LRU".
+func ParseCachePolicy(s string) (CachePolicy, error) {
+	v, err := cachePolicies.parse(s)
+	return CachePolicy(v), err
+}
+
+// CachePolicyNames returns the registered policy names in value order.
+func CachePolicyNames() []string { return cachePolicies.allNames() }
+
+// DescribeCachePolicies renders the registry as CLI flag help.
+func DescribeCachePolicies() string { return cachePolicies.describe() }
+
+// --- DRAM data cache. ---
+
+// dataCache simulates the controller DRAM data cache at page
+// granularity; the replacement policy is pluggable.
+type dataCache struct {
+	capacity int
+	pol      cacheReplacementPolicy
+	ll       *list.List
+	entries  map[int64]*list.Element
+	dirty    int
+}
+
+type cacheEntry struct {
+	lp    int64
+	dirty bool
+	ref   bool // CLOCK reference bit
+}
+
+// newDataCache sizes the DRAM data cache; scale keeps its coverage of
+// the simulated space equal to the real cache's coverage of the device.
+func newDataCache(p *DeviceParams, scale int64) *dataCache {
+	line := int64(p.CacheLineBytes)
+	if line < 512 {
+		line = int64(p.PageSizeBytes)
+	}
+	capEntries := int(p.DataCacheBytes / line / scale)
+	if capEntries < 1 {
+		capEntries = 1
+	}
+	return &dataCache{
+		capacity: capEntries,
+		pol:      cachePolicyTable[p.CachePolicy].make(p),
+		ll:       list.New(),
+		entries:  make(map[int64]*list.Element),
+	}
+}
+
+// read reports a hit; on hit the policy refreshes the entry.
+func (d *dataCache) read(lp int64) bool {
+	el, ok := d.entries[lp]
+	if ok {
+		d.pol.touched(d, el)
+	}
+	return ok
+}
+
+// insert adds lp (dirty for writes). When a dirty entry is displaced it
+// returns that entry's logical page, which must be programmed to flash.
+func (d *dataCache) insert(lp int64, dirty bool) (evictedLP int64, dirtyEvict bool) {
+	if el, ok := d.entries[lp]; ok {
+		e := el.Value.(*cacheEntry)
+		if dirty && !e.dirty {
+			d.dirty++
+		}
+		e.dirty = e.dirty || dirty
+		d.pol.touched(d, el)
+		return 0, false
+	}
+	if d.ll.Len() >= d.capacity {
+		victim := d.pol.pickEvict(d)
+		if victim != nil {
+			e := victim.Value.(*cacheEntry)
+			evictedLP, dirtyEvict = e.lp, e.dirty
+			if e.dirty {
+				d.dirty--
+			}
+			delete(d.entries, e.lp)
+			d.ll.Remove(victim)
+		}
+	}
+	d.entries[lp] = d.ll.PushFront(&cacheEntry{lp: lp, dirty: dirty})
+	if dirty {
+		d.dirty++
+	}
+	return evictedLP, dirtyEvict
+}
+
+// dirtyFraction reports the share of cache lines holding unwritten data.
+func (d *dataCache) dirtyFraction() float64 {
+	if d.ll.Len() == 0 {
+		return 0
+	}
+	return float64(d.dirty) / float64(d.ll.Len())
+}
+
+// flushOldestDirty marks the least-recently-used dirty entry clean,
+// returning its logical page; ok is false when no entry is dirty.
+func (d *dataCache) flushOldestDirty() (lp int64, ok bool) {
+	for el := d.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if e.dirty {
+			e.dirty = false
+			d.dirty--
+			return e.lp, true
+		}
+	}
+	return 0, false
+}
+
+// lruCache implements CacheLRU.
+type lruCache struct{}
+
+func (lruCache) touched(d *dataCache, el *list.Element) { d.ll.MoveToFront(el) }
+func (lruCache) pickEvict(d *dataCache) *list.Element   { return d.ll.Back() }
+
+// fifoCache implements CacheFIFO: hits never reorder the queue.
+type fifoCache struct{}
+
+func (fifoCache) touched(*dataCache, *list.Element)    {}
+func (fifoCache) pickEvict(d *dataCache) *list.Element { return d.ll.Back() }
+
+// cflruCache implements CacheCFLRU.
+type cflruCache struct{}
+
+func (cflruCache) touched(d *dataCache, el *list.Element) { d.ll.MoveToFront(el) }
+
+func (cflruCache) pickEvict(d *dataCache) *list.Element {
+	back := d.ll.Back()
+	// CFLRU: scan a window from the back for a clean entry first.
+	const window = 16
+	el := back
+	for i := 0; i < window && el != nil; i++ {
+		if !el.Value.(*cacheEntry).dirty {
+			return el
+		}
+		el = el.Prev()
+	}
+	return back
+}
+
+// clockCache implements CacheCLOCK. Hits only set the reference bit;
+// the eviction sweep walks from the cold end, granting each referenced
+// entry a second chance (bit cleared, rotated to the hot end) until an
+// unreferenced entry is found. Bounded by one full lap.
+type clockCache struct{}
+
+func (clockCache) touched(d *dataCache, el *list.Element) { el.Value.(*cacheEntry).ref = true }
+
+func (clockCache) pickEvict(d *dataCache) *list.Element {
+	for i, n := 0, d.ll.Len(); i < n; i++ {
+		back := d.ll.Back()
+		e := back.Value.(*cacheEntry)
+		if !e.ref {
+			return back
+		}
+		e.ref = false
+		d.ll.MoveToFront(back)
+	}
+	return d.ll.Back()
+}

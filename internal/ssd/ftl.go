@@ -52,10 +52,14 @@ type flashPlane struct {
 	moveCount int64
 }
 
-// ftl holds the page-mapped flash translation layer state.
+// ftl holds the page-mapped flash translation layer state. The three
+// policy seams — plane allocation, GC victim selection and (in
+// dataCache) cache replacement — are interfaces instantiated from the
+// policy registry, so the FTL mechanics stay policy-agnostic.
 type ftl struct {
-	p     *DeviceParams
-	alloc *allocator
+	p      *DeviceParams
+	alloc  planeAllocator
+	gcPick gcVictimPolicy
 
 	// Scaled geometry.
 	blocksPerPlane int32
@@ -88,7 +92,8 @@ func newFTL(p *DeviceParams) (*ftl, error) {
 
 	f := &ftl{
 		p:              p,
-		alloc:          newAllocator(p),
+		alloc:          newPlaneAllocator(p),
+		gcPick:         newGCVictimPolicy(p),
 		blocksPerPlane: bpp,
 		pagesPerBlock:  ppb,
 		sectorsPerPage: int64(p.PageSizeBytes / 512),
@@ -320,50 +325,10 @@ func (f *ftl) collect(fp *flashPlane, pl planeID) (moves, erasesDone int32) {
 	return moves, erasesDone
 }
 
-// pickVictim selects a GC victim block index, or -1 when none qualifies.
+// pickVictim selects a GC victim block index via the configured policy,
+// or -1 when none qualifies.
 func (f *ftl) pickVictim(fp *flashPlane) int32 {
-	best := int32(-1)
-	switch f.p.GCPolicy {
-	case GCFIFO:
-		var oldest int64 = 1<<63 - 1
-		for i := range fp.blocks {
-			b := &fp.blocks[i]
-			if int32(i) == fp.active || !b.full(f.pagesPerBlock) {
-				continue
-			}
-			if b.valid >= f.pagesPerBlock {
-				continue // erasing a fully-valid block frees nothing
-			}
-			if b.allocSeq < oldest {
-				oldest = b.allocSeq
-				best = int32(i)
-			}
-		}
-	default: // GCGreedy
-		var minValid int32 = 1<<31 - 1
-		for i := range fp.blocks {
-			b := &fp.blocks[i]
-			if int32(i) == fp.active || !b.full(f.pagesPerBlock) {
-				continue
-			}
-			better := b.valid < minValid
-			// Dynamic wear leveling: among equally garbage-rich victims,
-			// prefer the least-worn block so erase counts stay even.
-			if f.p.DynamicWearLeveling && b.valid == minValid && best >= 0 &&
-				b.eraseCount < fp.blocks[best].eraseCount {
-				better = true
-			}
-			if better {
-				minValid = b.valid
-				best = int32(i)
-			}
-		}
-		// Refuse hopeless victims (everything still valid).
-		if best >= 0 && fp.blocks[best].valid >= f.pagesPerBlock {
-			return -1
-		}
-	}
-	return best
+	return f.gcPick.pickVictim(f, fp)
 }
 
 // lookup returns the plane that holds lp. Pages never written are given a
@@ -435,114 +400,5 @@ func (c *cmt) access(lp int64, write bool) (miss, dirtyEvict bool) {
 	return miss, dirtyEvict
 }
 
-// --- DRAM data cache. ---
-
-// dataCache simulates the controller DRAM data cache at page granularity
-// with LRU, FIFO or CFLRU replacement.
-type dataCache struct {
-	capacity int
-	policy   CachePolicy
-	ll       *list.List
-	entries  map[int64]*list.Element
-	dirty    int
-}
-
-type cacheEntry struct {
-	lp    int64
-	dirty bool
-}
-
-// newDataCache sizes the DRAM data cache; scale keeps its coverage of
-// the simulated space equal to the real cache's coverage of the device.
-func newDataCache(p *DeviceParams, scale int64) *dataCache {
-	line := int64(p.CacheLineBytes)
-	if line < 512 {
-		line = int64(p.PageSizeBytes)
-	}
-	capEntries := int(p.DataCacheBytes / line / scale)
-	if capEntries < 1 {
-		capEntries = 1
-	}
-	return &dataCache{capacity: capEntries, policy: p.CachePolicy, ll: list.New(), entries: make(map[int64]*list.Element)}
-}
-
-// read reports a hit; on hit the entry is refreshed (except FIFO).
-func (d *dataCache) read(lp int64) bool {
-	el, ok := d.entries[lp]
-	if ok && d.policy != CacheFIFO {
-		d.ll.MoveToFront(el)
-	}
-	return ok
-}
-
-// insert adds lp (dirty for writes). When a dirty entry is displaced it
-// returns that entry's logical page, which must be programmed to flash.
-func (d *dataCache) insert(lp int64, dirty bool) (evictedLP int64, dirtyEvict bool) {
-	if el, ok := d.entries[lp]; ok {
-		e := el.Value.(*cacheEntry)
-		if dirty && !e.dirty {
-			d.dirty++
-		}
-		e.dirty = e.dirty || dirty
-		if d.policy != CacheFIFO {
-			d.ll.MoveToFront(el)
-		}
-		return 0, false
-	}
-	if d.ll.Len() >= d.capacity {
-		victim := d.pickEvict()
-		if victim != nil {
-			e := victim.Value.(*cacheEntry)
-			evictedLP, dirtyEvict = e.lp, e.dirty
-			if e.dirty {
-				d.dirty--
-			}
-			delete(d.entries, e.lp)
-			d.ll.Remove(victim)
-		}
-	}
-	d.entries[lp] = d.ll.PushFront(&cacheEntry{lp: lp, dirty: dirty})
-	if dirty {
-		d.dirty++
-	}
-	return evictedLP, dirtyEvict
-}
-
-// dirtyFraction reports the share of cache lines holding unwritten data.
-func (d *dataCache) dirtyFraction() float64 {
-	if d.ll.Len() == 0 {
-		return 0
-	}
-	return float64(d.dirty) / float64(d.ll.Len())
-}
-
-// flushOldestDirty marks the least-recently-used dirty entry clean,
-// returning its logical page; ok is false when no entry is dirty.
-func (d *dataCache) flushOldestDirty() (lp int64, ok bool) {
-	for el := d.ll.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*cacheEntry)
-		if e.dirty {
-			e.dirty = false
-			d.dirty--
-			return e.lp, true
-		}
-	}
-	return 0, false
-}
-
-func (d *dataCache) pickEvict() *list.Element {
-	back := d.ll.Back()
-	if d.policy != CacheCFLRU {
-		return back
-	}
-	// CFLRU: scan a window from the back for a clean entry first.
-	const window = 16
-	el := back
-	for i := 0; i < window && el != nil; i++ {
-		if !el.Value.(*cacheEntry).dirty {
-			return el
-		}
-		el = el.Prev()
-	}
-	return back
-}
+// The DRAM data cache and its pluggable replacement policies live in
+// cachepolicy.go.

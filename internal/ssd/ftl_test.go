@@ -165,12 +165,15 @@ func TestCMTGranularityTradeoff(t *testing.T) {
 
 func TestCachePoliciesAllWork(t *testing.T) {
 	tr := testTrace(workload.VDI, 5000)
-	for _, pol := range []CachePolicy{CacheLRU, CacheFIFO, CacheCFLRU} {
+	// Iterate the registry, not a literal list, so a newly registered
+	// policy is exercised automatically.
+	for i := range CachePolicyNames() {
+		pol := CachePolicy(i)
 		p := DefaultParams()
 		p.CachePolicy = pol
 		res := runTrace(t, p, tr)
-		if res.AvgLatency <= 0 {
-			t.Fatalf("policy %d produced bad results", pol)
+		if res.AvgLatency <= 0 || res.CacheHits <= 0 {
+			t.Fatalf("policy %s produced bad results", pol)
 		}
 	}
 }

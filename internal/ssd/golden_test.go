@@ -1,0 +1,114 @@
+package ssd
+
+import (
+	"math"
+	"testing"
+
+	"autoblox/internal/workload"
+)
+
+// The golden rows below were captured from the simulator BEFORE the
+// policy layer was decomposed behind interfaces (commit 6d5696b), by
+// running exactly the cases reconstructed in TestGoldenResultsStable.
+// The refactor must be a pure restructuring for pre-existing policy
+// values: every counter and every float must match bit-for-bit
+// (Float64bits, not approximate comparison). If this test fails after
+// an intentional behavioral change to an existing policy, the golden
+// values must be re-captured and the change called out in review.
+
+type goldenRow struct {
+	name           string
+	avgLatencyNs   int64
+	p99LatencyNs   int64
+	energyBits     uint64 // math.Float64bits(Result.EnergyJoules)
+	throughputBits uint64 // math.Float64bits(Result.ThroughputBps)
+	erases         int64
+	gcRuns         int64
+	userPrograms   int64
+	gcPrograms     int64
+	cacheHits      int64
+}
+
+var goldenRows = []goldenRow{
+	{"small/gc=0/cache=0/fiu", 172582644, 209715199, 0x402d0822bb79aa14, 0x4165c4fc5deda418, 2181, 2181, 12633, 126949, 234},
+	{"small/gc=0/cache=1/fiu", 178091200, 234881023, 0x402da6b71b955410, 0x4165177c88c047da, 2220, 2220, 12637, 129430, 235},
+	{"small/gc=0/cache=2/fiu", 168250714, 209715199, 0x402ced9b5d1c6df3, 0x416657bce97fe238, 2188, 2188, 12633, 127394, 235},
+	{"small/gc=1/cache=0/fiu", 219292130, 377487359, 0x40317dd10615042f, 0x41612184e80dfe73, 2579, 2579, 12633, 152425, 234},
+	{"small/gc=1/cache=1/fiu", 235643302, 377487359, 0x403254adee833f5c, 0x415fe9be015141c1, 2680, 2680, 12637, 158880, 235},
+	{"small/gc=1/cache=2/fiu", 214276492, 377487359, 0x4031665e702fbe9d, 0x416184fe1580842d, 2580, 2580, 12633, 152483, 235},
+	{"default/alloc=CWDP/db", 208519, 368639, 0x3f97cce43fb04370, 0x41d9530e3872dd56, 0, 0, 0, 0, 316},
+	{"default/alloc=WPDC/db", 206021, 360447, 0x3f97c238eb82ce0c, 0x41d97b1aa66b590e, 0, 0, 0, 0, 316},
+	{"default/alloc=CD/db", 208519, 368639, 0x3f97cce43fb04370, 0x41d9530e3872dd56, 0, 0, 0, 0, 316},
+}
+
+// goldenCases rebuilds the captured configurations: every pre-existing
+// (GC × cache) policy pair on the GC-pressured small device over a
+// write-heavy FIU trace, plus three representative allocation schemes
+// on the default device over a Database trace.
+func goldenCases(t *testing.T) map[string]*Result {
+	t.Helper()
+	out := make(map[string]*Result, len(goldenRows))
+	fiu := workload.MustGenerate(workload.FIU, workload.Options{Requests: 12000, Seed: 11})
+	for _, gc := range []GCPolicy{GCGreedy, GCFIFO} {
+		for _, cp := range []CachePolicy{CacheLRU, CacheFIFO, CacheCFLRU} {
+			p := smallDevice()
+			p.GCPolicy = gc
+			p.CachePolicy = cp
+			name := "small/gc=" + itoa(int(gc)) + "/cache=" + itoa(int(cp)) + "/fiu"
+			out[name] = runTrace(t, p, fiu)
+		}
+	}
+	db := workload.MustGenerate(workload.Database, workload.Options{Requests: 3000, Seed: 11})
+	for _, scheme := range []AllocScheme{AllocCWDP, AllocWPDC, AllocCD} {
+		p := DefaultParams()
+		p.PlaneAllocScheme = scheme
+		out["default/alloc="+scheme.String()+"/db"] = runTrace(t, p, db)
+	}
+	return out
+}
+
+func itoa(v int) string { return string(rune('0' + v)) }
+
+func TestGoldenResultsStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus runs 9 full simulations")
+	}
+	results := goldenCases(t)
+	if len(results) != len(goldenRows) {
+		t.Fatalf("built %d cases for %d golden rows", len(results), len(goldenRows))
+	}
+	for _, want := range goldenRows {
+		got, ok := results[want.name]
+		if !ok {
+			t.Errorf("%s: case not reconstructed", want.name)
+			continue
+		}
+		if int64(got.AvgLatency) != want.avgLatencyNs {
+			t.Errorf("%s: AvgLatency %d ns, want %d ns", want.name, int64(got.AvgLatency), want.avgLatencyNs)
+		}
+		if int64(got.P99Latency) != want.p99LatencyNs {
+			t.Errorf("%s: P99 %d ns, want %d ns", want.name, int64(got.P99Latency), want.p99LatencyNs)
+		}
+		if bits := math.Float64bits(got.EnergyJoules); bits != want.energyBits {
+			t.Errorf("%s: EnergyJoules %v (0x%x), want 0x%x", want.name, got.EnergyJoules, bits, want.energyBits)
+		}
+		if bits := math.Float64bits(got.ThroughputBps); bits != want.throughputBits {
+			t.Errorf("%s: ThroughputBps %v (0x%x), want 0x%x", want.name, got.ThroughputBps, bits, want.throughputBits)
+		}
+		if got.Erases != want.erases {
+			t.Errorf("%s: Erases %d, want %d", want.name, got.Erases, want.erases)
+		}
+		if int64(got.GCRuns) != want.gcRuns {
+			t.Errorf("%s: GCRuns %d, want %d", want.name, got.GCRuns, want.gcRuns)
+		}
+		if got.UserPrograms != want.userPrograms {
+			t.Errorf("%s: UserPrograms %d, want %d", want.name, got.UserPrograms, want.userPrograms)
+		}
+		if got.GCPrograms != want.gcPrograms {
+			t.Errorf("%s: GCPrograms %d, want %d", want.name, got.GCPrograms, want.gcPrograms)
+		}
+		if got.CacheHits != want.cacheHits {
+			t.Errorf("%s: CacheHits %d, want %d", want.name, got.CacheHits, want.cacheHits)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package ssd
+
+import (
+	"testing"
+
+	"autoblox/internal/workload"
+)
+
+// auditFTL checks the FTL conservation invariants after arbitrary churn:
+// every mapped logical page is live in exactly one physical slot, every
+// live slot is the one its mapping points at, per-block valid counters
+// match a recount, and no counter went negative.
+func auditFTL(t *testing.T, label string, f *ftl) {
+	t.Helper()
+	liveCount := make(map[int32]int32)
+	var totalValid int64
+	for pi := range f.planes {
+		fp := &f.planes[pi]
+		for bi := range fp.blocks {
+			blk := &fp.blocks[bi]
+			if blk.valid < 0 {
+				t.Fatalf("%s: plane %d block %d valid = %d", label, pi, bi, blk.valid)
+			}
+			if blk.writePtr < 0 || blk.writePtr > f.pagesPerBlock {
+				t.Fatalf("%s: plane %d block %d writePtr = %d", label, pi, bi, blk.writePtr)
+			}
+			totalValid += int64(blk.valid)
+			var recount int32
+			for slot := int32(0); slot < blk.writePtr; slot++ {
+				lp := blk.pages[slot]
+				if lp < 0 {
+					continue
+				}
+				recount++
+				liveCount[lp]++
+				if f.mapping[lp] != packPPA(planeID(pi), int32(bi), slot) {
+					t.Fatalf("%s: lp %d live in plane %d block %d slot %d but mapping disagrees", label, lp, pi, bi, slot)
+				}
+			}
+			if recount != blk.valid {
+				t.Fatalf("%s: plane %d block %d valid = %d but recount = %d", label, pi, bi, blk.valid, recount)
+			}
+		}
+	}
+	var mapped int64
+	for lp, ppa := range f.mapping {
+		if ppa == unmapped {
+			if liveCount[int32(lp)] != 0 {
+				t.Fatalf("%s: unmapped lp %d has %d live copies", label, lp, liveCount[int32(lp)])
+			}
+			continue
+		}
+		mapped++
+		if liveCount[int32(lp)] != 1 {
+			t.Fatalf("%s: lp %d has %d live copies, want exactly 1", label, lp, liveCount[int32(lp)])
+		}
+	}
+	if mapped != totalValid {
+		t.Fatalf("%s: %d mapped logical pages but %d valid physical pages", label, mapped, totalValid)
+	}
+}
+
+func eraseCounts(f *ftl) [][]int32 {
+	out := make([][]int32, len(f.planes))
+	for pi := range f.planes {
+		fp := &f.planes[pi]
+		out[pi] = make([]int32, len(fp.blocks))
+		for bi := range fp.blocks {
+			out[pi][bi] = fp.blocks[bi].eraseCount
+		}
+	}
+	return out
+}
+
+// TestFTLConservationInvariants replays a mixed read/write trace on a
+// GC-pressured device under every (GC policy × cache policy × alloc
+// scheme) combination, then audits that no logical page was lost or
+// duplicated and that erase counts only ever grew.
+func TestFTLConservationInvariants(t *testing.T) {
+	tr := workload.MustGenerate(workload.FIU, workload.Options{Requests: 2500, Seed: 11})
+	schemes := AllocSchemeNames()
+	if testing.Short() {
+		schemes = schemes[:4] // 48 combinations instead of 192
+	}
+	for gi := range GCPolicyNames() {
+		for ci := range CachePolicyNames() {
+			for si := range schemes {
+				p := smallDevice()
+				p.GCPolicy = GCPolicy(gi)
+				p.CachePolicy = CachePolicy(ci)
+				p.PlaneAllocScheme = AllocScheme(si)
+				label := p.GCPolicy.String() + "/" + p.CachePolicy.String() + "/" + p.PlaneAllocScheme.String()
+				eng, err := newEngine(&p)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				eng.warmup(tr)
+				auditFTL(t, label+"/warm", eng.ftl)
+				before := eraseCounts(eng.ftl)
+				if _, err := eng.run(tr); err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				auditFTL(t, label, eng.ftl)
+				after := eraseCounts(eng.ftl)
+				for pi := range after {
+					for bi := range after[pi] {
+						if after[pi][bi] < before[pi][bi] {
+							t.Fatalf("%s: plane %d block %d erase count went %d -> %d", label, pi, bi, before[pi][bi], after[pi][bi])
+						}
+					}
+				}
+			}
+		}
+	}
+}

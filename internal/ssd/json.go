@@ -89,7 +89,7 @@ func MarshalJSONParams(p DeviceParams) ([]byte, error) {
 
 		DataCacheMB: p.DataCacheBytes >> 20, CMTMB: p.CMTBytes >> 20,
 		CMTEntryBytes: p.CMTEntryBytes, MappingGranularity: p.MappingGranularity,
-		CacheLineKB: p.CacheLineBytes >> 10, CachePolicy: cachePolicyName(p.CachePolicy),
+		CacheLineKB: p.CacheLineBytes >> 10, CachePolicy: p.CachePolicy.String(),
 		ReadCacheEnabled: p.ReadCacheEnabled, ControllerMHz: p.ControllerMHz,
 		DRAMMHz: p.DRAMMHz, DRAMBusBits: p.DRAMBusBits,
 		ECCUS:      float64(p.ECCLatency) / float64(time.Microsecond),
@@ -99,7 +99,7 @@ func MarshalJSONParams(p DeviceParams) ([]byte, error) {
 		QueueCount: p.QueueCount, PCIeLanes: p.PCIeLanes, PCIeLaneMBps: p.PCIeLaneMBps,
 
 		OverprovisionRatio: p.OverprovisionRatio, GCThresholdPct: p.GCThresholdPct,
-		GCPolicy: gcPolicyName(p.GCPolicy), CopybackEnabled: p.CopybackEnabled,
+		GCPolicy: p.GCPolicy.String(), CopybackEnabled: p.CopybackEnabled,
 		StaticWearLeveling: p.StaticWearLeveling, WearLevelingThresh: p.WearLevelingThresh,
 		DynamicWearLeveling: p.DynamicWearLeveling, PlaneAllocScheme: p.PlaneAllocScheme.String(),
 		WriteBufferFlushPct: p.WriteBufferFlushPct, PageMetadataBytes: p.PageMetadataBytes,
@@ -144,48 +144,36 @@ func UnmarshalJSONParams(data []byte) (DeviceParams, error) {
 		IOMergingEnabled: j.IOMergingEnabled, TransactionSchedOOO: j.TransactionSchedOOO,
 		InitialOccupancyFrac: j.InitialOccupancyFrac,
 	}
-	switch j.FlashType {
-	case "SLC":
-		p.FlashType = SLC
-	case "MLC", "":
-		p.FlashType = MLC
-	case "TLC":
-		p.FlashType = TLC
-	default:
-		return DeviceParams{}, fmt.Errorf("ssd: unknown flash type %q", j.FlashType)
-	}
-	switch j.Interface {
-	case "NVMe", "":
-		p.HostInterface = NVMe
-	case "SATA":
-		p.HostInterface = SATA
-	default:
-		return DeviceParams{}, fmt.Errorf("ssd: unknown interface %q", j.Interface)
-	}
-	switch j.CachePolicy {
-	case "LRU", "":
-		p.CachePolicy = CacheLRU
-	case "FIFO":
-		p.CachePolicy = CacheFIFO
-	case "CFLRU":
-		p.CachePolicy = CacheCFLRU
-	default:
-		return DeviceParams{}, fmt.Errorf("ssd: unknown cache policy %q", j.CachePolicy)
-	}
-	switch j.GCPolicy {
-	case "greedy", "":
-		p.GCPolicy = GCGreedy
-	case "fifo":
-		p.GCPolicy = GCFIFO
-	default:
-		return DeviceParams{}, fmt.Errorf("ssd: unknown gc policy %q", j.GCPolicy)
-	}
-	if j.PlaneAllocScheme != "" {
-		scheme, err := ParseAllocScheme(j.PlaneAllocScheme)
-		if err != nil {
+	// Enum fields resolve through the policy registry: empty strings keep
+	// the lenient defaults (MLC, NVMe, LRU, greedy, CWDP) and unknown
+	// names error instead of silently defaulting.
+	p.FlashType, p.HostInterface = MLC, NVMe
+	p.CachePolicy, p.GCPolicy = CacheLRU, GCGreedy
+	var err error
+	if j.FlashType != "" {
+		if p.FlashType, err = ParseFlashType(j.FlashType); err != nil {
 			return DeviceParams{}, err
 		}
-		p.PlaneAllocScheme = scheme
+	}
+	if j.Interface != "" {
+		if p.HostInterface, err = ParseInterface(j.Interface); err != nil {
+			return DeviceParams{}, err
+		}
+	}
+	if j.CachePolicy != "" {
+		if p.CachePolicy, err = ParseCachePolicy(j.CachePolicy); err != nil {
+			return DeviceParams{}, err
+		}
+	}
+	if j.GCPolicy != "" {
+		if p.GCPolicy, err = ParseGCPolicy(j.GCPolicy); err != nil {
+			return DeviceParams{}, err
+		}
+	}
+	if j.PlaneAllocScheme != "" {
+		if p.PlaneAllocScheme, err = ParseAllocScheme(j.PlaneAllocScheme); err != nil {
+			return DeviceParams{}, err
+		}
 	}
 	if err := p.Validate(); err != nil {
 		return DeviceParams{}, err
@@ -209,22 +197,4 @@ func SaveParams(path string, p DeviceParams) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
-}
-
-func cachePolicyName(p CachePolicy) string {
-	switch p {
-	case CacheFIFO:
-		return "FIFO"
-	case CacheCFLRU:
-		return "CFLRU"
-	default:
-		return "LRU"
-	}
-}
-
-func gcPolicyName(p GCPolicy) string {
-	if p == GCFIFO {
-		return "fifo"
-	}
-	return "greedy"
 }

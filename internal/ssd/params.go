@@ -28,12 +28,27 @@ const (
 	SATA
 )
 
-func (i Interface) String() string {
-	if i == NVMe {
-		return "NVMe"
-	}
-	return "SATA"
+// interfaceTable registers the host-interface enum so its labels come
+// from the same registry as the policy domains.
+var interfaceTable = []policyEntry[struct{}]{
+	NVMe: {name: "NVMe", doc: "PCIe multi-queue"},
+	SATA: {name: "SATA", doc: "legacy single-queue (NCQ)"},
 }
+
+var interfaces = domainOf("interface", interfaceTable)
+
+func (i Interface) valid() bool { return interfaces.valid(uint8(i)) }
+
+func (i Interface) String() string { return interfaces.name(uint8(i)) }
+
+// ParseInterface resolves a registry name like "NVMe".
+func ParseInterface(s string) (Interface, error) {
+	v, err := interfaces.parse(s)
+	return Interface(v), err
+}
+
+// InterfaceNames returns the interface labels in value order.
+func InterfaceNames() []string { return interfaces.allNames() }
 
 // FlashType selects the NAND cell technology.
 type FlashType uint8
@@ -47,38 +62,27 @@ const (
 	TLC
 )
 
-func (f FlashType) String() string {
-	switch f {
-	case SLC:
-		return "SLC"
-	case MLC:
-		return "MLC"
-	default:
-		return "TLC"
-	}
+// flashTypeTable registers the NAND cell technologies.
+var flashTypeTable = []policyEntry[struct{}]{
+	SLC: {name: "SLC", doc: "1 bit/cell"},
+	MLC: {name: "MLC", doc: "2 bits/cell"},
+	TLC: {name: "TLC", doc: "3 bits/cell"},
 }
 
-// CachePolicy selects the data-cache replacement policy.
-type CachePolicy uint8
+var flashTypes = domainOf("flash type", flashTypeTable)
 
-const (
-	// CacheLRU evicts the least-recently-used entry.
-	CacheLRU CachePolicy = iota
-	// CacheFIFO evicts in insertion order.
-	CacheFIFO
-	// CacheCFLRU prefers evicting clean entries over dirty ones.
-	CacheCFLRU
-)
+func (f FlashType) valid() bool { return flashTypes.valid(uint8(f)) }
 
-// GCPolicy selects the victim-block policy.
-type GCPolicy uint8
+func (f FlashType) String() string { return flashTypes.name(uint8(f)) }
 
-const (
-	// GCGreedy picks the block with the fewest valid pages.
-	GCGreedy GCPolicy = iota
-	// GCFIFO erases blocks in allocation order.
-	GCFIFO
-)
+// ParseFlashType resolves a registry name like "MLC".
+func ParseFlashType(s string) (FlashType, error) {
+	v, err := flashTypes.parse(s)
+	return FlashType(v), err
+}
+
+// FlashTypeNames returns the flash-type labels in value order.
+func FlashTypeNames() []string { return flashTypes.allNames() }
 
 // DeviceParams is a fully resolved SSD hardware configuration — the
 // simulator's input. ssdconf builds these from the tunable parameter
@@ -209,8 +213,21 @@ func (p *DeviceParams) Validate() error {
 			return errors.New("ssd: " + c.msg)
 		}
 	}
+	// Every registry-backed enum must name a registered policy.
 	if !p.PlaneAllocScheme.valid() {
 		return fmt.Errorf("ssd: invalid plane allocation scheme %d", p.PlaneAllocScheme)
+	}
+	if !p.GCPolicy.valid() {
+		return fmt.Errorf("ssd: invalid gc policy %d", p.GCPolicy)
+	}
+	if !p.CachePolicy.valid() {
+		return fmt.Errorf("ssd: invalid cache policy %d", p.CachePolicy)
+	}
+	if !p.HostInterface.valid() {
+		return fmt.Errorf("ssd: invalid host interface %d", p.HostInterface)
+	}
+	if !p.FlashType.valid() {
+		return fmt.Errorf("ssd: invalid flash type %d", p.FlashType)
 	}
 	return nil
 }

@@ -1,0 +1,103 @@
+package ssd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the central policy registry. Each pluggable policy
+// domain — GC victim selection (gcvictim.go), cache replacement
+// (cachepolicy.go), plane allocation (alloc.go), plus the constrained
+// interface/flash-type enums (params.go) — declares one table in its
+// own file; the policyDomain built from that table then owns the
+// name↔value mapping consumed everywhere else: DeviceParams.Validate,
+// the JSON codec, the ssdconf.Space categorical dimensions and the CLI
+// flag help all derive from it. Adding a policy means appending one
+// table row (and its implementation) in one file.
+
+// policyEntry is one row of a domain table: the canonical wire name,
+// a one-line description for CLI help, and the constructor invoked
+// when a device using the policy is built. T is the domain's policy
+// interface; pure enums (Interface, FlashType) use struct{} and leave
+// make nil.
+type policyEntry[T any] struct {
+	name string
+	doc  string
+	make func(p *DeviceParams) T
+}
+
+// domainOf derives the name↔value registry from a domain table. The
+// table's index order defines the stable wire value: row i is enum
+// value i in JSON, in the ssdconf grid, and in one-hot encodings.
+func domainOf[T any](label string, table []policyEntry[T]) *policyDomain {
+	names := make([]string, len(table))
+	docs := make([]string, len(table))
+	for i, e := range table {
+		names[i], docs[i] = e.name, e.doc
+	}
+	return newPolicyDomain(label, names, docs)
+}
+
+// policyDomain owns one policy domain's name↔value mapping.
+type policyDomain struct {
+	label string   // human label used in error messages, e.g. "gc policy"
+	names []string // value -> canonical name; dense from 0
+	docs  []string // value -> one-line description
+	index map[string]uint8
+}
+
+func newPolicyDomain(label string, names, docs []string) *policyDomain {
+	if len(names) == 0 || len(names) != len(docs) || len(names) > 256 {
+		panic("ssd: malformed policy table for " + label)
+	}
+	d := &policyDomain{label: label, names: names, docs: docs, index: make(map[string]uint8, len(names))}
+	for i, n := range names {
+		if n == "" {
+			panic(fmt.Sprintf("ssd: %s value %d has no name", label, i))
+		}
+		if _, dup := d.index[n]; dup {
+			panic("ssd: duplicate " + label + " name " + n)
+		}
+		d.index[n] = uint8(i)
+	}
+	return d
+}
+
+func (d *policyDomain) valid(v uint8) bool { return int(v) < len(d.names) }
+
+func (d *policyDomain) name(v uint8) string {
+	if !d.valid(v) {
+		return fmt.Sprintf("%s(%d)", d.label, v)
+	}
+	return d.names[v]
+}
+
+func (d *policyDomain) parse(s string) (uint8, error) {
+	if v, ok := d.index[s]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("ssd: unknown %s %q (valid: %s)", d.label, s, strings.Join(d.names, ", "))
+}
+
+// allNames returns the value-ordered name list (a fresh copy, so
+// callers such as ssdconf can keep it without aliasing the registry).
+func (d *policyDomain) allNames() []string {
+	return append([]string(nil), d.names...)
+}
+
+// describe renders "name (doc), ..." for CLI flag help.
+func (d *policyDomain) describe() string {
+	var b strings.Builder
+	for i, n := range d.names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(n)
+		if d.docs[i] != "" {
+			b.WriteString(" (")
+			b.WriteString(d.docs[i])
+			b.WriteString(")")
+		}
+	}
+	return b.String()
+}

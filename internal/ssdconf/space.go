@@ -291,13 +291,6 @@ func newSpace(cons Constraints, whatIf bool) *Space {
 			get:   func(d *ssd.DeviceParams) float64 { return float64(d.FirmwareOverhead) / float64(time.Microsecond) }},
 
 		// --- Booleans.
-		boolParam("GreedyGC", func(d *ssd.DeviceParams, on bool) {
-			if on {
-				d.GCPolicy = ssd.GCGreedy
-			} else {
-				d.GCPolicy = ssd.GCFIFO
-			}
-		}, func(d *ssd.DeviceParams) bool { return d.GCPolicy == ssd.GCGreedy }),
 		boolParam("StaticWearleveling", func(d *ssd.DeviceParams, on bool) { d.StaticWearLeveling = on },
 			func(d *ssd.DeviceParams) bool { return d.StaticWearLeveling }),
 		boolParam("DynamicWearleveling", func(d *ssd.DeviceParams, on bool) { d.DynamicWearLeveling = on },
@@ -315,26 +308,26 @@ func newSpace(cons Constraints, whatIf bool) *Space {
 		boolParam("CompressionEnabled", func(d *ssd.DeviceParams, on bool) {},
 			func(d *ssd.DeviceParams) bool { return false }),
 
-		// --- Categoricals.
-		{Name: "PlaneAllocationScheme", Kind: Categorical, Tunable: true,
-			Values: rangeGrid(0, float64(ssd.NumAllocSchemes-1), ssd.NumAllocSchemes),
-			Labels: allocLabels(),
-			apply:  func(d *ssd.DeviceParams, v float64) { d.PlaneAllocScheme = ssd.AllocScheme(int(v)) },
-			get:    func(d *ssd.DeviceParams) float64 { return float64(d.PlaneAllocScheme) }},
-		{Name: "CachePolicy", Kind: Categorical, Tunable: true,
-			Values: []float64{0, 1, 2}, Labels: []string{"LRU", "FIFO", "CFLRU"},
-			apply: func(d *ssd.DeviceParams, v float64) { d.CachePolicy = ssd.CachePolicy(int(v)) },
-			get:   func(d *ssd.DeviceParams) float64 { return float64(d.CachePolicy) }},
+		// --- Categoricals. Grid values and labels derive from the policy
+		// registry in internal/ssd, so a policy added there shows up here
+		// (and in CLI help, JSON, and the tuner) without further edits.
+		catParam("PlaneAllocationScheme", ssd.AllocSchemeNames(), true,
+			func(d *ssd.DeviceParams, v int) { d.PlaneAllocScheme = ssd.AllocScheme(v) },
+			func(d *ssd.DeviceParams) int { return int(d.PlaneAllocScheme) }),
+		catParam("CachePolicy", ssd.CachePolicyNames(), true,
+			func(d *ssd.DeviceParams, v int) { d.CachePolicy = ssd.CachePolicy(v) },
+			func(d *ssd.DeviceParams) int { return int(d.CachePolicy) }),
+		catParam("GCPolicy", ssd.GCPolicyNames(), true,
+			func(d *ssd.DeviceParams, v int) { d.GCPolicy = ssd.GCPolicy(v) },
+			func(d *ssd.DeviceParams) int { return int(d.GCPolicy) }),
 
 		// --- Constrained (non-tunable) categoricals.
-		{Name: "Interface", Kind: Categorical, Tunable: false,
-			Values: []float64{0, 1}, Labels: []string{"NVMe", "SATA"},
-			apply: func(d *ssd.DeviceParams, v float64) { d.HostInterface = ssd.Interface(int(v)) },
-			get:   func(d *ssd.DeviceParams) float64 { return float64(d.HostInterface) }},
-		{Name: "FlashType", Kind: Categorical, Tunable: false,
-			Values: []float64{0, 1, 2}, Labels: []string{"SLC", "MLC", "TLC"},
-			apply: func(d *ssd.DeviceParams, v float64) { d.FlashType = ssd.FlashType(int(v)) },
-			get:   func(d *ssd.DeviceParams) float64 { return float64(d.FlashType) }},
+		catParam("Interface", ssd.InterfaceNames(), false,
+			func(d *ssd.DeviceParams, v int) { d.HostInterface = ssd.Interface(v) },
+			func(d *ssd.DeviceParams) int { return int(d.HostInterface) }),
+		catParam("FlashType", ssd.FlashTypeNames(), false,
+			func(d *ssd.DeviceParams, v int) { d.FlashType = ssd.FlashType(v) },
+			func(d *ssd.DeviceParams) int { return int(d.FlashType) }),
 	}
 
 	s := &Space{Params: params, Cons: cons, index: make(map[string]int, len(params))}
@@ -357,12 +350,18 @@ func boolParam(name string, set func(*ssd.DeviceParams, bool), get func(*ssd.Dev
 	}
 }
 
-func allocLabels() []string {
-	out := make([]string, ssd.NumAllocSchemes)
-	for i := range out {
-		out[i] = ssd.AllocScheme(i).String()
+// catParam builds a categorical parameter whose grid indices are the
+// registry wire values 0..n-1 and whose labels are the registry names.
+func catParam(name string, labels []string, tunable bool, set func(*ssd.DeviceParams, int), get func(*ssd.DeviceParams) int) Param {
+	values := make([]float64, len(labels))
+	for i := range values {
+		values[i] = float64(i)
 	}
-	return out
+	return Param{
+		Name: name, Kind: Categorical, Tunable: tunable, Values: values, Labels: labels,
+		apply: func(d *ssd.DeviceParams, v float64) { set(d, int(v)) },
+		get:   func(d *ssd.DeviceParams) float64 { return float64(get(d)) },
+	}
 }
 
 // NumParams returns the parameter count (48).

@@ -29,8 +29,49 @@ func TestSpaceHas48Params(t *testing.T) {
 	if numeric != 35 {
 		t.Fatalf("numeric params = %d, want 35 (Fig. 4 sweeps 35)", numeric)
 	}
-	if boolean != 9 || categorical != 4 {
-		t.Fatalf("boolean=%d categorical=%d", boolean, categorical)
+	if boolean != 8 || categorical != 5 {
+		t.Fatalf("boolean=%d categorical=%d, want 8/5 (GCPolicy is categorical now)", boolean, categorical)
+	}
+}
+
+// Every categorical parameter must expose the policy registry's label
+// set verbatim: same length as its grid, and grid values 0..n-1 so grid
+// index == registry wire value.
+func TestCategoricalLabelsMatchRegistry(t *testing.T) {
+	want := map[string][]string{
+		"PlaneAllocationScheme": ssd.AllocSchemeNames(),
+		"CachePolicy":           ssd.CachePolicyNames(),
+		"GCPolicy":              ssd.GCPolicyNames(),
+		"Interface":             ssd.InterfaceNames(),
+		"FlashType":             ssd.FlashTypeNames(),
+	}
+	s := defaultSpace()
+	seen := 0
+	for _, p := range s.Params {
+		if p.Kind != Categorical {
+			continue
+		}
+		seen++
+		names, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected categorical %q", p.Name)
+			continue
+		}
+		if len(p.Labels) != len(names) || len(p.Values) != len(names) {
+			t.Errorf("%s: %d labels / %d values, registry has %d names", p.Name, len(p.Labels), len(p.Values), len(names))
+			continue
+		}
+		for i, n := range names {
+			if p.Labels[i] != n {
+				t.Errorf("%s label[%d] = %q, registry says %q", p.Name, i, p.Labels[i], n)
+			}
+			if p.Values[i] != float64(i) {
+				t.Errorf("%s value[%d] = %g, want %d", p.Name, i, p.Values[i], i)
+			}
+		}
+	}
+	if seen != len(want) {
+		t.Fatalf("found %d categoricals, want %d", seen, len(want))
 	}
 }
 
@@ -207,13 +248,16 @@ func TestVectorEncoding(t *testing.T) {
 			t.Fatalf("vector[%d] = %g outside [0,1]", i, x)
 		}
 	}
-	// One-hot blocks sum to 1 per categorical.
+	// One-hot blocks sum to 1 per categorical (alloc 16 + cache 4 +
+	// gc 3 + interface 2 + flash 3 trailing slots).
+	catLen := len(ssd.AllocSchemeNames()) + len(ssd.CachePolicyNames()) +
+		len(ssd.GCPolicyNames()) + len(ssd.InterfaceNames()) + len(ssd.FlashTypeNames())
 	var catSum float64
-	for _, x := range v[len(v)-(16+3+2+3):] {
+	for _, x := range v[len(v)-catLen:] {
 		catSum += x
 	}
-	if catSum != 4 {
-		t.Fatalf("categorical one-hot sum = %g, want 4", catSum)
+	if catSum != 5 {
+		t.Fatalf("categorical one-hot sum = %g, want 5", catSum)
 	}
 }
 
