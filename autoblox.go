@@ -45,6 +45,12 @@ type (
 	SimResult = ssd.Result
 	// Trace is a block I/O trace.
 	Trace = trace.Trace
+	// Source is a rewindable streaming cursor over a request sequence —
+	// the constant-memory alternative to a materialized Trace.
+	Source = trace.Source
+	// SourceFactory produces independent streaming cursors over the same
+	// request sequence (one per parallel simulation).
+	SourceFactory = trace.SourceFactory
 	// TuneResult reports a tuning run.
 	TuneResult = core.TuneResult
 	// TunerOptions tunes the §3.4 search loop.
@@ -115,9 +121,9 @@ type Framework struct {
 	validator *core.Validator
 	grader    *core.Grader
 	refCfg    Config
-	traces    map[string]*Trace   // cluster label -> representative trace
-	orders    map[string][]string // cached §3.3 tuning orders per target
-	outliers  map[string]int      // nearest-label -> novel-trace count (§3.1)
+	sources   map[string]SourceFactory // cluster label -> representative stream
+	orders    map[string][]string      // cached §3.3 tuning orders per target
+	outliers  map[string]int           // nearest-label -> novel-trace count (§3.1)
 }
 
 // New opens (or creates) a framework under the given constraints.
@@ -149,7 +155,7 @@ func New(cons Constraints, opts Options) (*Framework, error) {
 	}
 	f := &Framework{
 		Space: space, DB: db, opts: opts, cons: cons,
-		traces:   map[string]*Trace{},
+		sources:  map[string]SourceFactory{},
 		orders:   map[string][]string{},
 		outliers: map[string]int{},
 	}
@@ -179,16 +185,34 @@ func (f *Framework) SetProgress(fn func(iteration int, bestGrade float64)) {
 // LearnWorkloads trains the §3.1 clustering model on one representative
 // trace per workload category and persists it to AutoDB. The traces also
 // become the per-cluster representatives used in non-target validation.
+// Callers holding generator- or file-backed streams should prefer
+// LearnWorkloadSources, which never materializes the traces.
 func (f *Framework) LearnWorkloads(traces []*Trace) error {
-	c, err := core.TrainClusterer(traces, core.ClustererConfig{
+	factories := make([]SourceFactory, len(traces))
+	for i, tr := range traces {
+		factories[i] = tr.Factory()
+	}
+	return f.LearnWorkloadSources(factories)
+}
+
+// LearnWorkloadSources is LearnWorkloads over streaming source
+// factories: each training stream is consumed in one windowed pass for
+// clustering and re-derived on demand for validation, so no trace is
+// ever held in memory whole.
+func (f *Framework) LearnWorkloadSources(factories []SourceFactory) error {
+	srcs := make([]trace.Source, len(factories))
+	for i, fac := range factories {
+		srcs[i] = fac()
+	}
+	c, err := core.TrainClustererSources(srcs, core.ClustererConfig{
 		K: f.opts.ClusterK, Seed: f.opts.Seed, AutoAdjustThreshold: true,
 	})
 	if err != nil {
 		return err
 	}
 	f.Clusterer = c
-	for _, tr := range traces {
-		f.traces[tr.Name] = tr
+	for i, fac := range factories {
+		f.sources[srcs[i].Name()] = fac
 	}
 	f.validator = nil // rebuilt lazily against the new trace set
 	if blob, err := c.Marshal(); err == nil {
@@ -201,8 +225,8 @@ func (f *Framework) LearnWorkloads(traces []*Trace) error {
 
 // Workloads lists the learned cluster labels.
 func (f *Framework) Workloads() []string {
-	out := make([]string, 0, len(f.traces))
-	for k := range f.traces {
+	out := make([]string, 0, len(f.sources))
+	for k := range f.sources {
 		out = append(out, k)
 	}
 	sortStrings(out)
@@ -223,10 +247,14 @@ func (f *Framework) ensureEnv() error {
 	if f.validator != nil {
 		return nil
 	}
-	if len(f.traces) == 0 {
+	if len(f.sources) == 0 {
 		return errors.New("autoblox: LearnWorkloads must run before tuning")
 	}
-	f.validator = core.NewValidator(f.Space, f.traces)
+	groups := make(map[string][]SourceFactory, len(f.sources))
+	for k, fac := range f.sources {
+		groups[k] = []SourceFactory{fac}
+	}
+	f.validator = core.NewValidatorSources(f.Space, groups)
 	f.validator.Parallel = f.opts.Parallel
 	f.validator.Obs = f.opts.Metrics
 	g, err := core.NewGrader(f.validator, f.refCfg, f.opts.Alpha, f.opts.Beta)
@@ -301,7 +329,7 @@ func (f *Framework) Recommend(tr *Trace) (*Recommendation, error) {
 	target := a.Label
 	if newCategory {
 		target = tr.Name
-		f.traces[target] = tr
+		f.sources[target] = tr.Factory()
 		f.validator = nil
 	}
 	res, err := f.Tune(target)
@@ -416,11 +444,18 @@ func (f *Framework) WhatIf(goal WhatIfGoal) (*WhatIfResult, error) {
 // Simulate runs a trace against an explicit device configuration — the
 // standalone simulator entry point (cmd/ssdsim uses it).
 func Simulate(dev DeviceParams, tr *Trace) (*SimResult, error) {
+	return SimulateSource(dev, tr.Source())
+}
+
+// SimulateSource runs a streaming trace against an explicit device
+// configuration without materializing it; per-run memory is O(device
+// state), independent of trace length.
+func SimulateSource(dev DeviceParams, src Source) (*SimResult, error) {
 	sim, err := ssd.NewSimulator(dev)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(tr)
+	return sim.RunSource(src)
 }
 
 // DescribeConfig formats the Table 5 critical parameters of a

@@ -133,13 +133,19 @@ func (c *commonFlags) framework(whatIf bool) *autoblox.Framework {
 	return fw
 }
 
-// learnStudied trains on the seven studied categories.
+// learnStudied trains on the seven studied categories. Streaming
+// factories keep the training traces lazy: every sweep re-derives its
+// requests from the seed instead of holding seven traces in memory.
 func learnStudied(fw *autoblox.Framework, c *commonFlags) {
-	var traces []*autoblox.Trace
+	var factories []autoblox.SourceFactory
 	for _, cat := range workload.Studied() {
-		traces = append(traces, workload.MustGenerate(cat, workload.Options{Requests: c.requests, Seed: c.seed}))
+		f, err := workload.Factory(cat, workload.Options{Requests: c.requests, Seed: c.seed})
+		if err != nil {
+			fatal(err)
+		}
+		factories = append(factories, f)
 	}
-	if err := fw.LearnWorkloads(traces); err != nil {
+	if err := fw.LearnWorkloadSources(factories); err != nil {
 		fatal(err)
 	}
 }

@@ -2,19 +2,24 @@
 // the discrete-event simulator and prints the measured performance and
 // energy.
 //
-// Usage:
+// Blktrace files stream through the simulator in constant memory, so
+// arbitrarily large traces replay without being loaded into RAM:
 //
 //	ssdsim -config intel750 -trace db.trace
 //	tracegen -workload WebSearch | ssdsim -config zssd -trace -
 //	ssdsim -config 850pro -workload Database -requests 20000
+//	ssdsim -config intel750 -trace huge-100GB.trace          # constant memory
+//	ssdsim -config intel750 -trace unsorted.trace -materialize
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // registered on the default mux served by -pprof
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -40,6 +45,7 @@ func main() {
 	alloc := flag.String("alloc", "", "override plane allocation scheme: "+strings.Join(ssd.AllocSchemeNames(), ", "))
 	metrics := flag.String("metrics", "", "write simulator metrics to this file (.json = JSON snapshot, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	materialize := flag.Bool("materialize", false, "buffer the whole trace in memory and sort arrivals (needed for unsorted blktrace files)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -102,24 +108,14 @@ func main() {
 		dev.PlaneAllocScheme = scheme
 	}
 
-	parse := trace.ParseBlktrace
-	if strings.EqualFold(*format, "msr") {
-		parse = trace.ParseMSR
-	}
-	var tr *trace.Trace
+	var src trace.Source
 	var err error
+	cleanup := func() {}
 	switch {
 	case *cat != "":
-		tr, err = workload.Generate(workload.Category(*cat), workload.Options{Requests: *requests, Seed: *seed})
-	case *tracePath == "-":
-		tr, err = parse(os.Stdin)
+		src, err = workload.NewSource(workload.Category(*cat), workload.Options{Requests: *requests, Seed: *seed})
 	case *tracePath != "":
-		var f *os.File
-		f, err = os.Open(*tracePath)
-		if err == nil {
-			defer f.Close()
-			tr, err = parse(f)
-		}
+		src, cleanup, err = openTraceSource(*tracePath, *format, *materialize)
 	default:
 		fmt.Fprintln(os.Stderr, "ssdsim: need -trace or -workload")
 		os.Exit(2)
@@ -128,6 +124,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ssdsim:", err)
 		os.Exit(1)
 	}
+	defer cleanup()
 
 	sim, err := ssd.NewSimulator(dev)
 	if err != nil {
@@ -139,7 +136,7 @@ func main() {
 		reg = obs.NewRegistry()
 		sim.Obs = reg
 	}
-	res, err := sim.Run(tr)
+	res, err := sim.RunSource(src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssdsim:", err)
 		os.Exit(1)
@@ -172,6 +169,68 @@ func main() {
 			res.Wear.MaxEraseCount, res.Wear.MeanEraseCount, res.Wear.Imbalance,
 			res.Wear.PECycleLimit, res.Wear.ProjectedLifetime.Round(time.Hour))
 	}
+}
+
+// openTraceSource opens a trace file as a rewindable Source. Blktrace
+// files stream straight from disk in constant memory; stdin is spooled
+// to a temporary file first so the simulator's warm-up and measured
+// sweeps can rewind it. MSR traces (and -materialize) use the buffered
+// parser, which also sorts out-of-order arrivals.
+func openTraceSource(path, format string, materialize bool) (trace.Source, func(), error) {
+	cleanup := func() {}
+	if strings.EqualFold(format, "msr") || materialize {
+		parse := trace.ParseBlktrace
+		if strings.EqualFold(format, "msr") {
+			parse = trace.ParseMSR
+		}
+		r := io.Reader(os.Stdin)
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, cleanup, err
+			}
+			defer f.Close()
+			r = f
+		}
+		tr, err := parse(r)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		return tr.Source(), cleanup, nil
+	}
+	if path == "-" {
+		tmp, err := spoolStdin()
+		if err != nil {
+			return nil, cleanup, err
+		}
+		cleanup = func() { tmp.Close(); os.Remove(tmp.Name()) }
+		return trace.NewBlktraceSource(tmp, "stdin"), cleanup, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, cleanup, err
+	}
+	cleanup = func() { f.Close() }
+	return trace.NewBlktraceSource(f, filepath.Base(path)), cleanup, nil
+}
+
+// spoolStdin copies stdin to a temporary file so it becomes seekable.
+func spoolStdin() (*os.File, error) {
+	tmp, err := os.CreateTemp("", "ssdsim-stdin-*.trace")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.Copy(tmp, os.Stdin); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	return tmp, nil
 }
 
 func hitPct(hits, misses int64) float64 {

@@ -36,7 +36,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen: -workload is required (try -list)")
 		os.Exit(2)
 	}
-	tr, err := workload.Generate(workload.Category(*cat), workload.Options{
+	// A streaming source keeps memory constant regardless of -requests:
+	// each sweep below (stats, write) re-derives the trace from the seed.
+	src, err := workload.NewSource(workload.Category(*cat), workload.Options{
 		Requests: *requests, Seed: *seed,
 	})
 	if err != nil {
@@ -44,7 +46,12 @@ func main() {
 		os.Exit(1)
 	}
 	if *stats {
-		fmt.Fprintln(os.Stderr, trace.ComputeStats(tr))
+		st, err := trace.ComputeStatsSource(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, st)
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -56,7 +63,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := trace.WriteBlktrace(w, tr); err != nil {
+	if err := trace.WriteBlktraceSource(w, src); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}

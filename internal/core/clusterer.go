@@ -81,22 +81,40 @@ type Assignment struct {
 }
 
 // TrainClusterer fits the clustering pipeline on one representative
-// trace per category.
+// trace per category. It streams each trace through the windowed
+// feature extractor via TrainClustererSources; only the per-window
+// feature rows (18 floats each) are retained.
 func TrainClusterer(traces []*trace.Trace, cfg ClustererConfig) (*Clusterer, error) {
-	sp := obs.StartSpan("clustering").ArgInt("traces", int64(len(traces)))
+	srcs := make([]trace.Source, len(traces))
+	for i, tr := range traces {
+		srcs[i] = tr.Source()
+	}
+	return TrainClustererSources(srcs, cfg)
+}
+
+// TrainClustererSources fits the clustering pipeline on one streaming
+// source per category (a slice, not a map, so training-row order — and
+// therefore the fitted model — is deterministic). Each source is
+// consumed in a single windowed pass; the traces themselves are never
+// materialized.
+func TrainClustererSources(srcs []trace.Source, cfg ClustererConfig) (*Clusterer, error) {
+	sp := obs.StartSpan("clustering").ArgInt("traces", int64(len(srcs)))
 	defer sp.End()
-	if len(traces) == 0 {
+	if len(srcs) == 0 {
 		return nil, errors.New("core: no training traces")
 	}
-	cfg.defaults(len(traces))
+	cfg.defaults(len(srcs))
 
 	var rows [][]float64
 	var cats []string
-	for _, tr := range traces {
-		ws := trace.Windows(tr, cfg.WindowSize)
-		for _, w := range ws {
+	for _, src := range srcs {
+		err := trace.ScanWindows(src, cfg.WindowSize, func(w *trace.Trace) error {
 			rows = append(rows, trace.WindowFeatures(w))
-			cats = append(cats, tr.Name)
+			cats = append(cats, src.Name())
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: windowing %q: %w", src.Name(), err)
 		}
 	}
 	if len(rows) < cfg.K {
@@ -159,11 +177,20 @@ func majorityLabels(km *kmeans.Model, cats []string) []string {
 // and the centroid compared against cluster centers (§3.1's distance
 // test against the threshold).
 func (c *Clusterer) Assign(tr *trace.Trace) (Assignment, error) {
-	ws := trace.Windows(tr, c.Window)
-	if len(ws) == 0 {
+	return c.AssignSource(tr.Source())
+}
+
+// AssignSource is Assign over a streaming source: the trace's windows
+// are featurized in one pass without materializing the request slice.
+func (c *Clusterer) AssignSource(src trace.Source) (Assignment, error) {
+	rows, err := trace.FeatureMatrixSource(src, c.Window)
+	if err != nil {
+		return Assignment{}, err
+	}
+	if len(rows) == 0 {
 		return Assignment{}, errors.New("core: empty trace")
 	}
-	feat := linalg.FromRows(trace.FeatureMatrix(ws))
+	feat := linalg.FromRows(rows)
 	proj, err := c.PCA.Transform(feat)
 	if err != nil {
 		return Assignment{}, err
@@ -180,21 +207,27 @@ func (c *Clusterer) Assign(tr *trace.Trace) (Assignment, error) {
 
 // ValidationAccuracy computes the fraction of validation windows that
 // land in the cluster whose majority label matches the window's own
-// category — the paper reports ~95% (§3.1).
+// category — the paper reports ~95% (§3.1). Windows are streamed and
+// scored one at a time.
 func (c *Clusterer) ValidationAccuracy(traces []*trace.Trace) (float64, error) {
 	var correct, total int
 	for _, tr := range traces {
-		for _, w := range trace.Windows(tr, c.Window) {
+		name := tr.Name
+		err := trace.ScanWindows(tr.Source(), c.Window, func(w *trace.Trace) error {
 			feat := linalg.FromRows([][]float64{trace.WindowFeatures(w)})
 			proj, err := c.PCA.Transform(feat)
 			if err != nil {
-				return 0, err
+				return err
 			}
 			cl, _ := c.KMeans.PredictVec(proj.Row(0))
-			if c.Labels[cl] == tr.Name {
+			if c.Labels[cl] == name {
 				correct++
 			}
 			total++
+			return nil
+		})
+		if err != nil {
+			return 0, err
 		}
 	}
 	if total == 0 {
@@ -321,11 +354,14 @@ func (c *Clusterer) AddWorkload(tr *trace.Trace, seed int64) (*Clusterer, error)
 	// retained, so reconstruct them from the stored projections by
 	// keeping the existing PCA basis and fitting k-means in that space
 	// over old projections + the new trace's projections.
-	ws := trace.Windows(tr, c.Window)
-	if len(ws) == 0 {
+	rows, err := trace.FeatureMatrixSource(tr.Source(), c.Window)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
 		return nil, errors.New("core: empty trace")
 	}
-	newFeat := linalg.FromRows(trace.FeatureMatrix(ws))
+	newFeat := linalg.FromRows(rows)
 	newProj, err := c.PCA.Transform(newFeat)
 	if err != nil {
 		return nil, err

@@ -76,9 +76,13 @@ type inflightSim struct {
 // cache with bit-identical values.
 type Validator struct {
 	Space *ssdconf.Space
-	// Workloads maps a workload-cluster name to its representative
-	// traces (the geometric mean is taken within a cluster, per §3.4).
-	Workloads map[string][]*trace.Trace
+	// Workloads maps a workload-cluster name to factories for its
+	// representative traces (the geometric mean is taken within a
+	// cluster, per §3.4). Factories rather than materialized traces:
+	// each simulation draws a fresh streaming cursor, so parallel
+	// workers never share cursor state or hold duplicate request
+	// slices.
+	Workloads map[string][]trace.SourceFactory
 	// Parallel bounds how many simulations may run concurrently across
 	// all measurement calls; 0 (or negative) selects
 	// runtime.GOMAXPROCS(0). Set it before the first measurement.
@@ -108,15 +112,30 @@ type Validator struct {
 // NewValidator builds a validator over one representative trace per
 // cluster.
 func NewValidator(space *ssdconf.Space, workloads map[string]*trace.Trace) *Validator {
-	m := make(map[string][]*trace.Trace, len(workloads))
+	m := make(map[string][]trace.SourceFactory, len(workloads))
 	for k, tr := range workloads {
-		m[k] = []*trace.Trace{tr}
+		m[k] = []trace.SourceFactory{tr.Factory()}
 	}
-	return NewValidatorGroups(space, m)
+	return NewValidatorSources(space, m)
 }
 
 // NewValidatorGroups builds a validator with multiple traces per cluster.
 func NewValidatorGroups(space *ssdconf.Space, groups map[string][]*trace.Trace) *Validator {
+	m := make(map[string][]trace.SourceFactory, len(groups))
+	for k, traces := range groups {
+		fs := make([]trace.SourceFactory, len(traces))
+		for i, tr := range traces {
+			fs[i] = tr.Factory()
+		}
+		m[k] = fs
+	}
+	return NewValidatorSources(space, m)
+}
+
+// NewValidatorSources builds a validator directly over streaming source
+// factories — the constant-memory path: no representative trace is ever
+// materialized, each simulation re-derives its request stream.
+func NewValidatorSources(space *ssdconf.Space, groups map[string][]trace.SourceFactory) *Validator {
 	return &Validator{
 		Space:     space,
 		Workloads: groups,
@@ -228,9 +247,10 @@ func (v *Validator) slots() chan struct{} {
 	return s
 }
 
-// MeasureTrace runs one configuration against one trace. Concurrent
-// calls with the same (configuration, trace) share a single simulation.
-func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, tr *trace.Trace) (autodb.Perf, error) {
+// MeasureTrace runs one configuration against one trace, drawing a
+// fresh streaming cursor from the factory. Concurrent calls with the
+// same (configuration, trace) share a single simulation.
+func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, f trace.SourceFactory) (autodb.Perf, error) {
 	key := cacheKey(cfg.Key(), name)
 	v.mu.Lock()
 	if p, ok := v.cache[key]; ok {
@@ -262,7 +282,7 @@ func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, tr *trace.Trac
 	waitStart := time.Now()
 	sem <- struct{}{}
 	v.Obs.Histogram(MetricQueueWait).Record(time.Since(waitStart).Nanoseconds())
-	fl.perf, fl.err = v.simulate(cfg, tr)
+	fl.perf, fl.err = v.simulate(cfg, f)
 	<-sem
 
 	v.mu.Lock()
@@ -275,8 +295,10 @@ func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, tr *trace.Trac
 	return fl.perf, fl.err
 }
 
-// simulate is the uncached single-simulation path.
-func (v *Validator) simulate(cfg ssdconf.Config, tr *trace.Trace) (autodb.Perf, error) {
+// simulate is the uncached single-simulation path. The factory is
+// invoked here, inside the worker slot, so each concurrent simulation
+// owns a private cursor.
+func (v *Validator) simulate(cfg ssdconf.Config, f trace.SourceFactory) (autodb.Perf, error) {
 	dev := v.Space.ToDevice(cfg)
 	sim, err := ssd.NewSimulator(dev)
 	if err != nil {
@@ -284,7 +306,7 @@ func (v *Validator) simulate(cfg ssdconf.Config, tr *trace.Trace) (autodb.Perf, 
 	}
 	sim.Obs = v.Obs
 	t0 := time.Now()
-	res, err := sim.Run(tr)
+	res, err := sim.RunSource(f())
 	if err != nil {
 		return autodb.Perf{}, fmt.Errorf("core: validator run: %w", err)
 	}
@@ -307,7 +329,7 @@ func (v *Validator) simulate(cfg ssdconf.Config, tr *trace.Trace) (autodb.Perf, 
 type batchJob struct {
 	cfg  ssdconf.Config
 	name string
-	tr   *trace.Trace
+	src  trace.SourceFactory
 }
 
 // MeasureBatch measures every (configuration × cluster × trace)
@@ -320,13 +342,13 @@ type batchJob struct {
 func (v *Validator) MeasureBatch(cfgs []ssdconf.Config, clusters []string) error {
 	var jobs []batchJob
 	for _, cl := range clusters {
-		traces, ok := v.Workloads[cl]
-		if !ok || len(traces) == 0 {
+		factories, ok := v.Workloads[cl]
+		if !ok || len(factories) == 0 {
 			return fmt.Errorf("core: unknown workload cluster %q", cl)
 		}
 		for _, cfg := range cfgs {
-			for i, tr := range traces {
-				jobs = append(jobs, batchJob{cfg: cfg, name: traceName(cl, i), tr: tr})
+			for i, f := range factories {
+				jobs = append(jobs, batchJob{cfg: cfg, name: traceName(cl, i), src: f})
 			}
 		}
 	}
@@ -335,10 +357,10 @@ func (v *Validator) MeasureBatch(cfgs []ssdconf.Config, clusters []string) error
 
 // MeasureConfigs measures many configurations against one explicit
 // trace — the batch entry point for the §3.3 pruning sweeps.
-func (v *Validator) MeasureConfigs(cfgs []ssdconf.Config, name string, tr *trace.Trace) error {
+func (v *Validator) MeasureConfigs(cfgs []ssdconf.Config, name string, f trace.SourceFactory) error {
 	jobs := make([]batchJob, len(cfgs))
 	for i, cfg := range cfgs {
-		jobs[i] = batchJob{cfg: cfg, name: name, tr: tr}
+		jobs[i] = batchJob{cfg: cfg, name: name, src: f}
 	}
 	return v.measureJobs(jobs)
 }
@@ -352,7 +374,7 @@ func (v *Validator) measureJobs(jobs []batchJob) error {
 	}
 	if n <= 1 {
 		for _, j := range jobs {
-			if _, err := v.MeasureTrace(j.cfg, j.name, j.tr); err != nil {
+			if _, err := v.MeasureTrace(j.cfg, j.name, j.src); err != nil {
 				return err
 			}
 		}
@@ -379,7 +401,7 @@ func (v *Validator) measureJobs(jobs []batchJob) error {
 					continue
 				}
 				t0 := time.Now()
-				if _, err := v.MeasureTrace(j.cfg, j.name, j.tr); err != nil {
+				if _, err := v.MeasureTrace(j.cfg, j.name, j.src); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 				}
@@ -403,13 +425,13 @@ func traceName(cluster string, i int) string { return fmt.Sprintf("%s#%d", clust
 // MeasureCluster runs cfg on every trace of a cluster and returns the
 // per-trace results keyed "<cluster>#<i>".
 func (v *Validator) MeasureCluster(cfg ssdconf.Config, cluster string) ([]autodb.Perf, error) {
-	traces, ok := v.Workloads[cluster]
-	if !ok || len(traces) == 0 {
+	factories, ok := v.Workloads[cluster]
+	if !ok || len(factories) == 0 {
 		return nil, fmt.Errorf("core: unknown workload cluster %q", cluster)
 	}
-	out := make([]autodb.Perf, len(traces))
-	for i, tr := range traces {
-		p, err := v.MeasureTrace(cfg, traceName(cluster, i), tr)
+	out := make([]autodb.Perf, len(factories))
+	for i, f := range factories {
+		p, err := v.MeasureTrace(cfg, traceName(cluster, i), f)
 		if err != nil {
 			return nil, err
 		}

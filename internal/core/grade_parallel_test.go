@@ -31,10 +31,10 @@ func TestCacheKeyPipeClusterNames(t *testing.T) {
 	tr := workload.MustGenerate(workload.Database, workload.Options{Requests: 1500, Seed: 3})
 	v := NewValidator(space, map[string]*trace.Trace{"a|b": tr, "a": tr})
 	ref := space.FromDevice(ssd.Intel750())
-	if _, err := v.MeasureTrace(ref, "a|b#0", tr); err != nil {
+	if _, err := v.MeasureTrace(ref, "a|b#0", tr.Factory()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.MeasureTrace(ref, "a#0", tr); err != nil {
+	if _, err := v.MeasureTrace(ref, "a#0", tr.Factory()); err != nil {
 		t.Fatal(err)
 	}
 	if got := v.SimRuns(); got != 2 {
@@ -85,11 +85,11 @@ func TestMeasureBatchMatchesSerial(t *testing.T) {
 	for _, cfg := range cfgs {
 		for _, cl := range serial.Clusters() {
 			name := cl + "#0"
-			a, err := serial.MeasureTrace(cfg, name, ws[cl])
+			a, err := serial.MeasureTrace(cfg, name, ws[cl].Factory())
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := par.MeasureTrace(cfg, name, ws[cl]) // cache hit
+			b, err := par.MeasureTrace(cfg, name, ws[cl].Factory()) // cache hit
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -138,7 +138,7 @@ func TestSingleflightStress(t *testing.T) {
 			for k := 0; k < len(cfgs)*len(clusters); k++ {
 				cfg := cfgs[(g+k)%len(cfgs)]
 				cl := clusters[(g+k)%len(clusters)]
-				if _, err := v.MeasureTrace(cfg, cl+"#0", ws[cl]); err != nil {
+				if _, err := v.MeasureTrace(cfg, cl+"#0", ws[cl].Factory()); err != nil {
 					errs <- err
 					return
 				}

@@ -99,13 +99,13 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 	opts.defaults()
 	sp := obs.StartSpan("coarse-prune").Arg("target", target)
 	defer sp.End()
-	traces, ok := v.Workloads[target]
+	factories, ok := v.Workloads[target]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown target %q", target)
 	}
-	tr := traces[0]
+	src := factories[0]
 	refName := target + "#0"
-	refPerf, err := v.MeasureTrace(base, refName, tr)
+	refPerf, err := v.MeasureTrace(base, refName, src)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 			sweepCfgs = append(sweepCfgs, cfg)
 		}
 	}
-	if err := v.MeasureConfigs(sweepCfgs, refName, tr); err != nil {
+	if err := v.MeasureConfigs(sweepCfgs, refName, src); err != nil {
 		return nil, err
 	}
 
@@ -141,7 +141,7 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 		for _, idx := range sweepIndices(p, base[i]) {
 			cfg := base.Clone()
 			cfg[i] = idx
-			perf, err := v.MeasureTrace(cfg, refName, tr) // cache hit
+			perf, err := v.MeasureTrace(cfg, refName, src) // cache hit
 			if err != nil {
 				return nil, err
 			}
@@ -198,13 +198,13 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 	opts.defaults()
 	sp := obs.StartSpan("fine-prune").Arg("target", target)
 	defer sp.End()
-	traces, ok := v.Workloads[target]
+	factories, ok := v.Workloads[target]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown target %q", target)
 	}
-	tr := traces[0]
+	src := factories[0]
 	refName := target + "#0"
-	refPerf, err := v.MeasureTrace(base, refName, tr)
+	refPerf, err := v.MeasureTrace(base, refName, src)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +261,7 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 	if len(samples) < 8 {
 		return nil, fmt.Errorf("core: only %d valid samples for ridge fit", len(samples))
 	}
-	if err := v.MeasureConfigs(samples, refName, tr); err != nil {
+	if err := v.MeasureConfigs(samples, refName, src); err != nil {
 		return nil, err
 	}
 
@@ -272,7 +272,7 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 	var rows [][]float64
 	var ys []float64
 	for _, cfg := range samples {
-		perf, err := v.MeasureTrace(cfg, refName, tr) // cache hit
+		perf, err := v.MeasureTrace(cfg, refName, src) // cache hit
 		if err != nil {
 			return nil, err
 		}

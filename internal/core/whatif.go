@@ -97,19 +97,20 @@ func WhatIf(space *ssdconf.Space, v *Validator, g *Grader, goal WhatIfGoal, init
 	// makes the ratio meaningful (the reference is re-measured under the
 	// same stress).
 	if goal.ThroughputGain > 0 {
-		groups := make(map[string][]*trace.Trace, len(v.Workloads))
-		for cl, traces := range v.Workloads {
+		groups := make(map[string][]trace.SourceFactory, len(v.Workloads))
+		for cl, factories := range v.Workloads {
 			if cl != goal.Target {
-				groups[cl] = traces
+				groups[cl] = factories
 				continue
 			}
-			compressed := make([]*trace.Trace, len(traces))
-			for i, tr := range traces {
-				compressed[i] = tr.Compress(20)
+			compressed := make([]trace.SourceFactory, len(factories))
+			for i, f := range factories {
+				f := f
+				compressed[i] = func() trace.Source { return trace.CompressStream(f(), 20) }
 			}
 			groups[cl] = compressed
 		}
-		v = NewValidatorGroups(v.Space, groups)
+		v = NewValidatorSources(v.Space, groups)
 		ng, err := NewGrader(v, initial[0], g.Alpha, g.Beta)
 		if err != nil {
 			return nil, fmt.Errorf("core: what-if stress grader: %w", err)

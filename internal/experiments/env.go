@@ -60,7 +60,10 @@ type Env struct {
 	Validator *core.Validator
 	Grader    *core.Grader
 	Cats      []workload.Category
-	Traces    map[string]*trace.Trace
+	// Sources holds one streaming generator factory per category; every
+	// simulation re-derives its trace from the seed, so the experiment
+	// suite never materializes a workload trace.
+	Sources map[string]trace.SourceFactory
 }
 
 // NewEnv builds an environment: generates one trace per category,
@@ -82,19 +85,19 @@ func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []
 		space = ssdconf.NewSpace(cons)
 	}
 	e := &Env{Scale: scale, Cons: cons, Space: space, Ref: ref, Cats: cats,
-		Traces: map[string]*trace.Trace{}}
+		Sources: map[string]trace.SourceFactory{}}
 	for _, c := range cats {
-		tr, err := workload.Generate(c, workload.Options{Requests: scale.Requests, Seed: scale.Seed})
+		fac, err := workload.Factory(c, workload.Options{Requests: scale.Requests, Seed: scale.Seed})
 		if err != nil {
 			return nil, err
 		}
-		e.Traces[string(c)] = tr
+		e.Sources[string(c)] = fac
 	}
 	e.RefCfg = space.FromDevice(ref)
 	if err := space.CheckConstraints(e.RefCfg); err != nil {
 		return nil, fmt.Errorf("experiments: reference violates constraints: %w", err)
 	}
-	e.Validator = core.NewValidator(space, e.Traces)
+	e.Validator = core.NewValidatorSources(space, e.sourceGroups())
 	e.Validator.Parallel = scale.Parallel
 	e.Validator.Obs = scale.Obs
 	g, err := core.NewGrader(e.Validator, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
@@ -103,6 +106,16 @@ func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []
 	}
 	e.Grader = g
 	return e, nil
+}
+
+// sourceGroups adapts the per-category factories to the validator's
+// one-trace-per-cluster shape.
+func (e *Env) sourceGroups() map[string][]trace.SourceFactory {
+	g := make(map[string][]trace.SourceFactory, len(e.Sources))
+	for k, f := range e.Sources {
+		g[k] = []trace.SourceFactory{f}
+	}
+	return g
 }
 
 // tunerOptions maps the scale onto the §3.4 loop.

@@ -45,8 +45,8 @@ func TestStudiedEnvMemoized(t *testing.T) {
 	if a != b {
 		t.Fatal("StudiedEnv not memoized")
 	}
-	if len(a.Traces) != len(workload.Studied()) {
-		t.Fatalf("env has %d traces", len(a.Traces))
+	if len(a.Sources) != len(workload.Studied()) {
+		t.Fatalf("env has %d trace sources", len(a.Sources))
 	}
 }
 

@@ -165,7 +165,7 @@ func runTarget(e *Env, target string, opts MatrixOptions) (*TargetRun, error) {
 		// Fresh validators per variant: the shared simulation cache would
 		// otherwise make whichever variant runs second look nearly free.
 		runFresh := func(useOrder bool) (*core.TuneResult, error) {
-			v := core.NewValidator(e.Space, e.Traces)
+			v := core.NewValidatorSources(e.Space, e.sourceGroups())
 			v.Parallel = e.Scale.Parallel
 			g, err := core.NewGrader(v, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 			if err != nil {

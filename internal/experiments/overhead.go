@@ -24,31 +24,35 @@ import (
 func RunTable6(e *Env) (*OverheadResult, error) {
 	out := &OverheadResult{}
 
-	// Feature extraction per 100K requests.
-	tr, err := workload.Generate(workload.Database, workload.Options{Requests: 100000, Seed: e.Scale.Seed})
+	// Feature extraction per 100K requests, streamed window-by-window so
+	// the 100K-request trace is never materialized.
+	src, err := workload.NewSource(workload.Database, workload.Options{Requests: 100000, Seed: e.Scale.Seed})
 	if err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	feats := trace.FeatureMatrix(trace.Windows(tr, trace.DefaultWindowSize))
+	feats, err := trace.FeatureMatrixSource(src, trace.DefaultWindowSize)
+	if err != nil {
+		return nil, err
+	}
 	out.FeatureExtractPer100K = time.Since(t0)
 
 	// Clustering (PCA + k-means fit over the extracted windows).
 	t0 = time.Now()
 	m := linalg.FromRows(feats)
-	cl, err := core.TrainClusterer([]*trace.Trace{tr}, core.ClustererConfig{K: 1, Seed: e.Scale.Seed})
+	cl, err := core.TrainClustererSources([]trace.Source{src}, core.ClustererConfig{K: 1, Seed: e.Scale.Seed})
 	if err != nil {
 		return nil, err
 	}
 	out.Clustering = time.Since(t0)
 
-	// Similarity comparison: assign a fresh trace against the model.
-	probe, err := workload.Generate(workload.KVStore, workload.Options{Requests: e.Scale.Requests, Seed: e.Scale.Seed + 1})
+	// Similarity comparison: assign a fresh streamed trace against the model.
+	probe, err := workload.NewSource(workload.KVStore, workload.Options{Requests: e.Scale.Requests, Seed: e.Scale.Seed + 1})
 	if err != nil {
 		return nil, err
 	}
 	t0 = time.Now()
-	if _, err := cl.Assign(probe); err != nil {
+	if _, err := cl.AssignSource(probe); err != nil {
 		return nil, err
 	}
 	_ = kmeans.Centroid(m) // include the centroid computation the paper's comparison performs
@@ -91,7 +95,7 @@ func RunTable6(e *Env) (*OverheadResult, error) {
 	// real span, Stats().WallSpan, and the learning-time subtraction
 	// below would go negative). Pinning Parallel=1 makes SimBusy and
 	// WallSpan coincide so "total - SimBusy" is a valid learning cost.
-	fresh := core.NewValidator(e.Space, e.Traces)
+	fresh := core.NewValidatorSources(e.Space, e.sourceGroups())
 	fresh.Parallel = 1
 	grader, err := core.NewGrader(fresh, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 	if err != nil {

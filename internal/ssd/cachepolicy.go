@@ -123,7 +123,15 @@ func (d *dataCache) insert(lp int64, dirty bool) (evictedLP int64, dirtyEvict bo
 				d.dirty--
 			}
 			delete(d.entries, e.lp)
-			d.ll.Remove(victim)
+			// Recycle the victim's element and entry in place of
+			// Remove+PushFront so steady-state inserts allocate nothing.
+			e.lp, e.dirty, e.ref = lp, dirty, false
+			d.ll.MoveToFront(victim)
+			d.entries[lp] = victim
+			if dirty {
+				d.dirty++
+			}
+			return evictedLP, dirtyEvict
 		}
 	}
 	d.entries[lp] = d.ll.PushFront(&cacheEntry{lp: lp, dirty: dirty})

@@ -162,6 +162,30 @@ func (f *ftl) logicalPage(lba uint64) int64 {
 	return (int64(lba/uint64(f.sectorsPerPage)) / f.capScale) % f.logicalPages
 }
 
+// pageSpan returns the first folded logical page of a request and how
+// many consecutive logical pages it touches (callers index page k as
+// (firstLP + k) % logicalPages). The count is computed in unfolded page
+// space, so a request whose folded range wraps past the end of the
+// logical space is modeled page for page instead of collapsing to a
+// single page; it is clamped to logicalPages because the modular space
+// cannot hold more distinct pages than that.
+func (f *ftl) pageSpan(lba uint64, sectors uint32) (firstLP, nPages int64) {
+	end := lba + uint64(sectors)
+	if sectors == 0 {
+		end = lba + 1 // defensive: zero-length request touches its page
+	}
+	first := int64(lba/uint64(f.sectorsPerPage)) / f.capScale
+	last := int64((end-1)/uint64(f.sectorsPerPage)) / f.capScale
+	nPages = last - first + 1
+	if nPages < 1 {
+		nPages = 1
+	}
+	if nPages > f.logicalPages {
+		nPages = f.logicalPages
+	}
+	return first % f.logicalPages, nPages
+}
+
 // prefill marks frac of logical pages as written, without timing — the
 // paper's "warm up the SSD simulator ... occupy at least 50% of the
 // storage capacity".

@@ -42,9 +42,14 @@ func newHostQueues(p *DeviceParams) *hostQueues {
 	return h
 }
 
+// hostSlot identifies the queue slot an admitted request occupies; pass
+// it to complete. A plain value token (rather than a commit closure)
+// keeps admission allocation-free on the per-request hot path.
+type hostSlot struct{ q, slot int }
+
 // admit returns the dispatch time for a request arriving at `arrival` on
-// the least-loaded queue, and a commit function to record its completion.
-func (h *hostQueues) admit(arrival int64) (dispatch int64, commit func(done int64)) {
+// the least-loaded queue, and the slot to release via complete.
+func (h *hostQueues) admit(arrival int64) (dispatch int64, s hostSlot) {
 	// Host drivers steer submissions to the queue with the earliest free
 	// slot (per-CPU queues drained independently).
 	bestQ, bestSlot, bestGate := 0, 0, int64(1<<62)
@@ -60,37 +65,92 @@ func (h *hostQueues) admit(arrival int64) (dispatch int64, commit func(done int6
 		dispatch = bestGate
 	}
 	h.counts[bestQ]++
-	return dispatch, func(done int64) { h.windows[bestQ][bestSlot] = done }
+	return dispatch, hostSlot{q: bestQ, slot: bestSlot}
 }
 
-// mergeRequests coalesces contiguous same-direction requests that arrive
-// within mergeWindowNS of each other (the block layer's request merging,
-// which the IOMergingEnabled parameter controls). Returns the merged
+// complete records the completion time of the request occupying s,
+// freeing the slot for the next admission.
+func (h *hostQueues) complete(s hostSlot, done int64) {
+	h.windows[s.q][s.slot] = done
+}
+
+const (
+	mergeWindowNS  = 200_000 // 200µs plug window
+	maxMergedBytes = 1 << 20 // cap merged requests at 1MB
+)
+
+// canMerge reports whether the block layer would coalesce r into the
+// accumulating request cur: contiguous, same direction, within the plug
+// window of the accumulator's arrival, and under the merged-size cap.
+func canMerge(cur, r trace.Request) bool {
+	contiguous := cur.LBA+uint64(cur.Sectors) == r.LBA
+	sameOp := cur.Op == r.Op
+	inWindow := r.Arrival.Nanoseconds()-cur.Arrival.Nanoseconds() <= mergeWindowNS
+	smallEnough := (uint64(cur.Sectors)+uint64(r.Sectors))*512 <= maxMergedBytes
+	return contiguous && sameOp && inWindow && smallEnough
+}
+
+// mergeStream coalesces contiguous same-direction requests on the fly
+// (the block layer's request merging, which the IOMergingEnabled
+// parameter controls) with a single request of lookahead, so merging
+// adds O(1) memory to the streaming pipeline.
+type mergeStream struct {
+	src     requestStream
+	pending trace.Request
+	have    bool
+	done    bool
+	merged  int64
+}
+
+func newMergeStream(src requestStream) *mergeStream {
+	return &mergeStream{src: src}
+}
+
+func (m *mergeStream) Next() (trace.Request, bool) {
+	if m.done {
+		return trace.Request{}, false
+	}
+	if !m.have {
+		r, ok := m.src.Next()
+		if !ok {
+			m.done = true
+			return trace.Request{}, false
+		}
+		m.pending = r
+	}
+	cur := m.pending
+	m.have = false
+	for {
+		r, ok := m.src.Next()
+		if !ok {
+			m.done = true
+			return cur, true
+		}
+		if canMerge(cur, r) {
+			cur.Sectors += r.Sectors
+			m.merged++
+			continue
+		}
+		m.pending, m.have = r, true
+		return cur, true
+	}
+}
+
+// mergeRequests is the materialized form of mergeStream, kept for tests
+// and callers that already hold a request slice. Returns the merged
 // request stream and the number of merges performed.
 func mergeRequests(reqs []trace.Request) ([]trace.Request, int64) {
-	const (
-		mergeWindowNS  = 200_000 // 200µs plug window
-		maxMergedBytes = 1 << 20 // cap merged requests at 1MB
-	)
 	if len(reqs) == 0 {
 		return reqs, 0
 	}
+	ms := newMergeStream((&trace.Trace{Requests: reqs}).Source())
 	out := make([]trace.Request, 0, len(reqs))
-	merged := int64(0)
-	cur := reqs[0]
-	for _, r := range reqs[1:] {
-		contiguous := cur.LBA+uint64(cur.Sectors) == r.LBA
-		sameOp := cur.Op == r.Op
-		inWindow := r.Arrival.Nanoseconds()-cur.Arrival.Nanoseconds() <= mergeWindowNS
-		smallEnough := (uint64(cur.Sectors)+uint64(r.Sectors))*512 <= maxMergedBytes
-		if contiguous && sameOp && inWindow && smallEnough {
-			cur.Sectors += r.Sectors
-			merged++
-			continue
+	for {
+		r, ok := ms.Next()
+		if !ok {
+			break
 		}
-		out = append(out, cur)
-		cur = r
+		out = append(out, r)
 	}
-	out = append(out, cur)
-	return out, merged
+	return out, ms.merged
 }

@@ -63,18 +63,18 @@ func TestHostQueuesDepthGating(t *testing.T) {
 	if d != 0 {
 		t.Fatalf("first dispatch = %d", d)
 	}
-	c(100)
+	h.complete(c, 100)
 	d, c = h.admit(0)
 	if d != 0 {
 		t.Fatalf("second dispatch = %d (QD 2 allows it)", d)
 	}
-	c(200)
+	h.complete(c, 200)
 	// Third request reuses slot 0: gated on its completion (100).
 	d, c = h.admit(0)
 	if d != 100 {
 		t.Fatalf("third dispatch = %d, want 100", d)
 	}
-	c(250)
+	h.complete(c, 250)
 	// Fourth reuses slot 1 (completion 200).
 	d, _ = h.admit(0)
 	if d != 200 {
@@ -90,13 +90,13 @@ func TestHostQueuesMultiQueueSteering(t *testing.T) {
 	if d != 0 {
 		t.Fatal("q0 should be free")
 	}
-	c(100)
+	h.complete(c, 100)
 	// Second request steers to the other (empty) queue.
 	d, c = h.admit(0)
 	if d != 0 {
 		t.Fatalf("second dispatch = %d, want 0 via queue 1", d)
 	}
-	c(300)
+	h.complete(c, 300)
 	// Third picks the earliest-freeing slot: q0 at 100.
 	d, _ = h.admit(0)
 	if d != 100 {

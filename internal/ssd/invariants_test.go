@@ -94,10 +94,14 @@ func TestFTLConservationInvariants(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
-				eng.warmup(tr)
+				src := tr.Source()
+				if _, err := eng.warmup(src); err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
 				auditFTL(t, label+"/warm", eng.ftl)
 				before := eraseCounts(eng.ftl)
-				if _, err := eng.run(tr); err != nil {
+				src.Reset()
+				if _, err := eng.run(src); err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
 				auditFTL(t, label, eng.ftl)

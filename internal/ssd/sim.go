@@ -90,16 +90,34 @@ func (s *Simulator) Params() DeviceParams { return s.p }
 
 // Run simulates the trace and returns measured metrics. Each call uses
 // fresh device state (including the warm-up prefill), so runs are
-// independent and deterministic.
+// independent and deterministic. Run is a thin wrapper over RunSource;
+// the two paths produce bit-for-bit identical results.
 func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
-	if len(tr.Requests) == 0 {
-		return nil, fmt.Errorf("ssd: empty trace")
-	}
+	return s.RunSource(tr.Source())
+}
+
+// RunSource simulates a streaming trace without ever materializing it:
+// the warm-up pass and the measured pass each consume one
+// Reset-separated sweep of the source, and per-run memory is O(device
+// state) — independent of trace length. The source must satisfy the
+// trace.Source determinism contract (two sweeps yield identical request
+// sequences); generator- and file-backed sources do by construction.
+func (s *Simulator) RunSource(src trace.Source) (*Result, error) {
 	eng, err := newEngine(&s.p)
 	if err != nil {
 		return nil, err
 	}
-	eng.warmup(tr)
+	n, err := eng.warmup(src)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("ssd: empty trace")
+	}
+	src.Reset()
+	if err := src.Err(); err != nil {
+		return nil, fmt.Errorf("ssd: rewind for measured pass: %w", err)
+	}
 	// Observability handles attach after warm-up so registry histograms
 	// only see measured-phase events (warm-up replays the trace once).
 	if s.Obs != nil {
@@ -107,30 +125,33 @@ func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
 		eng.gcHist = s.Obs.Histogram(MetricGCPause)
 		eng.stallHist = s.Obs.Histogram(MetricChannelStall)
 	}
-	return eng.run(tr)
+	return eng.run(src)
 }
 
 // warmup replays the trace once with timing disabled so the CMT, the
 // data cache and the FTL's block occupancy reach steady state before
 // measurement — the paper warms the simulator with traces before
 // validation for the same reason (cold compulsory misses would otherwise
-// dominate the measurement window).
+// dominate the measurement window). It returns the number of requests
+// seen, so the caller can reject empty traces.
 // The data cache is deliberately left cold: a sampled trace's footprint
 // is far smaller than the production workload's, so warming the cache
 // with the measurement trace would let configurations "win" by fitting
 // the whole sample in DRAM — a hit rate the real workload could never
 // see. Measured-phase cache hits therefore reflect only genuine
 // intra-trace reuse.
-func (e *engine) warmup(tr *trace.Trace) {
+func (e *engine) warmup(src trace.Source) (int, error) {
 	e.warming = true
 	defer func() { e.warming = false }()
-	for _, req := range tr.Requests {
-		firstLP := e.ftl.logicalPage(req.LBA)
-		lastLP := e.ftl.logicalPage(req.LBA + uint64(req.Sectors) - 1)
-		nPages := lastLP - firstLP + 1
-		if nPages < 1 {
-			nPages = 1
+	src.Reset()
+	n := 0
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
 		}
+		n++
+		firstLP, nPages := e.ftl.pageSpan(req.LBA, req.Sectors)
 		for k := int64(0); k < nPages; k++ {
 			lp := (firstLP + k) % e.ftl.logicalPages
 			if req.Op == trace.Read {
@@ -139,6 +160,9 @@ func (e *engine) warmup(tr *trace.Trace) {
 				e.writePage(lp, 0)
 			}
 		}
+	}
+	if err := src.Err(); err != nil {
+		return n, fmt.Errorf("ssd: warm-up sweep: %w", err)
 	}
 	// Reset counters and timelines accumulated during warm-up.
 	f := e.ftl
@@ -156,6 +180,7 @@ func (e *engine) warmup(tr *trace.Trace) {
 	e.hostFree = 0
 	e.cacheHits, e.cacheMisses, e.cmtHits, e.cmtMisses = 0, 0, 0, 0
 	e.channelBusyNS, e.dramAccesses = 0, 0
+	return n, nil
 }
 
 // engine is the per-run simulation state.
@@ -232,39 +257,56 @@ func newEngine(p *DeviceParams) (*engine, error) {
 	return e, nil
 }
 
-func (e *engine) run(tr *trace.Trace) (*Result, error) {
-	requests := tr.Requests
+// requestStream is the minimal pull interface the measured pass
+// consumes; both trace.Source and the block-layer merge adapter
+// satisfy it.
+type requestStream interface {
+	Next() (trace.Request, bool)
+}
+
+// run executes the measured pass over one sweep of the source. Latencies
+// are folded into a running sum plus the latency histogram as they are
+// produced — there is no per-request buffer, so memory stays O(device
+// state) regardless of trace length.
+func (e *engine) run(src trace.Source) (*Result, error) {
+	var stream requestStream = src
+	var ms *mergeStream
 	if e.p.IOMergingEnabled {
-		requests, e.mergedRequests = mergeRequests(requests)
+		ms = newMergeStream(src)
+		stream = ms
 	}
 	queues := newHostQueues(e.p)
 
-	latencies := make([]int64, len(requests))
-	var totalBytes uint64
-	var lastCompletion int64
-	firstArrival := requests[0].Arrival.Nanoseconds()
+	var (
+		count, latSum  int64
+		totalBytes     uint64
+		firstArrival   int64
+		lastCompletion int64
+	)
 
-	for i, req := range requests {
+	for {
+		req, ok := stream.Next()
+		if !ok {
+			break
+		}
 		arrival := req.Arrival.Nanoseconds()
+		if count == 0 {
+			firstArrival = arrival
+		}
 		// Queue-depth backpressure: the request is dispatched to the
 		// device once a slot in one of the submission queues frees.
 		// Latency is measured from dispatch (device-level latency, what
 		// an SSD vendor reports and what the paper's bounded speedup
 		// ratios imply); host-side queueing shows up in
 		// throughput/makespan instead.
-		dispatch, commit := queues.admit(arrival)
+		dispatch, slot := queues.admit(arrival)
 		start := dispatch + e.hostCmdNS + e.fwNS
 
 		hostXfer := int64(float64(req.Bytes()) / e.hostBps * 1e9)
 		totalBytes += req.Bytes()
 
 		// Split into logical pages.
-		firstLP := e.ftl.logicalPage(req.LBA)
-		lastLP := e.ftl.logicalPage(req.LBA + uint64(req.Sectors) - 1)
-		nPages := lastLP - firstLP + 1
-		if nPages < 1 {
-			nPages = 1 // folded wrap-around: treat as one page
-		}
+		firstLP, nPages := e.ftl.pageSpan(req.LBA, req.Sectors)
 
 		done := start
 		for k := int64(0); k < nPages; k++ {
@@ -287,17 +329,27 @@ func (e *engine) run(tr *trace.Trace) (*Result, error) {
 		}
 		e.hostFree = xferBegin + hostXfer
 		done = xferBegin + hostXfer
-		commit(done)
+		queues.complete(slot, done)
 		lat := done - dispatch
-		latencies[i] = lat
+		latSum += lat
+		count++
 		e.latHist.Record(lat)
 		e.reqHist.Record(lat)
 		if done > lastCompletion {
 			lastCompletion = done
 		}
 	}
+	if err := src.Err(); err != nil {
+		return nil, fmt.Errorf("ssd: measured sweep: %w", err)
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("ssd: empty trace")
+	}
+	if ms != nil {
+		e.mergedRequests = ms.merged
+	}
 
-	return e.buildResult(latencies, totalBytes, firstArrival, lastCompletion), nil
+	return e.buildResult(count, latSum, totalBytes, firstArrival, lastCompletion), nil
 }
 
 // readPage returns the completion time of a logical-page read started at
@@ -485,26 +537,31 @@ func (e *engine) chargeGC(pl planeID, moves, erases int32, t int64) {
 	fp.nextFree += busy
 }
 
-func (e *engine) buildResult(latencies []int64, totalBytes uint64, firstArrival, lastCompletion int64) *Result {
-	r := &Result{Requests: len(latencies)}
-	var sum int64
-	for _, l := range latencies {
-		sum += l
-	}
-	r.AvgLatency = time.Duration(sum / int64(len(latencies)))
+func (e *engine) buildResult(count, latSum int64, totalBytes uint64, firstArrival, lastCompletion int64) *Result {
+	r := &Result{Requests: int(count)}
+	r.AvgLatency = time.Duration(latSum / count)
 	r.P50Latency = time.Duration(e.latHist.Quantile(0.50))
 	r.P95Latency = time.Duration(e.latHist.Quantile(0.95))
 	r.P99Latency = time.Duration(e.latHist.Quantile(0.99))
 	r.P999Latency = time.Duration(e.latHist.Quantile(0.999))
 	r.LatencyHistogram = e.latHist.Snapshot()
 
+	// A single-request trace (or one whose arrivals all coincide before a
+	// shared completion) can yield lastCompletion == firstArrival, and a
+	// dispatch gated far past the final completion can even drive the
+	// difference negative. Rates divided by such a makespan were Inf/NaN;
+	// fall back to the total device-busy time (the latency sum) so IOPS,
+	// throughput and average power stay finite and meaningful.
 	makespan := lastCompletion - firstArrival
 	if makespan <= 0 {
-		makespan = 1
+		makespan = latSum
+		if makespan <= 0 {
+			makespan = 1
+		}
 	}
 	r.Makespan = time.Duration(makespan)
 	r.ThroughputBps = float64(totalBytes) / (float64(makespan) / 1e9)
-	r.IOPS = float64(len(latencies)) / (float64(makespan) / 1e9)
+	r.IOPS = float64(count) / (float64(makespan) / 1e9)
 
 	f := e.ftl
 	r.UserReads, r.UserPrograms = f.userReads, f.userPrograms

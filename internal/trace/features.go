@@ -161,6 +161,56 @@ func FeatureMatrix(windows []*Trace) [][]float64 {
 	return out
 }
 
+// ScanWindows rewinds the source and visits its characterization windows
+// in one pass, holding only a single window (size requests) in memory at
+// a time. The window passed to fn is reused between calls — copy it if
+// it must outlive the callback. Window boundaries and the trailing
+// partial-window rule match Windows exactly: the trailing partial is
+// kept when it is the only window or has at least size/2 entries.
+func ScanWindows(src Source, size int, fn func(w *Trace) error) error {
+	if size <= 0 {
+		size = DefaultWindowSize
+	}
+	src.Reset()
+	w := &Trace{Name: src.Name(), Requests: make([]Request, 0, size)}
+	full := 0
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		w.Requests = append(w.Requests, r)
+		if len(w.Requests) == size {
+			if err := fn(w); err != nil {
+				return err
+			}
+			full++
+			w.Requests = w.Requests[:0]
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	if n := len(w.Requests); n > 0 && (full == 0 || n >= size/2) {
+		return fn(w)
+	}
+	return nil
+}
+
+// FeatureMatrixSource is FeatureMatrix over a stream: one feature row per
+// window, computed in a single pass without materializing the trace.
+func FeatureMatrixSource(src Source, size int) ([][]float64, error) {
+	var out [][]float64
+	err := ScanWindows(src, size, func(w *Trace) error {
+		out = append(out, WindowFeatures(w))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func meanStd(xs []float64) (mean, std float64) {
 	if len(xs) == 0 {
 		return 0, 0

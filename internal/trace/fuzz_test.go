@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBlktrace fuzzes the text-format parser and pins the
+// parse↔write round trip: any input ParseBlktrace accepts must survive a
+// write→parse→write cycle with byte-identical second output (the written
+// form is the fixed point of %.6f timestamp quantization), and the
+// streaming reader must agree with the buffered parser on the sorted
+// output it emits.
+func FuzzParseBlktrace(f *testing.F) {
+	f.Add("0.000000 100 8 R\n1.500000 200 16 W\n")
+	f.Add("# workload: x\r\n\r\n0.5 100 8 W\n# c\n1.5 200 8 read\n")
+	f.Add("2.0 5 4 R\n1.0 9 2 W\n") // unsorted: Parse sorts, streaming errors
+	f.Add("")
+	f.Add("-3.25 18446744073709551615 4294967295 WRITE\n")
+	f.Add("1e300 1 1 R\n") // timestamp out of range: must be rejected
+	f.Add("nan 1 1 R\n")
+	f.Add("0.1 1 1 R")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseBlktrace(strings.NewReader(input))
+		if err != nil {
+			return // invalid input is fine; not crashing is the property
+		}
+		// Arrivals must come out sorted whatever the input order was.
+		for i := 1; i < len(tr.Requests); i++ {
+			if tr.Requests[i].Arrival < tr.Requests[i-1].Arrival {
+				t.Fatalf("ParseBlktrace output unsorted at %d", i)
+			}
+		}
+
+		var first bytes.Buffer
+		if err := WriteBlktrace(&first, tr); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		reparsed, err := ParseBlktrace(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own output: %v\noutput:\n%s", err, first.String())
+		}
+		if len(reparsed.Requests) != len(tr.Requests) {
+			t.Fatalf("reparse count %d != %d", len(reparsed.Requests), len(tr.Requests))
+		}
+		// %.6f quantizes timestamps, so compare at the fixed point: the
+		// second write must reproduce the first byte for byte.
+		var second bytes.Buffer
+		if err := WriteBlktrace(&second, reparsed); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write→parse→write not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				first.String(), second.String())
+		}
+
+		// The emitted form is sorted, so the streaming reader must accept
+		// it and agree with the buffered parser exactly.
+		streamed, err := Materialize(NewBlktraceSource(bytes.NewReader(first.Bytes()), tr.Name))
+		if err != nil {
+			t.Fatalf("streaming reader rejected sorted output: %v", err)
+		}
+		if !reflect.DeepEqual(streamed.Requests, reparsed.Requests) {
+			t.Fatal("streaming reader differs from buffered parser on sorted input")
+		}
+	})
+}

@@ -140,6 +140,62 @@ func ComputeStats(t *Trace) Stats {
 	return s
 }
 
+// ComputeStatsSource rewinds the source and derives the same summary
+// statistics as ComputeStats in one streaming pass.
+func ComputeStatsSource(src Source) (Stats, error) {
+	src.Reset()
+	var (
+		s        Stats
+		reads    int
+		minLBA   uint64
+		maxEnd   uint64
+		seq      int
+		prevEnd  uint64
+		lastSeen time.Duration
+	)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if s.Requests == 0 {
+			minLBA = r.LBA
+		} else if r.LBA == prevEnd {
+			seq++
+		}
+		if r.LBA < minLBA {
+			minLBA = r.LBA
+		}
+		if end := r.LBA + uint64(r.Sectors); end > maxEnd {
+			maxEnd = end
+		}
+		prevEnd = r.LBA + uint64(r.Sectors)
+		lastSeen = r.Arrival
+		if r.Op == Read {
+			reads++
+		}
+		s.TotalBytes += r.Bytes()
+		s.Requests++
+	}
+	if err := src.Err(); err != nil {
+		return Stats{}, err
+	}
+	if s.Requests == 0 {
+		return s, nil
+	}
+	s.Duration = lastSeen
+	s.ReadFraction = float64(reads) / float64(s.Requests)
+	s.MeanBytes = float64(s.TotalBytes) / float64(s.Requests)
+	if secs := s.Duration.Seconds(); secs > 0 {
+		s.OfferedBps = float64(s.TotalBytes) / secs
+	}
+	s.SpanBytes = (maxEnd - minLBA) * 512
+	if s.Requests > 1 {
+		s.Sequential = float64(seq) / float64(s.Requests-1)
+	}
+	return s, nil
+}
+
 // String renders the stats on one line.
 func (s Stats) String() string {
 	return fmt.Sprintf("%d reqs over %v: %.1f%% read, %.1f KB mean, %.1f MB/s offered, span %.1f GB, %.1f%% sequential",

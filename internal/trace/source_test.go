@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// randTrace builds an arrival-sorted trace with varied sizes, ops and
+// addresses for exercising the stream adapters.
+func randTrace(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Name: "rand"}
+	var arrival time.Duration
+	for i := 0; i < n; i++ {
+		arrival += time.Duration(rng.Intn(2000)) * time.Microsecond
+		tr.Requests = append(tr.Requests, Request{
+			Arrival: arrival,
+			LBA:     uint64(1000 + rng.Int63n(1<<30)),
+			Sectors: uint32(1 + rng.Intn(512)),
+			Op:      Op(rng.Intn(2)),
+		})
+	}
+	return tr
+}
+
+// drain pulls every request off src (without resetting first).
+func drain(t *testing.T, src Source) []Request {
+	t.Helper()
+	var out []Request
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return out
+}
+
+func TestTraceSourceMatchesRequests(t *testing.T) {
+	tr := randTrace(500, 1)
+	src := tr.Source()
+	if src.Name() != tr.Name {
+		t.Fatalf("Name = %q, want %q", src.Name(), tr.Name)
+	}
+	got := drain(t, src)
+	if !reflect.DeepEqual(got, tr.Requests) {
+		t.Fatal("Source sweep differs from trace requests")
+	}
+	// Exhausted cursor stays exhausted until Reset.
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source yielded a request")
+	}
+	src.Reset()
+	if again := drain(t, src); !reflect.DeepEqual(again, tr.Requests) {
+		t.Fatal("post-Reset sweep differs")
+	}
+}
+
+func TestMaterializeRoundTrip(t *testing.T) {
+	tr := randTrace(300, 2)
+	src := tr.Source()
+	// Advance the cursor first: Materialize must Reset before draining.
+	src.Next()
+	src.Next()
+	got, err := Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Fatal("Materialize(Source) != original trace")
+	}
+}
+
+func TestFactoryYieldsIndependentCursors(t *testing.T) {
+	tr := randTrace(100, 3)
+	f := tr.Factory()
+	a, b := f(), f()
+	a.Next()
+	a.Next()
+	a.Next()
+	// b's position must be unaffected by a's progress.
+	r, ok := b.Next()
+	if !ok || r != tr.Requests[0] {
+		t.Fatal("factory cursors share state")
+	}
+}
+
+func TestSliceStreamMatchesSlice(t *testing.T) {
+	tr := randTrace(200, 4)
+	for _, bounds := range [][2]int{{0, 200}, {0, 50}, {50, 150}, {199, 200}, {120, 120}} {
+		lo, hi := bounds[0], bounds[1]
+		want := tr.Slice(lo, hi)
+		got, err := Materialize(SliceStream(tr.Source(), lo, hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Requests) != len(want.Requests) {
+			t.Fatalf("[%d:%d): %d requests, want %d", lo, hi, len(got.Requests), len(want.Requests))
+		}
+		for i := range want.Requests {
+			if got.Requests[i] != want.Requests[i] {
+				t.Fatalf("[%d:%d): request %d differs", lo, hi, i)
+			}
+		}
+	}
+}
+
+func TestCompressStreamMatchesCompress(t *testing.T) {
+	tr := randTrace(200, 5)
+	for _, factor := range []float64{20, 2.5, 1, 0, -3} {
+		want := tr.Compress(factor)
+		got, err := Materialize(CompressStream(tr.Source(), factor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Requests, want.Requests) {
+			t.Fatalf("factor %g: stream compress differs from materialized", factor)
+		}
+	}
+}
+
+func TestNormalizeStreamMatchesNormalize(t *testing.T) {
+	tr := randTrace(200, 6)
+	want, err := Materialize(tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Normalize()
+	got, err := Materialize(NormalizeStream(tr.Source()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Requests, want.Requests) {
+		t.Fatal("stream normalize differs from materialized")
+	}
+	// And a second Reset-separated sweep must agree (cached minimum).
+	src := NormalizeStream(tr.Source())
+	first := drain(t, src)
+	src.Reset()
+	second := drain(t, src)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("NormalizeStream sweeps differ across Reset")
+	}
+}
+
+func TestMergeSourcesOrdersByArrival(t *testing.T) {
+	a := &Trace{Name: "a", Requests: []Request{
+		{Arrival: 1 * time.Millisecond, LBA: 1, Sectors: 8},
+		{Arrival: 3 * time.Millisecond, LBA: 3, Sectors: 8},
+	}}
+	b := &Trace{Name: "b", Requests: []Request{
+		{Arrival: 1 * time.Millisecond, LBA: 10, Sectors: 8},
+		{Arrival: 2 * time.Millisecond, LBA: 20, Sectors: 8},
+	}}
+	m := MergeSources("ab", a.Source(), b.Source())
+	if m.Name() != "ab" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	got := drain(t, m)
+	wantLBAs := []uint64{1, 10, 20, 3} // tie at 1ms goes to source a
+	if len(got) != len(wantLBAs) {
+		t.Fatalf("merged %d requests, want %d", len(got), len(wantLBAs))
+	}
+	for i, w := range wantLBAs {
+		if got[i].LBA != w {
+			t.Fatalf("merged[%d].LBA = %d, want %d", i, got[i].LBA, w)
+		}
+	}
+	var prev time.Duration
+	for i, r := range got {
+		if r.Arrival < prev {
+			t.Fatalf("merged stream unsorted at %d", i)
+		}
+		prev = r.Arrival
+	}
+	m.Reset()
+	if again := drain(t, m); !reflect.DeepEqual(again, got) {
+		t.Fatal("merge sweeps differ across Reset")
+	}
+}
+
+func TestScanWindowsMatchesWindows(t *testing.T) {
+	for _, n := range []int{100, 3000, 7000, 8000, 9001} {
+		for _, size := range []int{0, 3000, 1024} {
+			tr := randTrace(n, int64(n)*31+int64(size))
+			want := Windows(tr, size)
+			var got []*Trace
+			err := ScanWindows(tr.Source(), size, func(w *Trace) error {
+				cp := &Trace{Name: w.Name, Requests: append([]Request(nil), w.Requests...)}
+				got = append(got, cp)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d size=%d: %d windows, want %d", n, size, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i].Requests, want[i].Requests) {
+					t.Fatalf("n=%d size=%d: window %d differs", n, size, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFeatureMatrixSourceMatchesFeatureMatrix(t *testing.T) {
+	tr := randTrace(7500, 9)
+	want := FeatureMatrix(Windows(tr, DefaultWindowSize))
+	got, err := FeatureMatrixSource(tr.Source(), DefaultWindowSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("streamed feature matrix differs from materialized")
+	}
+}
+
+func TestComputeStatsSourceMatchesComputeStats(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 500} {
+		tr := randTrace(n, int64(10+n))
+		want := ComputeStats(tr)
+		got, err := ComputeStatsSource(tr.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("n=%d: streamed stats %+v != materialized %+v", n, got, want)
+		}
+	}
+}
+
+func TestBlktraceSourceMatchesParse(t *testing.T) {
+	tr := randTrace(400, 11)
+	var buf bytes.Buffer
+	if err := WriteBlktrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	want, err := ParseBlktrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewBlktraceSource(bytes.NewReader(data), "rand")
+	got, err := Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Requests, want.Requests) {
+		t.Fatal("streaming reader differs from buffered parser on sorted input")
+	}
+	// Two Reset-separated sweeps must be identical (the simulator's
+	// warm-up + measured passes rely on this).
+	src.Reset()
+	first := drain(t, src)
+	src.Reset()
+	second := drain(t, src)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("blktrace source sweeps differ across Reset")
+	}
+}
+
+func TestBlktraceSourceOutOfOrder(t *testing.T) {
+	src := NewBlktraceSource(strings.NewReader("2.0 5 4 R\n1.0 9 2 W\n"), "ooo")
+	if r, ok := src.Next(); !ok || r.LBA != 5 {
+		t.Fatalf("first request = %+v, %v", r, ok)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("out-of-order arrival should end the stream")
+	}
+	err := src.Err()
+	if err == nil || !strings.Contains(err.Error(), "out-of-order") {
+		t.Fatalf("Err() = %v, want out-of-order error", err)
+	}
+	// Reset clears the error and replays up to the same failure point.
+	src.Reset()
+	if src.Err() != nil {
+		t.Fatal("Reset should clear the error")
+	}
+	if r, ok := src.Next(); !ok || r.LBA != 5 {
+		t.Fatalf("post-Reset first request = %+v, %v", r, ok)
+	}
+}
+
+func TestBlktraceSourceSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# workload: x\r\n\r\n0.5 100 8 W\n\n# tail comment\n1.5 200 8 R\r\n"
+	got := drain(t, NewBlktraceSource(strings.NewReader(in), "x"))
+	if len(got) != 2 || got[0].LBA != 100 || got[1].LBA != 200 {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got[1].Op != Read || got[0].Op != Write {
+		t.Fatal("ops wrong")
+	}
+}
+
+func TestBlktraceSourceNegativeFirstTimestamp(t *testing.T) {
+	// A sorted stream starting below zero must not trip the order check.
+	got := drain(t, NewBlktraceSource(strings.NewReader("-1.0 1 8 R\n0.0 2 8 R\n"), "neg"))
+	if len(got) != 2 {
+		t.Fatalf("parsed %d requests, want 2", len(got))
+	}
+}
+
+func TestWriteBlktraceSourceMatchesWriteBlktrace(t *testing.T) {
+	tr := randTrace(250, 12)
+	var want, got bytes.Buffer
+	if err := WriteBlktrace(&want, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBlktraceSource(&got, tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("WriteBlktraceSource output differs from WriteBlktrace")
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 )
@@ -147,7 +146,9 @@ func (t *Trace) Normalize() *Trace {
 //
 //	<timestamp-seconds> <lba-sectors> <sectors> <R|W>
 //
-// Lines starting with '#' and blank lines are ignored.
+// Lines starting with '#' and blank lines are ignored. Requests are
+// buffered and sorted by arrival, so unsorted input is accepted; for a
+// constant-memory reader over already-sorted files use NewBlktraceSource.
 func ParseBlktrace(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -155,41 +156,14 @@ func ParseBlktrace(r io.Reader) (*Trace, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		req, skip, err := parseBlktraceLine(lineNo, strings.TrimSpace(sc.Text()))
+		if err != nil {
+			return nil, err
+		}
+		if skip {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
-		}
-		ts, err := strconv.ParseFloat(fields[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad timestamp %q: %w", lineNo, fields[0], err)
-		}
-		lba, err := strconv.ParseUint(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad lba %q: %w", lineNo, fields[1], err)
-		}
-		sectors, err := strconv.ParseUint(fields[2], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad length %q: %w", lineNo, fields[2], err)
-		}
-		var op Op
-		switch strings.ToUpper(fields[3]) {
-		case "R", "READ":
-			op = Read
-		case "W", "WRITE":
-			op = Write
-		default:
-			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[3])
-		}
-		tr.Requests = append(tr.Requests, Request{
-			Arrival: time.Duration(ts * float64(time.Second)),
-			LBA:     lba,
-			Sectors: uint32(sectors),
-			Op:      op,
-		})
+		tr.Requests = append(tr.Requests, req)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: scan: %w", err)

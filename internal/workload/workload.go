@@ -17,7 +17,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
 
 	"autoblox/internal/trace"
 )
@@ -272,87 +271,16 @@ func (o *Options) defaults() {
 	}
 }
 
-// Generate produces a synthetic trace for the category.
+// Generate produces a synthetic trace for the category by draining the
+// streaming generator, so the materialized and streamed paths share one
+// implementation and are bit-for-bit identical by construction. Callers
+// that never need random access should use NewSource directly.
 func Generate(c Category, opt Options) (*trace.Trace, error) {
-	p, ok := profiles[c]
-	if !ok {
-		return nil, fmt.Errorf("workload: unknown category %q", c)
+	src, err := NewSource(c, opt)
+	if err != nil {
+		return nil, err
 	}
-	opt.defaults()
-	rng := rand.New(rand.NewSource(opt.Seed ^ int64(hashCategory(c))))
-	tr := &trace.Trace{Name: string(c)}
-
-	// Stream state: each stream is an independent sequential cursor.
-	cursors := make([]uint64, p.streams)
-	for i := range cursors {
-		cursors[i] = uint64(rng.Int63n(int64(p.spanSectors)))
-	}
-
-	var now float64 // microseconds
-	burstRemaining := 0
-	phaseIdx := 0
-	for i := 0; i < opt.Requests; i++ {
-		ph := p.phases[phaseIdx]
-
-		// Arrival process: bursts of back-to-back requests separated by
-		// exponential gaps. Each burst draws its execution phase, so a
-		// characterization window sees the category's phase *mixture*
-		// (long production traces blend phases the same way), keeping
-		// window-level clustering stable across a trace.
-		if burstRemaining > 0 {
-			now += rng.Float64() * 3 // intra-burst jitter, µs
-			burstRemaining--
-		} else {
-			phaseIdx = rng.Intn(len(p.phases))
-			ph = p.phases[phaseIdx]
-			now += rng.ExpFloat64() * ph.meanGapUS * float64(ph.burstLen)
-			burstRemaining = ph.burstLen - 1
-		}
-
-		isRead := rng.Float64() < ph.readRatio
-		sectors := pickSize(rng, ph.sizes)
-
-		var lba uint64
-		stream := rng.Intn(p.streams)
-		sequential := rng.Float64() < ph.seqProb
-		switch {
-		case sequential:
-			lba = cursors[stream]
-		case !isRead && ph.writeSeq:
-			// Append-style writes go to the stream head too.
-			lba = cursors[stream]
-		case rng.Float64() < ph.hotFrac:
-			hotSpan := uint64(float64(p.spanSectors) * ph.hotSpanFrac)
-			if hotSpan == 0 {
-				hotSpan = 1
-			}
-			lba = uint64(rng.Int63n(int64(hotSpan)))
-		default:
-			lba = uint64(rng.Int63n(int64(p.spanSectors)))
-		}
-		if lba+uint64(sectors) > p.spanSectors {
-			lba = p.spanSectors - uint64(sectors)
-		}
-		if sequential || (!isRead && ph.writeSeq) {
-			next := lba + uint64(sectors)
-			if next >= p.spanSectors {
-				next = uint64(rng.Int63n(int64(p.spanSectors / 2)))
-			}
-			cursors[stream] = next
-		}
-
-		op := trace.Write
-		if isRead {
-			op = trace.Read
-		}
-		tr.Requests = append(tr.Requests, trace.Request{
-			Arrival: time.Duration(now * float64(time.Microsecond)),
-			LBA:     lba,
-			Sectors: sectors,
-			Op:      op,
-		})
-	}
-	return tr, nil
+	return trace.Materialize(src)
 }
 
 // MustGenerate is Generate for known-good categories; it panics on error
@@ -429,4 +357,10 @@ func Names() []string {
 // hotter" without editing profiles.
 func Scale(tr *trace.Trace, intensity float64) *trace.Trace {
 	return tr.Compress(intensity)
+}
+
+// ScaleSource is Scale as a stream adapter: arrival gaps divided by
+// intensity without materializing the trace.
+func ScaleSource(src trace.Source, intensity float64) trace.Source {
+	return trace.CompressStream(src, intensity)
 }
