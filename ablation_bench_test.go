@@ -5,6 +5,7 @@
 package autoblox_test
 
 import (
+	"context"
 	"testing"
 
 	"autoblox"
@@ -28,7 +29,7 @@ func ablationEnv(b *testing.B) (*ssdconf.Space, *core.Validator, *core.Grader, s
 	}
 	v := core.NewValidator(space, traces)
 	ref := space.FromDevice(ssd.Intel750())
-	g, err := core.NewGrader(v, ref, core.DefaultAlpha, core.DefaultBeta)
+	g, err := core.NewGrader(context.Background(), v, ref, core.DefaultAlpha, core.DefaultBeta)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func BenchmarkAblationValidationPruning(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := tuner.Tune(string(workload.Database), []ssdconf.Config{ref})
+			res, err := tuner.Tune(context.Background(), string(workload.Database), []ssdconf.Config{ref})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -74,11 +75,11 @@ func BenchmarkAblationRandomSearch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		bo, err := tuner.Tune(string(workload.CloudStorage), []ssdconf.Config{ref})
+		bo, err := tuner.Tune(context.Background(), string(workload.CloudStorage), []ssdconf.Config{ref})
 		if err != nil {
 			b.Fatal(err)
 		}
-		rnd, err := core.RandomSearch(space, v, g, string(workload.CloudStorage), []ssdconf.Config{ref}, opts)
+		rnd, err := core.RandomSearch(context.Background(), space, v, g, string(workload.CloudStorage), []ssdconf.Config{ref}, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func BenchmarkAblationTuningOrder(b *testing.B) {
 	var withG, withoutG float64
 	for i := 0; i < b.N; i++ {
 		space, v, g, ref := ablationEnv(b)
-		fine, err := core.FinePrune(v, g, string(workload.Database), ref, nil,
+		fine, err := core.FinePrune(context.Background(), v, g, string(workload.Database), ref, nil,
 			core.PruneOptions{Seed: 3, Samples: 24})
 		if err != nil {
 			b.Fatal(err)
@@ -109,7 +110,7 @@ func BenchmarkAblationTuningOrder(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := tuner.Tune(string(workload.Database), []ssdconf.Config{ref})
+			res, err := tuner.Tune(context.Background(), string(workload.Database), []ssdconf.Config{ref})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -19,8 +19,10 @@
 package autoblox
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"autoblox/internal/autodb"
 	"autoblox/internal/core"
@@ -75,6 +77,15 @@ var (
 	SamsungZSSD   = ssd.SamsungZSSD
 )
 
+// Sentinel errors surfaced by resilient runs.
+var (
+	// ErrInterrupted marks a tuning run stopped by context cancellation;
+	// with Options.Checkpoint set, the run can be resumed bit-identically.
+	ErrInterrupted = core.ErrInterrupted
+	// ErrTransient classifies retryable simulation failures.
+	ErrTransient = core.ErrTransient
+)
+
 // Options configures a Framework.
 type Options struct {
 	// DBPath locates the AutoDB log file (default "autoblox.db").
@@ -106,6 +117,19 @@ type Options struct {
 	// collection at zero cost. Instrumentation never perturbs results:
 	// runs with and without a registry are bit-for-bit identical.
 	Metrics *obs.Registry
+	// SimTimeout bounds each individual validation simulation; 0 means
+	// unbounded. A timed-out measurement fails the run (it is never
+	// cached or retried — simulation time is deterministic).
+	SimTimeout time.Duration
+	// SimRetries is the per-simulation retry budget for transient
+	// (core.ErrTransient) measurement failures.
+	SimRetries int
+	// Checkpoint, when set, makes tuning runs crash-safe: the tuner
+	// atomically rewrites this JSON file after every iteration.
+	Checkpoint string
+	// Resume restores tuner state from Checkpoint (when the file
+	// exists) before tuning, skipping all completed work.
+	Resume bool
 }
 
 // Framework is the top-level AutoBlox object tying together the
@@ -243,7 +267,7 @@ func sortStrings(s []string) {
 
 // ensureEnv lazily builds the validator and grader over the learned
 // traces.
-func (f *Framework) ensureEnv() error {
+func (f *Framework) ensureEnv(ctx context.Context) error {
 	if f.validator != nil {
 		return nil
 	}
@@ -257,7 +281,9 @@ func (f *Framework) ensureEnv() error {
 	f.validator = core.NewValidatorSources(f.Space, groups)
 	f.validator.Parallel = f.opts.Parallel
 	f.validator.Obs = f.opts.Metrics
-	g, err := core.NewGrader(f.validator, f.refCfg, f.opts.Alpha, f.opts.Beta)
+	f.validator.SimTimeout = f.opts.SimTimeout
+	f.validator.MaxRetries = f.opts.SimRetries
+	g, err := core.NewGrader(ctx, f.validator, f.refCfg, f.opts.Alpha, f.opts.Beta)
 	if err != nil {
 		return err
 	}
@@ -283,6 +309,12 @@ type Recommendation struct {
 // configuration from AutoDB when one exists, and otherwise learn a new
 // configuration and store it.
 func (f *Framework) Recommend(tr *Trace) (*Recommendation, error) {
+	return f.RecommendContext(context.Background(), tr)
+}
+
+// RecommendContext is Recommend with cooperative cancellation: ctx
+// aborts any tuning run the recommendation triggers.
+func (f *Framework) RecommendContext(ctx context.Context, tr *Trace) (*Recommendation, error) {
 	if f.Clusterer == nil {
 		return nil, errors.New("autoblox: LearnWorkloads must run before Recommend")
 	}
@@ -332,7 +364,7 @@ func (f *Framework) Recommend(tr *Trace) (*Recommendation, error) {
 		f.sources[target] = tr.Factory()
 		f.validator = nil
 	}
-	res, err := f.Tune(target)
+	res, err := f.TuneContext(ctx, target)
 	if err != nil {
 		return nil, err
 	}
@@ -356,11 +388,20 @@ func (f *Framework) Recommend(tr *Trace) (*Recommendation, error) {
 
 // Tune learns an optimized configuration for a known cluster label.
 func (f *Framework) Tune(target string) (*TuneResult, error) {
-	if err := f.ensureEnv(); err != nil {
+	return f.TuneContext(context.Background(), target)
+}
+
+// TuneContext is Tune with cooperative cancellation and (via
+// Options.Checkpoint/Resume) crash-safe, resumable search: cancelling
+// ctx stops the run with core.ErrInterrupted, leaving the checkpoint of
+// the last completed iteration on disk.
+func (f *Framework) TuneContext(ctx context.Context, target string) (*TuneResult, error) {
+	if err := f.ensureEnv(ctx); err != nil {
 		return nil, err
 	}
 	opts := f.opts.Tuner
 	opts.Alpha, opts.Beta, opts.Seed = f.opts.Alpha, f.opts.Beta, f.opts.Seed
+	opts.Checkpoint, opts.Resume = f.opts.Checkpoint, f.opts.Resume
 	// The full pipeline enforces the §3.3 tuning order; compute and
 	// cache it per target (fine-grained pruning, Fig. 5).
 	if !opts.UseTuningOrder {
@@ -378,7 +419,7 @@ func (f *Framework) Tune(target string) (*TuneResult, error) {
 				}
 			}
 			if !ok {
-				fine, err := core.FinePrune(f.validator, f.grader, target, f.refCfg, nil,
+				fine, err := core.FinePrune(ctx, f.validator, f.grader, target, f.refCfg, nil,
 					core.PruneOptions{Seed: f.opts.Seed})
 				if err == nil {
 					order = fine.Order
@@ -411,19 +452,24 @@ func (f *Framework) Tune(target string) (*TuneResult, error) {
 			}
 		}
 	}
-	return t.Tune(target, initial)
+	return t.Tune(ctx, target, initial)
 }
 
 // Prune runs the §3.3 two-stage parameter pruning for a target cluster.
 func (f *Framework) Prune(target string, opts PruneOptions) (*core.CoarseResult, *core.FineResult, error) {
-	if err := f.ensureEnv(); err != nil {
+	return f.PruneContext(context.Background(), target, opts)
+}
+
+// PruneContext is Prune with cooperative cancellation.
+func (f *Framework) PruneContext(ctx context.Context, target string, opts PruneOptions) (*core.CoarseResult, *core.FineResult, error) {
+	if err := f.ensureEnv(ctx); err != nil {
 		return nil, nil, err
 	}
-	coarse, err := core.CoarsePrune(f.validator, f.grader, target, f.refCfg, opts)
+	coarse, err := core.CoarsePrune(ctx, f.validator, f.grader, target, f.refCfg, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	fine, err := core.FinePrune(f.validator, f.grader, target, f.refCfg, coarse.Insensitive, opts)
+	fine, err := core.FinePrune(ctx, f.validator, f.grader, target, f.refCfg, coarse.Insensitive, opts)
 	if err != nil {
 		return coarse, nil, err
 	}
@@ -433,12 +479,17 @@ func (f *Framework) Prune(target string, opts PruneOptions) (*core.CoarseResult,
 // WhatIf runs the §4.5 analysis against a performance goal. The
 // framework should have been built with Options.WhatIfSpace.
 func (f *Framework) WhatIf(goal WhatIfGoal) (*WhatIfResult, error) {
-	if err := f.ensureEnv(); err != nil {
+	return f.WhatIfContext(context.Background(), goal)
+}
+
+// WhatIfContext is WhatIf with cooperative cancellation.
+func (f *Framework) WhatIfContext(ctx context.Context, goal WhatIfGoal) (*WhatIfResult, error) {
+	if err := f.ensureEnv(ctx); err != nil {
 		return nil, err
 	}
 	opts := f.opts.Tuner
 	opts.Beta, opts.Seed = f.opts.Beta, f.opts.Seed
-	return core.WhatIf(f.Space, f.validator, f.grader, goal, []Config{f.refCfg}, opts)
+	return core.WhatIf(ctx, f.Space, f.validator, f.grader, goal, []Config{f.refCfg}, opts)
 }
 
 // Simulate runs a trace against an explicit device configuration — the
@@ -451,11 +502,17 @@ func Simulate(dev DeviceParams, tr *Trace) (*SimResult, error) {
 // configuration without materializing it; per-run memory is O(device
 // state), independent of trace length.
 func SimulateSource(dev DeviceParams, src Source) (*SimResult, error) {
+	return SimulateSourceContext(context.Background(), dev, src)
+}
+
+// SimulateSourceContext is SimulateSource with cooperative
+// cancellation (polled every 1024 requests inside the simulator).
+func SimulateSourceContext(ctx context.Context, dev DeviceParams, src Source) (*SimResult, error) {
 	sim, err := ssd.NewSimulator(dev)
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunSource(src)
+	return sim.RunSourceContext(ctx, src)
 }
 
 // DescribeConfig formats the Table 5 critical parameters of a

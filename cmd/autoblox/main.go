@@ -11,10 +11,15 @@
 //	autoblox tune    -db autoblox.db -target Database
 //
 // Every subcommand also accepts the observability flags -metrics <file>,
-// -trace <file> (Chrome trace_event JSONL), -pprof <addr> and -progress.
+// -trace <file> (Chrome trace_event JSONL), -pprof <addr> and -progress,
+// plus the resilience flags -sim-timeout <dur>, -sim-retries <n>,
+// -checkpoint <file> and -resume. With -checkpoint set, Ctrl-C stops the
+// search at the next iteration boundary and a rerun with -resume
+// continues it bit-identically.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -72,10 +77,11 @@ type commonFlags struct {
 	seed     int64
 	parallel int
 	obs      *cliobs.Flags
+	res      *cliobs.Resilience
 }
 
 func registerCommon(fs *flag.FlagSet) *commonFlags {
-	c := &commonFlags{obs: cliobs.Register(fs)}
+	c := &commonFlags{obs: cliobs.Register(fs), res: cliobs.RegisterResilience(fs)}
 	fs.StringVar(&c.db, "db", "autoblox.db", "AutoDB path")
 	fs.IntVar(&c.capacity, "capacity", 512, "capacity constraint (GB)")
 	fs.StringVar(&c.iface, "iface", "nvme", "interface constraint: nvme or sata")
@@ -123,8 +129,10 @@ func (c *commonFlags) setupObs() func() {
 func (c *commonFlags) framework(whatIf bool) *autoblox.Framework {
 	opts := autoblox.Options{
 		DBPath: c.db, Seed: c.seed, WhatIfSpace: whatIf, Parallel: c.parallel,
-		Metrics: c.obs.Reg,
-		Tuner:   autoblox.TunerOptions{MaxIterations: c.iters},
+		Metrics:    c.obs.Reg,
+		Tuner:      autoblox.TunerOptions{MaxIterations: c.iters},
+		SimTimeout: c.res.SimTimeout, SimRetries: c.res.SimRetries,
+		Checkpoint: c.res.Checkpoint, Resume: c.res.Resume,
 	}
 	fw, err := autoblox.New(c.constraints(), opts)
 	if err != nil {
@@ -195,8 +203,10 @@ func runRecommend(args []string) {
 		fatal(err)
 	}
 
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
 	t0 := time.Now()
-	rec, err := fw.Recommend(tr)
+	rec, err := fw.RecommendContext(ctx, tr)
 	if err != nil {
 		fatal(err)
 	}
@@ -227,7 +237,13 @@ func runTune(args []string) {
 			fmt.Fprintf(os.Stderr, "  iteration %3d: best grade %.4f\n", iter+1, best)
 		}
 	})
-	res, err := fw.Tune(*target)
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+	res, err := fw.TuneContext(ctx, *target)
+	if errors.Is(err, autoblox.ErrInterrupted) && c.res.Checkpoint != "" {
+		fmt.Fprintf(os.Stderr, "autoblox: %v\nautoblox: checkpoint saved; rerun with -resume to continue\n", err)
+		os.Exit(1)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -247,7 +263,9 @@ func runPrune(args []string) {
 	fw := c.framework(false)
 	defer fw.Close()
 	learnStudied(fw, c)
-	coarse, fine, err := fw.Prune(*target, autoblox.PruneOptions{Seed: c.seed})
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+	coarse, fine, err := fw.PruneContext(ctx, *target, autoblox.PruneOptions{Seed: c.seed})
 	if err != nil {
 		fatal(err)
 	}
@@ -270,7 +288,9 @@ func runWhatIf(args []string) {
 	defer fw.Close()
 	learnStudied(fw, c)
 	fw.SetProgress(c.obs.Prog.Update)
-	res, err := fw.WhatIf(autoblox.WhatIfGoal{
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+	res, err := fw.WhatIfContext(ctx, autoblox.WhatIfGoal{
 		Target: *target, LatencyReduction: *latGoal, ThroughputGain: *tputGoal,
 	})
 	if err != nil {

@@ -9,7 +9,10 @@
 // fig7 fig8 fig9 fig10 fig11 fig12.
 //
 // The observability flags -metrics <file>, -trace <file> (Chrome
-// trace_event JSONL), -pprof <addr> and -progress are also accepted.
+// trace_event JSONL), -pprof <addr> and -progress are also accepted,
+// plus the resilience flags -sim-timeout, -sim-retries, -checkpoint and
+// -resume (checkpoints are written per tuning target by suffixing the
+// target name).
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also export artifact data as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	obsFlags := cliobs.Register(flag.CommandLine)
+	resFlags := cliobs.RegisterResilience(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -54,6 +58,13 @@ func main() {
 		scale.Seed = *seed
 	}
 	scale.Parallel = *parallel
+	scale.SimTimeout = resFlags.SimTimeout
+	scale.SimRetries = resFlags.SimRetries
+	scale.Checkpoint = resFlags.Checkpoint
+	scale.Resume = resFlags.Resume
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+	scale.Ctx = ctx
 
 	cleanup, err := obsFlags.Setup(0)
 	if err != nil {

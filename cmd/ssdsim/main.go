@@ -10,6 +10,7 @@
 //	ssdsim -config 850pro -workload Database -requests 20000
 //	ssdsim -config intel750 -trace huge-100GB.trace          # constant memory
 //	ssdsim -config intel750 -trace unsorted.trace -materialize
+//	ssdsim -config intel750 -workload Database -faultrate 0.001 -faultdies 1
 package main
 
 import (
@@ -43,6 +44,9 @@ func main() {
 	gcPolicy := flag.String("gc", "", "override GC victim policy: "+ssd.DescribeGCPolicies())
 	cachePolicy := flag.String("cachepolicy", "", "override cache replacement policy: "+ssd.DescribeCachePolicies())
 	alloc := flag.String("alloc", "", "override plane allocation scheme: "+strings.Join(ssd.AllocSchemeNames(), ", "))
+	faultRate := flag.Float64("faultrate", 0, "per-operation fault probability for program/erase/read (0 = no injection)")
+	faultSeed := flag.Int64("faultseed", 1, "seed of the private fault RNG stream")
+	faultDies := flag.Int("faultdies", 0, "fail this many whole dies at initialization")
 	metrics := flag.String("metrics", "", "write simulator metrics to this file (.json = JSON snapshot, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	materialize := flag.Bool("materialize", false, "buffer the whole trace in memory and sort arrivals (needed for unsorted blktrace files)")
@@ -107,6 +111,9 @@ func main() {
 		}
 		dev.PlaneAllocScheme = scheme
 	}
+	if *faultRate > 0 || *faultDies > 0 {
+		dev.Faults = ssd.FaultProfile{Rate: *faultRate, Seed: *faultSeed, DieFailures: *faultDies}
+	}
 
 	var src trace.Source
 	var err error
@@ -164,6 +171,11 @@ func main() {
 	fmt.Printf("caches:   data %.1f%% hit, CMT %.1f%% hit\n",
 		hitPct(res.CacheHits, res.CacheMisses), hitPct(res.CMTHits, res.CMTMisses))
 	fmt.Printf("channels: %.1f%% utilized\n", res.ChannelUtilization*100)
+	if dev.Faults.Enabled() {
+		fmt.Printf("faults:   %d program / %d erase failures, %d read retries (%d ECC soft decodes), %d blocks retired (%d factory-bad)\n",
+			res.ProgramFailures, res.EraseFailures, res.ReadRetries, res.ECCSoftDecodes,
+			res.RetiredBlocks, res.FactoryBadBlocks)
+	}
 	if res.Wear.MaxEraseCount > 0 {
 		fmt.Printf("wear:     max %d / mean %.1f erases (imbalance %.2f), P/E limit %d, projected lifetime %v\n",
 			res.Wear.MaxEraseCount, res.Wear.MeanEraseCount, res.Wear.Imbalance,

@@ -7,12 +7,16 @@ package cliobs
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registered on the default mux served by -pprof
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"autoblox/internal/core"
 	"autoblox/internal/obs"
@@ -86,6 +90,33 @@ func (o *Flags) Setup(iters int) (cleanup func(), err error) {
 			closers[i]()
 		}
 	}, nil
+}
+
+// Resilience holds the parsed crash-safety flags shared by the tuning
+// binaries: a per-simulation wall-clock budget, a transient-failure
+// retry budget, and the checkpoint/resume pair.
+type Resilience struct {
+	SimTimeout time.Duration
+	SimRetries int
+	Checkpoint string
+	Resume     bool
+}
+
+// RegisterResilience adds the resilience flags to a flag set.
+func RegisterResilience(fs *flag.FlagSet) *Resilience {
+	r := &Resilience{}
+	fs.DurationVar(&r.SimTimeout, "sim-timeout", 0, "wall-clock budget per validation simulation, e.g. 30s (0 = unlimited)")
+	fs.IntVar(&r.SimRetries, "sim-retries", 0, "retry budget for transient simulation failures")
+	fs.StringVar(&r.Checkpoint, "checkpoint", "", "crash-safe tuning: atomically rewrite this JSON snapshot after every iteration")
+	fs.BoolVar(&r.Resume, "resume", false, "resume tuning from -checkpoint (missing file = fresh run)")
+	return r
+}
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM, so an
+// interrupted tuning run stops at the next iteration boundary and
+// leaves its latest checkpoint consistent on disk. Defer stop.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 // WriteMetrics dumps a registry snapshot: JSON for .json paths,

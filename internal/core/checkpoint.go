@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"autoblox/internal/ssdconf"
+)
+
+// Checkpointing makes a tuning run crash-safe: after frontier
+// initialization and after every search iteration the tuner atomically
+// rewrites a JSON snapshot of everything the next iteration depends on
+// — the validated set, the seen-key set, the RNG draw count, the
+// trajectory, and the validator's measurement cache. A resumed run
+// replays none of the completed simulations and continues the exact
+// random sequence, so kill + resume is bit-identical to an
+// uninterrupted run.
+
+// checkpointVersion guards the on-disk schema; bump it when the layout
+// changes so stale files fail loudly instead of resuming garbage.
+const checkpointVersion = 1
+
+// checkpointEntry is one validated configuration in portable form (the
+// feature vector is recomputed from the space on resume).
+type checkpointEntry struct {
+	Cfg        []int   `json:"cfg"`
+	Grade      float64 `json:"grade"`
+	TargetPerf float64 `json:"target_perf"`
+	LatSp      float64 `json:"lat_speedup"`
+	TputSp     float64 `json:"tput_speedup"`
+	Full       bool    `json:"full"`
+}
+
+// checkpointFile is the on-disk snapshot of a tuning run between
+// iterations.
+type checkpointFile struct {
+	Version int    `json:"version"`
+	Target  string `json:"target"`
+	Seed    int64  `json:"seed"`
+	// SpaceSig fingerprints the parameter space, constraints and fault
+	// profile the run was started under; resuming under a different
+	// space would silently remap every grid index.
+	SpaceSig string `json:"space_sig"`
+
+	// Iteration is the next iteration to run (0 = frontier done, no
+	// search iterations yet). RNGDraws is the tuner RNG's draw count at
+	// that boundary.
+	Iteration  int    `json:"iteration"`
+	NoProgress int    `json:"no_progress"`
+	RNGDraws   uint64 `json:"rng_draws"`
+
+	Trajectory        []float64 `json:"trajectory"`
+	PrunedValidations int       `json:"pruned_validations"`
+	RejectedByPower   int       `json:"rejected_by_power"`
+
+	Validated []checkpointEntry `json:"validated"`
+	Seen      []string          `json:"seen"`
+	Cache     []CachedPerf      `json:"cache"`
+}
+
+// spaceSignature fingerprints a parameter space: every parameter's
+// name, kind, tunability, grid values and labels, plus the constraint
+// tuple and the fault profile (faults change every measurement, so a
+// checkpoint taken under one fault stream must not seed a run under
+// another).
+func spaceSignature(s *ssdconf.Space) string {
+	h := fnv.New64a()
+	wu := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	for _, p := range s.Params {
+		h.Write([]byte(p.Name))
+		h.Write([]byte{0, byte(p.Kind), boolByte(p.Tunable)})
+		wu(uint64(len(p.Values)))
+		for _, v := range p.Values {
+			wu(math.Float64bits(v))
+		}
+		for _, l := range p.Labels {
+			h.Write([]byte(l))
+			h.Write([]byte{0})
+		}
+	}
+	wu(uint64(s.Cons.CapacityBytes))
+	wu(math.Float64bits(s.Cons.CapacityTolerance))
+	wu(uint64(s.Cons.Interface))
+	wu(uint64(s.Cons.Flash))
+	wu(math.Float64bits(s.Cons.PowerBudgetWatts))
+	wu(math.Float64bits(s.Faults.Rate))
+	wu(uint64(s.Faults.Seed))
+	wu(uint64(s.Faults.DieFailures))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// writeCheckpoint atomically replaces path with the snapshot: the JSON
+// is written to a sibling temp file and renamed into place, so a crash
+// mid-write leaves the previous checkpoint intact.
+func writeCheckpoint(path string, ck *checkpointFile) error {
+	data, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint file; a missing file returns an
+// error satisfying errors.Is(err, os.ErrNotExist).
+func loadCheckpoint(path string) (*checkpointFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("core: parse checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}

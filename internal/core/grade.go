@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +18,28 @@ import (
 	"autoblox/internal/ssdconf"
 	"autoblox/internal/trace"
 )
+
+// ErrTransient marks a measurement failure worth retrying: wrap (or
+// return) it from a trace source or simulator shim when the underlying
+// cause is expected to clear — a flaky file handle, a remote trace
+// store hiccup. The validator retries transient failures up to
+// MaxRetries with exponential backoff; every other error (validation
+// errors, ErrOutOfSpace degradation, timeouts, panics) is deterministic
+// and fails fast.
+var ErrTransient = errors.New("core: transient measurement error")
+
+// PanicError is a panic recovered inside a simulation worker, converted
+// to an ordinary error so one poisoned configuration cannot take down a
+// whole tuning run. The original panic value and stack are preserved
+// for the post-mortem.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: simulation panicked: %v", e.Value)
+}
 
 // Registry metric names recorded by an instrumented validator. Every
 // MeasureTrace call resolves as exactly one of: a cache hit, a coalesced
@@ -92,6 +118,15 @@ type Validator struct {
 	// propagated to every simulator it runs. It never influences
 	// measurement results. Set it before the first measurement.
 	Obs *obs.Registry
+	// SimTimeout, when positive, bounds each individual simulation: a
+	// run that exceeds it fails with context.DeadlineExceeded (wrapped).
+	// Timeouts are deterministic for a given machine state and are NOT
+	// retried — a configuration that simulates slowly once will again.
+	SimTimeout time.Duration
+	// MaxRetries bounds re-attempts of a simulation that failed with an
+	// ErrTransient-wrapped error (50ms exponential backoff between
+	// attempts). 0 means no retries.
+	MaxRetries int
 
 	mu       sync.Mutex
 	cache    map[simKey]autodb.Perf
@@ -249,8 +284,10 @@ func (v *Validator) slots() chan struct{} {
 
 // MeasureTrace runs one configuration against one trace, drawing a
 // fresh streaming cursor from the factory. Concurrent calls with the
-// same (configuration, trace) share a single simulation.
-func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, f trace.SourceFactory) (autodb.Perf, error) {
+// same (configuration, trace) share a single simulation. Failed or
+// cancelled measurements are never cached: a later call with the same
+// key re-simulates.
+func (v *Validator) MeasureTrace(ctx context.Context, cfg ssdconf.Config, name string, f trace.SourceFactory) (autodb.Perf, error) {
 	key := cacheKey(cfg.Key(), name)
 	v.mu.Lock()
 	if p, ok := v.cache[key]; ok {
@@ -261,16 +298,20 @@ func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, f trace.Source
 	}
 	if fl, ok := v.inflight[key]; ok {
 		// Another goroutine is already simulating this key: wait for it
-		// rather than duplicating the run.
+		// rather than duplicating the run. A cancelled waiter abandons
+		// the wait; the leader's simulation still completes and fills
+		// the cache.
 		v.mu.Unlock()
 		v.coalesced.Add(1)
 		v.Obs.Counter(MetricCoalesced).Inc()
+		t0 := time.Now()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return autodb.Perf{}, ctx.Err()
+		}
 		if r := v.Obs; r != nil {
-			t0 := time.Now()
-			<-fl.done
 			r.Histogram(MetricDedupWait).Record(time.Since(t0).Nanoseconds())
-		} else {
-			<-fl.done
 		}
 		return fl.perf, fl.err
 	}
@@ -280,9 +321,20 @@ func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, f trace.Source
 
 	sem := v.slots()
 	waitStart := time.Now()
-	sem <- struct{}{}
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		// Never acquired a slot: release waiters with the cancellation
+		// error and leave the cache untouched.
+		fl.err = ctx.Err()
+		v.mu.Lock()
+		delete(v.inflight, key)
+		v.mu.Unlock()
+		close(fl.done)
+		return autodb.Perf{}, fl.err
+	}
 	v.Obs.Histogram(MetricQueueWait).Record(time.Since(waitStart).Nanoseconds())
-	fl.perf, fl.err = v.simulate(cfg, f)
+	fl.perf, fl.err = v.simulate(ctx, cfg, f)
 	<-sem
 
 	v.mu.Lock()
@@ -295,18 +347,52 @@ func (v *Validator) MeasureTrace(cfg ssdconf.Config, name string, f trace.Source
 	return fl.perf, fl.err
 }
 
-// simulate is the uncached single-simulation path. The factory is
+// simulate runs one simulation inside a worker slot, retrying
+// ErrTransient failures with exponential backoff (50ms, doubling) up to
+// MaxRetries. Deterministic failures — bad parameters, fault-driven
+// ErrOutOfSpace, per-simulation timeouts, panics — return on the first
+// attempt.
+func (v *Validator) simulate(ctx context.Context, cfg ssdconf.Config, f trace.SourceFactory) (autodb.Perf, error) {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		perf, err := v.simulateOnce(ctx, cfg, f)
+		if err == nil || attempt >= v.MaxRetries || !errors.Is(err, ErrTransient) {
+			return perf, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return autodb.Perf{}, ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// simulateOnce is the uncached single-simulation path. The factory is
 // invoked here, inside the worker slot, so each concurrent simulation
-// owns a private cursor.
-func (v *Validator) simulate(cfg ssdconf.Config, f trace.SourceFactory) (autodb.Perf, error) {
+// owns a private cursor. A panic anywhere below — the source, the FTL,
+// the codec — surfaces as a *PanicError instead of crashing the worker
+// pool, and SimTimeout (when set) bounds the attempt.
+func (v *Validator) simulateOnce(ctx context.Context, cfg ssdconf.Config, f trace.SourceFactory) (perf autodb.Perf, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			perf = autodb.Perf{}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	dev := v.Space.ToDevice(cfg)
 	sim, err := ssd.NewSimulator(dev)
 	if err != nil {
 		return autodb.Perf{}, fmt.Errorf("core: validator: %w", err)
 	}
 	sim.Obs = v.Obs
+	if v.SimTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, v.SimTimeout)
+		defer cancel()
+	}
 	t0 := time.Now()
-	res, err := sim.RunSource(f())
+	res, err := sim.RunSourceContext(ctx, f())
 	if err != nil {
 		return autodb.Perf{}, fmt.Errorf("core: validator run: %w", err)
 	}
@@ -325,6 +411,45 @@ func (v *Validator) simulate(cfg ssdconf.Config, f trace.SourceFactory) (autodb.
 	}, nil
 }
 
+// CachedPerf is one memoized (configuration, trace) measurement in
+// portable form, used by checkpoint files to carry the cache across a
+// process restart.
+type CachedPerf struct {
+	CfgKey string      `json:"cfg"`
+	Name   string      `json:"trace"`
+	Perf   autodb.Perf `json:"perf"`
+}
+
+// SnapshotCache exports the measurement cache in deterministic (CfgKey,
+// Name) order. Only completed, error-free measurements are ever in the
+// cache, so a snapshot taken at any instant — even mid-batch — is
+// consistent.
+func (v *Validator) SnapshotCache() []CachedPerf {
+	v.mu.Lock()
+	out := make([]CachedPerf, 0, len(v.cache))
+	for k, p := range v.cache {
+		out = append(out, CachedPerf{CfgKey: k.cfg, Name: k.name, Perf: p})
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CfgKey != out[j].CfgKey {
+			return out[i].CfgKey < out[j].CfgKey
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RestoreCache seeds the measurement cache from a snapshot, so a
+// resumed tuning run re-validates nothing it already measured.
+func (v *Validator) RestoreCache(entries []CachedPerf) {
+	v.mu.Lock()
+	for _, e := range entries {
+		v.cache[cacheKey(e.CfgKey, e.Name)] = e.Perf
+	}
+	v.mu.Unlock()
+}
+
 // batchJob is one (configuration, trace) simulation of a batch.
 type batchJob struct {
 	cfg  ssdconf.Config
@@ -339,7 +464,7 @@ type batchJob struct {
 // within the batch or against other concurrent callers — trigger
 // exactly one simulation each, so SimRuns grows by exactly the number
 // of distinct cold keys.
-func (v *Validator) MeasureBatch(cfgs []ssdconf.Config, clusters []string) error {
+func (v *Validator) MeasureBatch(ctx context.Context, cfgs []ssdconf.Config, clusters []string) error {
 	var jobs []batchJob
 	for _, cl := range clusters {
 		factories, ok := v.Workloads[cl]
@@ -352,29 +477,30 @@ func (v *Validator) MeasureBatch(cfgs []ssdconf.Config, clusters []string) error
 			}
 		}
 	}
-	return v.measureJobs(jobs)
+	return v.measureJobs(ctx, jobs)
 }
 
 // MeasureConfigs measures many configurations against one explicit
 // trace — the batch entry point for the §3.3 pruning sweeps.
-func (v *Validator) MeasureConfigs(cfgs []ssdconf.Config, name string, f trace.SourceFactory) error {
+func (v *Validator) MeasureConfigs(ctx context.Context, cfgs []ssdconf.Config, name string, f trace.SourceFactory) error {
 	jobs := make([]batchJob, len(cfgs))
 	for i, cfg := range cfgs {
 		jobs[i] = batchJob{cfg: cfg, name: name, src: f}
 	}
-	return v.measureJobs(jobs)
+	return v.measureJobs(ctx, jobs)
 }
 
 // measureJobs drains the job list through a bounded worker pool. The
-// first error wins; remaining queued jobs are skipped.
-func (v *Validator) measureJobs(jobs []batchJob) error {
+// first error wins; remaining queued jobs are skipped. Cancelling ctx
+// drains the queue without starting new simulations.
+func (v *Validator) measureJobs(ctx context.Context, jobs []batchJob) error {
 	n := v.workers()
 	if n > len(jobs) {
 		n = len(jobs)
 	}
 	if n <= 1 {
 		for _, j := range jobs {
-			if _, err := v.MeasureTrace(j.cfg, j.name, j.src); err != nil {
+			if _, err := v.MeasureTrace(ctx, j.cfg, j.name, j.src); err != nil {
 				return err
 			}
 		}
@@ -397,11 +523,11 @@ func (v *Validator) measureJobs(jobs []batchJob) error {
 				busy = r.Counter(MetricWorkerBusy(w))
 			}
 			for j := range ch {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue
 				}
 				t0 := time.Now()
-				if _, err := v.MeasureTrace(j.cfg, j.name, j.src); err != nil {
+				if _, err := v.MeasureTrace(ctx, j.cfg, j.name, j.src); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 				}
@@ -416,6 +542,11 @@ func (v *Validator) measureJobs(jobs []batchJob) error {
 	}
 	close(ch)
 	wg.Wait()
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	return firstErr
 }
 
@@ -424,14 +555,14 @@ func traceName(cluster string, i int) string { return fmt.Sprintf("%s#%d", clust
 
 // MeasureCluster runs cfg on every trace of a cluster and returns the
 // per-trace results keyed "<cluster>#<i>".
-func (v *Validator) MeasureCluster(cfg ssdconf.Config, cluster string) ([]autodb.Perf, error) {
+func (v *Validator) MeasureCluster(ctx context.Context, cfg ssdconf.Config, cluster string) ([]autodb.Perf, error) {
 	factories, ok := v.Workloads[cluster]
 	if !ok || len(factories) == 0 {
 		return nil, fmt.Errorf("core: unknown workload cluster %q", cluster)
 	}
 	out := make([]autodb.Perf, len(factories))
 	for i, f := range factories {
-		p, err := v.MeasureTrace(cfg, traceName(cluster, i), f)
+		p, err := v.MeasureTrace(ctx, cfg, traceName(cluster, i), f)
 		if err != nil {
 			return nil, err
 		}
@@ -481,16 +612,16 @@ type Grader struct {
 
 // NewGrader measures the reference configuration on every cluster, as
 // one parallel batch.
-func NewGrader(v *Validator, refCfg ssdconf.Config, alpha, beta float64) (*Grader, error) {
+func NewGrader(ctx context.Context, v *Validator, refCfg ssdconf.Config, alpha, beta float64) (*Grader, error) {
 	g := &Grader{Alpha: alpha, Beta: beta, Ref: make(map[string][]autodb.Perf)}
 	clusters := v.Clusters()
 	sp := obs.StartSpan("reference").ArgInt("clusters", int64(len(clusters)))
 	defer sp.End()
-	if err := v.MeasureBatch([]ssdconf.Config{refCfg}, clusters); err != nil {
+	if err := v.MeasureBatch(ctx, []ssdconf.Config{refCfg}, clusters); err != nil {
 		return nil, err
 	}
 	for _, cl := range clusters {
-		ps, err := v.MeasureCluster(refCfg, cl)
+		ps, err := v.MeasureCluster(ctx, refCfg, cl)
 		if err != nil {
 			return nil, err
 		}

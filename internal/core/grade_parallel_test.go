@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -31,10 +32,10 @@ func TestCacheKeyPipeClusterNames(t *testing.T) {
 	tr := workload.MustGenerate(workload.Database, workload.Options{Requests: 1500, Seed: 3})
 	v := NewValidator(space, map[string]*trace.Trace{"a|b": tr, "a": tr})
 	ref := space.FromDevice(ssd.Intel750())
-	if _, err := v.MeasureTrace(ref, "a|b#0", tr.Factory()); err != nil {
+	if _, err := v.MeasureTrace(context.Background(), ref, "a|b#0", tr.Factory()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.MeasureTrace(ref, "a#0", tr.Factory()); err != nil {
+	if _, err := v.MeasureTrace(context.Background(), ref, "a#0", tr.Factory()); err != nil {
 		t.Fatal(err)
 	}
 	if got := v.SimRuns(); got != 2 {
@@ -79,17 +80,17 @@ func TestMeasureBatchMatchesSerial(t *testing.T) {
 	par := NewValidator(space, ws)
 	par.Parallel = 8
 
-	if err := par.MeasureBatch(cfgs, par.Clusters()); err != nil {
+	if err := par.MeasureBatch(context.Background(), cfgs, par.Clusters()); err != nil {
 		t.Fatal(err)
 	}
 	for _, cfg := range cfgs {
 		for _, cl := range serial.Clusters() {
 			name := cl + "#0"
-			a, err := serial.MeasureTrace(cfg, name, ws[cl].Factory())
+			a, err := serial.MeasureTrace(context.Background(), cfg, name, ws[cl].Factory())
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := par.MeasureTrace(cfg, name, ws[cl].Factory()) // cache hit
+			b, err := par.MeasureTrace(context.Background(), cfg, name, ws[cl].Factory()) // cache hit
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -129,7 +130,7 @@ func TestSingleflightStress(t *testing.T) {
 			defer wg.Done()
 			if g%2 == 0 {
 				// Half the goroutines batch everything at once...
-				if err := v.MeasureBatch(cfgs, clusters); err != nil {
+				if err := v.MeasureBatch(context.Background(), cfgs, clusters); err != nil {
 					errs <- err
 				}
 				return
@@ -138,7 +139,7 @@ func TestSingleflightStress(t *testing.T) {
 			for k := 0; k < len(cfgs)*len(clusters); k++ {
 				cfg := cfgs[(g+k)%len(cfgs)]
 				cl := clusters[(g+k)%len(clusters)]
-				if _, err := v.MeasureTrace(cfg, cl+"#0", ws[cl].Factory()); err != nil {
+				if _, err := v.MeasureTrace(context.Background(), cfg, cl+"#0", ws[cl].Factory()); err != nil {
 					errs <- err
 					return
 				}
@@ -187,7 +188,7 @@ func parallelTunerEnv(t *testing.T, parallel int, reg *obs.Registry) (*ssdconf.S
 	v.Parallel = parallel
 	v.Obs = reg
 	ref := space.FromDevice(ssd.Intel750())
-	g, err := NewGrader(v, ref, DefaultAlpha, DefaultBeta)
+	g, err := NewGrader(context.Background(), v, ref, DefaultAlpha, DefaultBeta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestTuneSerialParallelEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := tuner.Tune(string(workload.Database), []ssdconf.Config{ref})
+		res, err := tuner.Tune(context.Background(), string(workload.Database), []ssdconf.Config{ref})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,7 +22,7 @@ func testEnv(t *testing.T, cats []workload.Category, requests int) (*ssdconf.Spa
 	}
 	v := NewValidator(space, ws)
 	ref := space.FromDevice(ssd.Intel750())
-	g, err := NewGrader(v, ref, DefaultAlpha, DefaultBeta)
+	g, err := NewGrader(context.Background(), v, ref, DefaultAlpha, DefaultBeta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,13 +82,13 @@ func TestSpeedups(t *testing.T) {
 func TestValidatorCaching(t *testing.T) {
 	_, v, _, ref := testEnv(t, []workload.Category{workload.Database}, 2500)
 	runs := v.SimRuns()
-	if _, err := v.MeasureCluster(ref, string(workload.Database)); err != nil {
+	if _, err := v.MeasureCluster(context.Background(), ref, string(workload.Database)); err != nil {
 		t.Fatal(err)
 	}
 	if v.SimRuns() != runs {
 		t.Fatal("reference measurement should be cached by NewGrader")
 	}
-	if _, err := v.MeasureCluster(ref, "nope"); err == nil {
+	if _, err := v.MeasureCluster(context.Background(), ref, "nope"); err == nil {
 		t.Fatal("unknown cluster should error")
 	}
 }
@@ -95,7 +96,7 @@ func TestValidatorCaching(t *testing.T) {
 func TestGraderReferenceIsZero(t *testing.T) {
 	_, v, g, ref := testEnv(t, []workload.Category{workload.Database, workload.WebSearch}, 2500)
 	for _, cl := range v.Clusters() {
-		ps, err := v.MeasureCluster(ref, cl)
+		ps, err := v.MeasureCluster(context.Background(), ref, cl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestValidatorGroups(t *testing.T) {
 	b := workload.MustGenerate(workload.Database, workload.Options{Requests: 2000, Seed: 2})
 	v := NewValidatorGroups(space, map[string][]*trace.Trace{"Database": {a, b}})
 	ref := space.FromDevice(ssd.Intel750())
-	ps, err := v.MeasureCluster(ref, "Database")
+	ps, err := v.MeasureCluster(context.Background(), ref, "Database")
 	if err != nil || len(ps) != 2 {
 		t.Fatalf("MeasureCluster: %d %v", len(ps), err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -95,7 +96,7 @@ func coarseSkip(p *ssdconf.Param) bool {
 // Configuration constraints are deliberately ignored (§3.3: this stage
 // "only prune[s] parameters that have almost no impact on the
 // performance even if they break the configuration constraints").
-func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, opts PruneOptions) (*CoarseResult, error) {
+func CoarsePrune(ctx context.Context, v *Validator, g *Grader, target string, base ssdconf.Config, opts PruneOptions) (*CoarseResult, error) {
 	opts.defaults()
 	sp := obs.StartSpan("coarse-prune").Arg("target", target)
 	defer sp.End()
@@ -105,7 +106,7 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 	}
 	src := factories[0]
 	refName := target + "#0"
-	refPerf, err := v.MeasureTrace(base, refName, src)
+	refPerf, err := v.MeasureTrace(ctx, base, refName, src)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +126,7 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 			sweepCfgs = append(sweepCfgs, cfg)
 		}
 	}
-	if err := v.MeasureConfigs(sweepCfgs, refName, src); err != nil {
+	if err := v.MeasureConfigs(ctx, sweepCfgs, refName, src); err != nil {
 		return nil, err
 	}
 
@@ -141,7 +142,7 @@ func CoarsePrune(v *Validator, g *Grader, target string, base ssdconf.Config, op
 		for _, idx := range sweepIndices(p, base[i]) {
 			cfg := base.Clone()
 			cfg[i] = idx
-			perf, err := v.MeasureTrace(cfg, refName, src) // cache hit
+			perf, err := v.MeasureTrace(ctx, cfg, refName, src) // cache hit
 			if err != nil {
 				return nil, err
 			}
@@ -194,7 +195,7 @@ type FineResult struct {
 // baseline (varying the parameters that survived coarse pruning), fits a
 // standardized ridge regression of Formula 1 against the parameter
 // values, and prunes parameters with |coefficient| below the threshold.
-func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coarseInsensitive []string, opts PruneOptions) (*FineResult, error) {
+func FinePrune(ctx context.Context, v *Validator, g *Grader, target string, base ssdconf.Config, coarseInsensitive []string, opts PruneOptions) (*FineResult, error) {
 	opts.defaults()
 	sp := obs.StartSpan("fine-prune").Arg("target", target)
 	defer sp.End()
@@ -204,7 +205,7 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 	}
 	src := factories[0]
 	refName := target + "#0"
-	refPerf, err := v.MeasureTrace(base, refName, src)
+	refPerf, err := v.MeasureTrace(ctx, base, refName, src)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +262,7 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 	if len(samples) < 8 {
 		return nil, fmt.Errorf("core: only %d valid samples for ridge fit", len(samples))
 	}
-	if err := v.MeasureConfigs(samples, refName, src); err != nil {
+	if err := v.MeasureConfigs(ctx, samples, refName, src); err != nil {
 		return nil, err
 	}
 
@@ -272,7 +273,7 @@ func FinePrune(v *Validator, g *Grader, target string, base ssdconf.Config, coar
 	var rows [][]float64
 	var ys []float64
 	for _, cfg := range samples {
-		perf, err := v.MeasureTrace(cfg, refName, src) // cache hit
+		perf, err := v.MeasureTrace(ctx, cfg, refName, src) // cache hit
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -15,7 +16,7 @@ import (
 // uniformly sampled constraint-respecting configurations, with no
 // surrogate model and no neighborhood structure. The ablation benchmark
 // compares its best grade against the BO tuner's at equal budget.
-func RandomSearch(space *ssdconf.Space, v *Validator, g *Grader, target string, initial []ssdconf.Config, opts TunerOptions) (*TuneResult, error) {
+func RandomSearch(ctx context.Context, space *ssdconf.Space, v *Validator, g *Grader, target string, initial []ssdconf.Config, opts TunerOptions) (*TuneResult, error) {
 	opts.defaults()
 	if _, ok := v.Workloads[target]; !ok {
 		return nil, errors.New("core: unknown target workload " + target)
@@ -38,7 +39,7 @@ func RandomSearch(space *ssdconf.Space, v *Validator, g *Grader, target string, 
 		if space.CheckConstraints(cfg) != nil {
 			continue
 		}
-		e, rejected, err := t.evaluate(target, cfg, math.Inf(-1), res)
+		e, rejected, err := t.evaluate(ctx, target, cfg, math.Inf(-1), res)
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +58,7 @@ func RandomSearch(space *ssdconf.Space, v *Validator, g *Grader, target string, 
 			continue
 		}
 		worst := worstRetainedGrade(validated, opts.TopK)
-		e, rejected, err := t.evaluate(target, cfg, worst, res)
+		e, rejected, err := t.evaluate(ctx, target, cfg, worst, res)
 		if err != nil {
 			return nil, err
 		}
@@ -71,11 +72,11 @@ func RandomSearch(space *ssdconf.Space, v *Validator, g *Grader, target string, 
 	res.Best = best.cfg
 	res.BestGrade = best.grade
 	res.BestPerf = map[string][]autodb.Perf{}
-	if err := v.MeasureBatch([]ssdconf.Config{best.cfg}, v.Clusters()); err != nil {
+	if err := v.MeasureBatch(ctx, []ssdconf.Config{best.cfg}, v.Clusters()); err != nil {
 		return nil, err
 	}
 	for _, cl := range v.Clusters() {
-		ps, err := v.MeasureCluster(best.cfg, cl)
+		ps, err := v.MeasureCluster(ctx, best.cfg, cl)
 		if err != nil {
 			return nil, err
 		}

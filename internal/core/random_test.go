@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestRandomSearchBasics(t *testing.T) {
 	space, v, g, ref := smallTunerEnv(t)
-	res, err := RandomSearch(space, v, g, string(workload.Database),
+	res, err := RandomSearch(context.Background(), space, v, g, string(workload.Database),
 		[]ssdconf.Config{ref}, TunerOptions{Seed: 5, MaxIterations: 8})
 	if err != nil {
 		t.Fatal(err)
@@ -31,10 +32,10 @@ func TestRandomSearchBasics(t *testing.T) {
 
 func TestRandomSearchErrors(t *testing.T) {
 	space, v, g, ref := smallTunerEnv(t)
-	if _, err := RandomSearch(space, v, g, "nope", []ssdconf.Config{ref}, TunerOptions{}); err == nil {
+	if _, err := RandomSearch(context.Background(), space, v, g, "nope", []ssdconf.Config{ref}, TunerOptions{}); err == nil {
 		t.Fatal("unknown target should fail")
 	}
-	if _, err := RandomSearch(space, v, g, string(workload.Database), nil, TunerOptions{}); err == nil {
+	if _, err := RandomSearch(context.Background(), space, v, g, string(workload.Database), nil, TunerOptions{}); err == nil {
 		t.Fatal("no initials should fail")
 	}
 }
@@ -65,11 +66,11 @@ func TestBOBeatsRandomAtEqualBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bo, err := tuner.Tune(string(workload.CloudStorage), []ssdconf.Config{ref})
+	bo, err := tuner.Tune(context.Background(), string(workload.CloudStorage), []ssdconf.Config{ref})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rnd, err := RandomSearch(space, v, g, string(workload.CloudStorage), []ssdconf.Config{ref}, opts)
+	rnd, err := RandomSearch(context.Background(), space, v, g, string(workload.CloudStorage), []ssdconf.Config{ref}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 
@@ -15,6 +17,12 @@ import (
 	"autoblox/internal/obs"
 	"autoblox/internal/ssdconf"
 )
+
+// ErrInterrupted marks a tuning run stopped by context cancellation
+// (Ctrl-C, a deadline). When checkpointing is on, the checkpoint on
+// disk reflects the last completed iteration; re-running with Resume
+// continues from exactly there.
+var ErrInterrupted = errors.New("core: tuning interrupted")
 
 // TunerOptions configures the automated tuning loop of §3.4. Zero values
 // select the paper's defaults.
@@ -62,6 +70,17 @@ type TunerOptions struct {
 	// with the iteration index and the best grade so far (progress
 	// reporting in CLIs).
 	OnIteration func(iter int, bestGrade float64)
+
+	// Checkpoint, when non-empty, is a JSON file the tuner atomically
+	// rewrites after frontier initialization and after every iteration,
+	// capturing everything the next iteration depends on.
+	Checkpoint string
+	// Resume restores state from Checkpoint before tuning, skipping all
+	// completed work; the continued run is bit-identical to one that was
+	// never interrupted. A missing checkpoint file starts a fresh run,
+	// so crash-restart loops can pass Resume unconditionally. Resume
+	// requires a freshly constructed Tuner (its RNG must be unused).
+	Resume bool
 }
 
 func (o *TunerOptions) defaults() {
@@ -91,6 +110,36 @@ func (o *TunerOptions) defaults() {
 	}
 }
 
+// countingSource wraps a rand.Source64, counting draws. Every draw a
+// *rand.Rand makes resolves to exactly one Int63 or Uint64 call on its
+// source, and both advance the underlying generator by one step — so a
+// resumed run restores RNG state by replaying the recorded number of
+// draws against a freshly seeded source.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
+// fastForward advances a fresh source to the recorded draw count.
+func (c *countingSource) fastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.draws = n
+}
+
 // Tuner learns optimized SSD configurations for a target workload.
 type Tuner struct {
 	Space     *ssdconf.Space
@@ -99,6 +148,9 @@ type Tuner struct {
 	Opts      TunerOptions
 
 	rng *rand.Rand
+	// rngSrc is rng's draw-counting source; nil on tuners built without
+	// NewTuner (checkpointing is then unavailable).
+	rngSrc *countingSource
 	// orderIdx caches the resolved tuning-order parameter indices.
 	orderIdx []int
 }
@@ -136,8 +188,9 @@ type TuneResult struct {
 // NewTuner wires a tuner; grader and validator must share the space.
 func NewTuner(space *ssdconf.Space, v *Validator, g *Grader, opts TunerOptions) (*Tuner, error) {
 	opts.defaults()
+	src := &countingSource{src: rand.NewSource(opts.Seed ^ 0x5f3759df).(rand.Source64)}
 	t := &Tuner{Space: space, Validator: v, Grader: g, Opts: opts,
-		rng: rand.New(rand.NewSource(opts.Seed ^ 0x5f3759df))}
+		rng: rand.New(src), rngSrc: src}
 	if opts.UseTuningOrder {
 		for _, name := range opts.Order {
 			i, err := space.ParamIndex(name)
@@ -152,8 +205,11 @@ func NewTuner(space *ssdconf.Space, v *Validator, g *Grader, opts TunerOptions) 
 
 // Tune learns an optimized configuration for the target cluster,
 // starting from the given initial configurations (from AutoDB when the
-// cluster is known, else the commodity reference).
-func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, error) {
+// cluster is known, else the commodity reference). Cancelling ctx stops
+// the search between (and, cooperatively, within) iterations with
+// ErrInterrupted; with Opts.Checkpoint set, the snapshot of the last
+// completed iteration survives on disk for Opts.Resume.
+func (t *Tuner) Tune(ctx context.Context, target string, initial []ssdconf.Config) (*TuneResult, error) {
 	if _, ok := t.Validator.Workloads[target]; !ok {
 		return nil, fmt.Errorf("core: unknown target workload %q", target)
 	}
@@ -168,62 +224,87 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 	res := &TuneResult{Target: target}
 	var validated []entry
 	seen := map[string]bool{}
+	startIter := 0
+	noProgress := 0
 
-	// ① initialize the model with the initial configuration set. The
-	// whole initial frontier's target-cluster runs fan out as one batch;
-	// the non-target runs batch after the power-budget filter so a
-	// rejected configuration costs no non-target simulations — the same
-	// economy as serial evaluation, just concurrent.
-	var initCfgs []ssdconf.Config
-	for _, cfg := range initial {
-		if err := t.Space.CheckConstraints(cfg); err != nil {
-			continue
+	resumed := false
+	if t.Opts.Resume && t.Opts.Checkpoint != "" {
+		ck, err := loadCheckpoint(t.Opts.Checkpoint)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: fall through to a fresh run.
+		case err != nil:
+			return nil, err
+		default:
+			if err := t.restoreCheckpoint(ck, target, res, &validated, seen, &startIter, &noProgress); err != nil {
+				return nil, err
+			}
+			resumed = true
 		}
-		if seen[cfg.Key()] {
-			continue
-		}
-		seen[cfg.Key()] = true
-		initCfgs = append(initCfgs, cfg)
 	}
-	if err := func() error {
-		sp := obs.StartSpan("frontier").ArgInt("configs", int64(len(initCfgs)))
-		defer sp.End()
-		if err := t.Validator.MeasureBatch(initCfgs, []string{target}); err != nil {
-			return err
-		}
-		var live []ssdconf.Config
-		for _, cfg := range initCfgs {
-			perfs, err := t.Validator.MeasureCluster(cfg, target) // cache hit
-			if err != nil {
-				return err
-			}
-			if !t.overPowerBudget(perfs) {
-				live = append(live, cfg)
-			}
-		}
-		if err := t.Validator.MeasureBatch(live, t.Validator.NonTargetClusters(target)); err != nil {
-			return err
-		}
-		for _, cfg := range initCfgs {
-			e, rejected, err := t.evaluate(target, cfg, math.Inf(-1), res)
-			if err != nil {
-				return err
-			}
-			if rejected {
+
+	if !resumed {
+		// ① initialize the model with the initial configuration set. The
+		// whole initial frontier's target-cluster runs fan out as one batch;
+		// the non-target runs batch after the power-budget filter so a
+		// rejected configuration costs no non-target simulations — the same
+		// economy as serial evaluation, just concurrent.
+		var initCfgs []ssdconf.Config
+		for _, cfg := range initial {
+			if err := t.Space.CheckConstraints(cfg); err != nil {
 				continue
 			}
-			validated = append(validated, e)
+			if seen[cfg.Key()] {
+				continue
+			}
+			seen[cfg.Key()] = true
+			initCfgs = append(initCfgs, cfg)
 		}
-		return nil
-	}(); err != nil {
-		return nil, err
-	}
-	if len(validated) == 0 {
-		return nil, errors.New("core: no initial configuration satisfies the constraints (capacity/power)")
+		if err := func() error {
+			sp := obs.StartSpan("frontier").ArgInt("configs", int64(len(initCfgs)))
+			defer sp.End()
+			if err := t.Validator.MeasureBatch(ctx, initCfgs, []string{target}); err != nil {
+				return err
+			}
+			var live []ssdconf.Config
+			for _, cfg := range initCfgs {
+				perfs, err := t.Validator.MeasureCluster(ctx, cfg, target) // cache hit
+				if err != nil {
+					return err
+				}
+				if !t.overPowerBudget(perfs) {
+					live = append(live, cfg)
+				}
+			}
+			if err := t.Validator.MeasureBatch(ctx, live, t.Validator.NonTargetClusters(target)); err != nil {
+				return err
+			}
+			for _, cfg := range initCfgs {
+				e, rejected, err := t.evaluate(ctx, target, cfg, math.Inf(-1), res)
+				if err != nil {
+					return err
+				}
+				if rejected {
+					continue
+				}
+				validated = append(validated, e)
+			}
+			return nil
+		}(); err != nil {
+			return nil, err
+		}
+		if len(validated) == 0 {
+			return nil, errors.New("core: no initial configuration satisfies the constraints (capacity/power)")
+		}
+		if err := t.saveCheckpoint(target, 0, noProgress, res, validated, seen); err != nil {
+			return nil, err
+		}
 	}
 
-	noProgress := 0
-	for iter := 0; iter < t.Opts.MaxIterations; iter++ {
+	for iter := startIter; iter < t.Opts.MaxIterations; iter++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("%w before iteration %d: %v", ErrInterrupted, iter, cerr)
+		}
 		res.Iterations++
 
 		// The iteration body runs in a closure so its trace span ends
@@ -253,7 +334,7 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 
 			// ⑤ efficiency validation.
 			worst := worstRetainedGrade(validated, t.Opts.TopK)
-			e, rejected, err := t.evaluate(target, cand, worst, res)
+			e, rejected, err := t.evaluate(ctx, target, cand, worst, res)
 			if err != nil {
 				return true, err
 			}
@@ -280,6 +361,15 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 			return false, nil
 		}()
 		if err != nil {
+			if ctx.Err() != nil {
+				// A cancelled measurement mid-iteration: the checkpoint on
+				// disk still reflects the last completed iteration, because
+				// evaluate mutates no tuner state on failure.
+				return nil, fmt.Errorf("%w during iteration %d: %v", ErrInterrupted, iter, err)
+			}
+			return nil, err
+		}
+		if err := t.saveCheckpoint(target, iter+1, noProgress, res, validated, seen); err != nil {
 			return nil, err
 		}
 		if stop {
@@ -294,12 +384,12 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 	res.BestGrade = best.grade
 	res.BestPerf = map[string][]autodb.Perf{}
 	msp := obs.StartSpan("final-measure").Arg("config", best.cfg.Key())
-	if err := t.Validator.MeasureBatch([]ssdconf.Config{best.cfg}, t.Validator.Clusters()); err != nil {
+	if err := t.Validator.MeasureBatch(ctx, []ssdconf.Config{best.cfg}, t.Validator.Clusters()); err != nil {
 		msp.End()
 		return nil, err
 	}
 	for _, cl := range t.Validator.Clusters() {
-		ps, err := t.Validator.MeasureCluster(best.cfg, cl)
+		ps, err := t.Validator.MeasureCluster(ctx, best.cfg, cl)
 		if err != nil {
 			msp.End()
 			return nil, err
@@ -312,15 +402,100 @@ func (t *Tuner) Tune(target string, initial []ssdconf.Config) (*TuneResult, erro
 	return res, nil
 }
 
+// saveCheckpoint snapshots the run if checkpointing is enabled. iter is
+// the next iteration to run on resume; the RNG draw count is read at
+// save time, i.e. the stream position that iteration will start from.
+func (t *Tuner) saveCheckpoint(target string, iter, noProgress int, res *TuneResult, validated []entry, seen map[string]bool) error {
+	if t.Opts.Checkpoint == "" || t.rngSrc == nil {
+		return nil
+	}
+	ck := &checkpointFile{
+		Version:           checkpointVersion,
+		Target:            target,
+		Seed:              t.Opts.Seed,
+		SpaceSig:          spaceSignature(t.Space),
+		Iteration:         iter,
+		NoProgress:        noProgress,
+		RNGDraws:          t.rngSrc.draws,
+		Trajectory:        res.Trajectory,
+		PrunedValidations: res.PrunedValidations,
+		RejectedByPower:   res.RejectedByPower,
+		Validated:         make([]checkpointEntry, len(validated)),
+		Seen:              make([]string, 0, len(seen)),
+		Cache:             t.Validator.SnapshotCache(),
+	}
+	for i, e := range validated {
+		ck.Validated[i] = checkpointEntry{
+			Cfg: e.cfg, Grade: e.grade, TargetPerf: e.targetPerf,
+			LatSp: e.latSp, TputSp: e.tputSp, Full: e.full,
+		}
+	}
+	for k := range seen {
+		ck.Seen = append(ck.Seen, k)
+	}
+	sort.Strings(ck.Seen)
+	return writeCheckpoint(t.Opts.Checkpoint, ck)
+}
+
+// restoreCheckpoint rebuilds the tuner's in-flight state from a
+// snapshot, after validating that it belongs to this (target, seed,
+// space) run.
+func (t *Tuner) restoreCheckpoint(ck *checkpointFile, target string, res *TuneResult, validated *[]entry, seen map[string]bool, startIter, noProgress *int) error {
+	if ck.Version != checkpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	if ck.Target != target {
+		return fmt.Errorf("core: checkpoint targets %q, this run targets %q", ck.Target, target)
+	}
+	if ck.Seed != t.Opts.Seed {
+		return fmt.Errorf("core: checkpoint seed %d, this run seeds %d", ck.Seed, t.Opts.Seed)
+	}
+	if sig := spaceSignature(t.Space); ck.SpaceSig != sig {
+		return fmt.Errorf("core: checkpoint space signature %s does not match this space (%s); constraints, grids or fault profile changed", ck.SpaceSig, sig)
+	}
+	if t.rngSrc == nil {
+		return errors.New("core: this tuner was not built by NewTuner; cannot resume")
+	}
+	if t.rngSrc.draws != 0 {
+		return errors.New("core: resume requires a freshly constructed tuner")
+	}
+	if len(ck.Validated) == 0 {
+		return errors.New("core: checkpoint has no validated configurations")
+	}
+	n := t.Space.NumParams()
+	for _, ve := range ck.Validated {
+		if len(ve.Cfg) != n {
+			return fmt.Errorf("core: checkpoint config has %d parameters, space has %d", len(ve.Cfg), n)
+		}
+		cfg := ssdconf.Config(append([]int(nil), ve.Cfg...))
+		*validated = append(*validated, entry{
+			cfg: cfg, vec: t.Space.Vector(cfg), grade: ve.Grade,
+			targetPerf: ve.TargetPerf, latSp: ve.LatSp, tputSp: ve.TputSp, full: ve.Full,
+		})
+	}
+	for _, k := range ck.Seen {
+		seen[k] = true
+	}
+	res.Iterations = ck.Iteration
+	res.Trajectory = append(res.Trajectory, ck.Trajectory...)
+	res.PrunedValidations = ck.PrunedValidations
+	res.RejectedByPower = ck.RejectedByPower
+	*startIter = ck.Iteration
+	*noProgress = ck.NoProgress
+	t.Validator.RestoreCache(ck.Cache)
+	t.rngSrc.fastForward(ck.RNGDraws)
+	return nil
+}
+
 // evaluate validates cfg: target cluster first, then (unless pruned) the
 // non-target clusters; the power budget is enforced on the target run.
 // worst is the worst retained grade for the §3.4 validation-pruning
 // shortcut (-Inf disables it). It returns the entry and whether the
 // config was rejected outright (power).
-func (t *Tuner) evaluate(target string, cfg ssdconf.Config, worst float64, res *TuneResult) (entry, bool, error) {
+func (t *Tuner) evaluate(ctx context.Context, target string, cfg ssdconf.Config, worst float64, res *TuneResult) (entry, bool, error) {
 	e := entry{cfg: cfg, vec: t.Space.Vector(cfg)}
 
-	perfs, err := t.Validator.MeasureCluster(cfg, target)
+	perfs, err := t.Validator.MeasureCluster(ctx, cfg, target)
 	if err != nil {
 		return e, false, err
 	}
@@ -347,12 +522,12 @@ func (t *Tuner) evaluate(target string, cfg ssdconf.Config, worst float64, res *
 	// Non-target validation: the candidate's whole remaining frontier
 	// (every non-target cluster × trace) fans out as one batch.
 	nonTargets := t.Validator.NonTargetClusters(target)
-	if err := t.Validator.MeasureBatch([]ssdconf.Config{cfg}, nonTargets); err != nil {
+	if err := t.Validator.MeasureBatch(ctx, []ssdconf.Config{cfg}, nonTargets); err != nil {
 		return e, false, err
 	}
 	nonTarget := map[string]float64{}
 	for _, cl := range nonTargets {
-		ps, err := t.Validator.MeasureCluster(cfg, cl) // cache hit
+		ps, err := t.Validator.MeasureCluster(ctx, cfg, cl) // cache hit
 		if err != nil {
 			return e, false, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"autoblox/internal/ssd"
@@ -11,7 +12,7 @@ import (
 
 func TestCoarsePrune(t *testing.T) {
 	_, v, g, ref := testEnv(t, []workload.Category{workload.Database}, 2500)
-	res, err := CoarsePrune(v, g, string(workload.Database), ref, PruneOptions{Seed: 1})
+	res, err := CoarsePrune(context.Background(), v, g, string(workload.Database), ref, PruneOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,18 +47,18 @@ func TestCoarsePrune(t *testing.T) {
 			t.Fatalf("%s: first point (baseline) performance = %g, want 0", name, sweep[0].Performance)
 		}
 	}
-	if _, err := CoarsePrune(v, g, "nope", ref, PruneOptions{}); err == nil {
+	if _, err := CoarsePrune(context.Background(), v, g, "nope", ref, PruneOptions{}); err == nil {
 		t.Fatal("unknown target should fail")
 	}
 }
 
 func TestFinePrune(t *testing.T) {
 	_, v, g, ref := testEnv(t, []workload.Category{workload.KVStore}, 2500)
-	coarse, err := CoarsePrune(v, g, string(workload.KVStore), ref, PruneOptions{Seed: 2})
+	coarse, err := CoarsePrune(context.Background(), v, g, string(workload.KVStore), ref, PruneOptions{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine, err := FinePrune(v, g, string(workload.KVStore), ref, coarse.Insensitive, PruneOptions{Seed: 2, Samples: 48})
+	fine, err := FinePrune(context.Background(), v, g, string(workload.KVStore), ref, coarse.Insensitive, PruneOptions{Seed: 2, Samples: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFinePrune(t *testing.T) {
 		}
 		prev = c
 	}
-	if _, err := FinePrune(v, g, "nope", ref, nil, PruneOptions{}); err == nil {
+	if _, err := FinePrune(context.Background(), v, g, "nope", ref, nil, PruneOptions{}); err == nil {
 		t.Fatal("unknown target should fail")
 	}
 }
@@ -112,7 +113,7 @@ func TestTunerImprovesOverReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tuner.Tune(string(workload.Database), []ssdconf.Config{ref})
+	res, err := tuner.Tune(context.Background(), string(workload.Database), []ssdconf.Config{ref})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +143,10 @@ func TestTunerImprovesOverReference(t *testing.T) {
 func TestTunerErrors(t *testing.T) {
 	space, v, g, ref := smallTunerEnv(t)
 	tuner, _ := NewTuner(space, v, g, TunerOptions{Seed: 1, MaxIterations: 2})
-	if _, err := tuner.Tune("nope", []ssdconf.Config{ref}); err == nil {
+	if _, err := tuner.Tune(context.Background(), "nope", []ssdconf.Config{ref}); err == nil {
 		t.Fatal("unknown target should fail")
 	}
-	if _, err := tuner.Tune(string(workload.Database), nil); err == nil {
+	if _, err := tuner.Tune(context.Background(), string(workload.Database), nil); err == nil {
 		t.Fatal("no initial configs should fail")
 	}
 	if _, err := NewTuner(space, v, g, TunerOptions{UseTuningOrder: true, Order: []string{"Bogus"}}); err == nil {
@@ -157,7 +158,7 @@ func TestTunerDeterminism(t *testing.T) {
 	space, v, g, ref := smallTunerEnv(t)
 	run := func() *TuneResult {
 		tuner, _ := NewTuner(space, v, g, TunerOptions{Seed: 99, MaxIterations: 6, SGDSteps: 3})
-		res, err := tuner.Tune(string(workload.WebSearch), []ssdconf.Config{ref})
+		res, err := tuner.Tune(context.Background(), string(workload.WebSearch), []ssdconf.Config{ref})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestTunerWithTuningOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tuner.Tune(string(workload.CloudStorage), []ssdconf.Config{ref})
+	res, err := tuner.Tune(context.Background(), string(workload.CloudStorage), []ssdconf.Config{ref})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestTunerSelectsCostBenefitGC(t *testing.T) {
 	v := NewValidator(space, map[string]*trace.Trace{
 		target: workload.MustGenerate(workload.RadiusAuth, workload.Options{Requests: 2500, Seed: 21}),
 	})
-	g, err := NewGrader(v, base, DefaultAlpha, DefaultBeta)
+	g, err := NewGrader(context.Background(), v, base, DefaultAlpha, DefaultBeta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestTunerSelectsCostBenefitGC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tuner.Tune(target, []ssdconf.Config{base})
+	res, err := tuner.Tune(context.Background(), target, []ssdconf.Config{base})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestTunerSelectsClockCache(t *testing.T) {
 	v := NewValidator(space, map[string]*trace.Trace{
 		target: workload.MustGenerate(workload.LiveMaps, workload.Options{Requests: 2500, Seed: 21}),
 	})
-	g, err := NewGrader(v, base, DefaultAlpha, DefaultBeta)
+	g, err := NewGrader(context.Background(), v, base, DefaultAlpha, DefaultBeta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestTunerSelectsClockCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tuner.Tune(target, []ssdconf.Config{base})
+	res, err := tuner.Tune(context.Background(), target, []ssdconf.Config{base})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,12 +275,12 @@ func TestPowerBudgetRejection(t *testing.T) {
 	tr := workload.MustGenerate(workload.Database, workload.Options{Requests: 1500, Seed: 4})
 	v := NewValidator(space, map[string]*trace.Trace{"Database": tr})
 	ref := space.FromDevice(ssd.Intel750())
-	g, err := NewGrader(v, ref, DefaultAlpha, DefaultBeta)
+	g, err := NewGrader(context.Background(), v, ref, DefaultAlpha, DefaultBeta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tuner, _ := NewTuner(space, v, g, TunerOptions{Seed: 1, MaxIterations: 2})
-	if _, err := tuner.Tune("Database", []ssdconf.Config{ref}); err == nil {
+	if _, err := tuner.Tune(context.Background(), "Database", []ssdconf.Config{ref}); err == nil {
 		t.Fatal("impossible power budget should reject every initial config")
 	}
 
@@ -288,12 +289,12 @@ func TestPowerBudgetRejection(t *testing.T) {
 	space2 := ssdconf.NewSpace(cons)
 	v2 := NewValidator(space2, map[string]*trace.Trace{"Database": tr})
 	ref2 := space2.FromDevice(ssd.Intel750())
-	g2, err := NewGrader(v2, ref2, DefaultAlpha, DefaultBeta)
+	g2, err := NewGrader(context.Background(), v2, ref2, DefaultAlpha, DefaultBeta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tuner2, _ := NewTuner(space2, v2, g2, TunerOptions{Seed: 1, MaxIterations: 3, SGDSteps: 2})
-	res, err := tuner2.Tune("Database", []ssdconf.Config{ref2})
+	res, err := tuner2.Tune(context.Background(), "Database", []ssdconf.Config{ref2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,11 +321,11 @@ func TestWhatIfModestGoal(t *testing.T) {
 	tr := workload.MustGenerate(workload.WebSearch, workload.Options{Requests: 2500, Seed: 9})
 	v := NewValidator(space, map[string]*trace.Trace{"WebSearch": tr})
 	ref := space.FromDevice(ssd.Intel750())
-	g, err := NewGrader(v, ref, DefaultAlpha, DefaultBeta)
+	g, err := NewGrader(context.Background(), v, ref, DefaultAlpha, DefaultBeta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := WhatIf(space, v, g, WhatIfGoal{Target: "WebSearch", LatencyReduction: 1.05},
+	res, err := WhatIf(context.Background(), space, v, g, WhatIfGoal{Target: "WebSearch", LatencyReduction: 1.05},
 		[]ssdconf.Config{ref}, TunerOptions{Seed: 6, MaxIterations: 12, SGDSteps: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -343,13 +344,13 @@ func TestWhatIfModestGoal(t *testing.T) {
 func TestValidationPruningCountersAndAblation(t *testing.T) {
 	space, v, g, ref := smallTunerEnv(t)
 	with, _ := NewTuner(space, v, g, TunerOptions{Seed: 21, MaxIterations: 8, SGDSteps: 3})
-	resWith, err := with.Tune(string(workload.CloudStorage), []ssdconf.Config{ref})
+	resWith, err := with.Tune(context.Background(), string(workload.CloudStorage), []ssdconf.Config{ref})
 	if err != nil {
 		t.Fatal(err)
 	}
 	without, _ := NewTuner(space, v, g, TunerOptions{Seed: 21, MaxIterations: 8, SGDSteps: 3,
 		DisableValidationPruning: true})
-	resWithout, err := without.Tune(string(workload.CloudStorage), []ssdconf.Config{ref})
+	resWithout, err := without.Tune(context.Background(), string(workload.CloudStorage), []ssdconf.Config{ref})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func TestStopConditionHaltsEarly(t *testing.T) {
 		Seed: 2, MaxIterations: 50, SGDSteps: 3,
 		StopCondition: func(lat, tput float64) bool { return lat >= 1.0 }, // satisfied immediately
 	})
-	res, err := tuner.Tune(string(workload.Database), []ssdconf.Config{ref})
+	res, err := tuner.Tune(context.Background(), string(workload.Database), []ssdconf.Config{ref})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,11 +386,11 @@ func TestWhatIfThroughputGoalUsesStress(t *testing.T) {
 	tr := workload.MustGenerate(workload.Recomm, workload.Options{Requests: 2500, Seed: 14})
 	v := NewValidator(space, map[string]*trace.Trace{"Recomm": tr})
 	ref := space.FromDevice(ssd.Intel750())
-	g, err := NewGrader(v, ref, DefaultAlpha, DefaultBeta)
+	g, err := NewGrader(context.Background(), v, ref, DefaultAlpha, DefaultBeta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := WhatIf(space, v, g, WhatIfGoal{Target: "Recomm", ThroughputGain: 1.1},
+	res, err := WhatIf(context.Background(), space, v, g, WhatIfGoal{Target: "Recomm", ThroughputGain: 1.1},
 		[]ssdconf.Config{ref}, TunerOptions{Seed: 8, MaxIterations: 15, SGDSteps: 4})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,7 +55,7 @@ var Table7Params = []string{
 // WhatIf runs the what-if analysis: an expanded-bounds tuning run that
 // stops as soon as the goal's speedups are met. The space should come
 // from ssdconf.NewWhatIfSpace; the validator/grader must be built on it.
-func WhatIf(space *ssdconf.Space, v *Validator, g *Grader, goal WhatIfGoal, initial []ssdconf.Config, opts TunerOptions) (*WhatIfResult, error) {
+func WhatIf(ctx context.Context, space *ssdconf.Space, v *Validator, g *Grader, goal WhatIfGoal, initial []ssdconf.Config, opts TunerOptions) (*WhatIfResult, error) {
 	if err := goal.validate(); err != nil {
 		return nil, err
 	}
@@ -110,8 +111,16 @@ func WhatIf(space *ssdconf.Space, v *Validator, g *Grader, goal WhatIfGoal, init
 			}
 			groups[cl] = compressed
 		}
-		v = NewValidatorSources(v.Space, groups)
-		ng, err := NewGrader(v, initial[0], g.Alpha, g.Beta)
+		stress := NewValidatorSources(v.Space, groups)
+		// The rebuilt validator must inherit the original's execution and
+		// resilience settings, or a stress run would silently drop back to
+		// serial, un-instrumented, timeout-free measurement.
+		stress.Parallel = v.Parallel
+		stress.Obs = v.Obs
+		stress.SimTimeout = v.SimTimeout
+		stress.MaxRetries = v.MaxRetries
+		v = stress
+		ng, err := NewGrader(ctx, v, initial[0], g.Alpha, g.Beta)
 		if err != nil {
 			return nil, fmt.Errorf("core: what-if stress grader: %w", err)
 		}
@@ -125,7 +134,7 @@ func WhatIf(space *ssdconf.Space, v *Validator, g *Grader, goal WhatIfGoal, init
 	// what-if space the ridge regression surfaces the flash-timing and
 	// channel levers that commodity tuning holds fixed.
 	if !opts.UseTuningOrder && len(initial) > 0 {
-		fine, err := FinePrune(v, &grader, goal.Target, initial[0], nil,
+		fine, err := FinePrune(ctx, v, &grader, goal.Target, initial[0], nil,
 			PruneOptions{Seed: opts.Seed, Samples: 48})
 		if err == nil && len(fine.Order) > 0 {
 			opts.UseTuningOrder = true
@@ -137,7 +146,7 @@ func WhatIf(space *ssdconf.Space, v *Validator, g *Grader, goal WhatIfGoal, init
 	if err != nil {
 		return nil, err
 	}
-	tr, err := tuner.Tune(goal.Target, initial)
+	tr, err := tuner.Tune(ctx, goal.Target, initial)
 	if err != nil {
 		return nil, fmt.Errorf("core: what-if: %w", err)
 	}

@@ -12,8 +12,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"autoblox/internal/core"
 	"autoblox/internal/obs"
@@ -37,6 +39,18 @@ type Scale struct {
 	// Obs, when set, receives validator/simulator metrics. Optional and
 	// free when nil; never affects the measured results.
 	Obs *obs.Registry
+	// SimTimeout bounds each individual validation simulation (0 =
+	// unbounded); SimRetries retries transient measurement failures.
+	SimTimeout time.Duration
+	SimRetries int
+	// Checkpoint/Resume make the matrix tuning runs crash-safe: the
+	// per-target checkpoint path is derived from Checkpoint by suffixing
+	// the target name.
+	Checkpoint string
+	Resume     bool
+	// Ctx, when set, cancels every measurement the suite issues (nil =
+	// context.Background()); it is copied onto each Env the suite builds.
+	Ctx context.Context
 }
 
 // DefaultScale is sized for CI and benchmarks.
@@ -52,7 +66,10 @@ func PaperScale() Scale {
 // Env bundles the shared state of one experimental configuration
 // (constraint set + reference device + workload set).
 type Env struct {
-	Scale     Scale
+	Scale Scale
+	// Ctx, when set, cancels every measurement the experiments issue;
+	// nil means context.Background().
+	Ctx       context.Context
 	Cons      ssdconf.Constraints
 	Space     *ssdconf.Space
 	Ref       ssd.DeviceParams
@@ -84,7 +101,7 @@ func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []
 	} else {
 		space = ssdconf.NewSpace(cons)
 	}
-	e := &Env{Scale: scale, Cons: cons, Space: space, Ref: ref, Cats: cats,
+	e := &Env{Scale: scale, Ctx: scale.Ctx, Cons: cons, Space: space, Ref: ref, Cats: cats,
 		Sources: map[string]trace.SourceFactory{}}
 	for _, c := range cats {
 		fac, err := workload.Factory(c, workload.Options{Requests: scale.Requests, Seed: scale.Seed})
@@ -100,7 +117,9 @@ func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []
 	e.Validator = core.NewValidatorSources(space, e.sourceGroups())
 	e.Validator.Parallel = scale.Parallel
 	e.Validator.Obs = scale.Obs
-	g, err := core.NewGrader(e.Validator, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
+	e.Validator.SimTimeout = scale.SimTimeout
+	e.Validator.MaxRetries = scale.SimRetries
+	g, err := core.NewGrader(e.ctx(), e.Validator, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 	if err != nil {
 		return nil, err
 	}
@@ -118,13 +137,31 @@ func (e *Env) sourceGroups() map[string][]trace.SourceFactory {
 	return g
 }
 
+// ctx resolves the experiment context.
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
 // tunerOptions maps the scale onto the §3.4 loop.
 func (e *Env) tunerOptions() core.TunerOptions {
 	return core.TunerOptions{
 		Seed:          e.Scale.Seed,
 		MaxIterations: e.Scale.MaxIterations,
 		SGDSteps:      e.Scale.SGDSteps,
+		Resume:        e.Scale.Resume,
 	}
+}
+
+// checkpointFor derives a per-target checkpoint path; tuning runs over
+// different targets must not share one checkpoint file.
+func (e *Env) checkpointFor(target string) string {
+	if e.Scale.Checkpoint == "" {
+		return ""
+	}
+	return e.Scale.Checkpoint + "." + target + ".json"
 }
 
 // InitialConfigs returns the reference plus layout-diverse variants of

@@ -68,11 +68,11 @@ type Fig45Result struct {
 // RunFig45 runs coarse- and fine-grained pruning for a target workload.
 func RunFig45(e *Env, target string) (*Fig45Result, error) {
 	opts := core.PruneOptions{Seed: e.Scale.Seed, Samples: e.Scale.PruneSamples}
-	coarse, err := core.CoarsePrune(e.Validator, e.Grader, target, e.RefCfg, opts)
+	coarse, err := core.CoarsePrune(e.ctx(), e.Validator, e.Grader, target, e.RefCfg, opts)
 	if err != nil {
 		return nil, err
 	}
-	fine, err := core.FinePrune(e.Validator, e.Grader, target, e.RefCfg, coarse.Insensitive, opts)
+	fine, err := core.FinePrune(e.ctx(), e.Validator, e.Grader, target, e.RefCfg, coarse.Insensitive, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +158,7 @@ func runSweep(e *Env, param string, values []float64, targets []string) (*SweepR
 			if err != nil {
 				return nil, err
 			}
-			tr, err := t.Tune(target, e.InitialConfigs())
+			tr, err := t.Tune(e.ctx(), target, e.InitialConfigs())
 			if err != nil {
 				return nil, err
 			}

@@ -116,7 +116,7 @@ func runTarget(e *Env, target string, opts MatrixOptions) (*TargetRun, error) {
 		// The default AutoBlox pipeline enforces the §3.3 tuning order
 		// learned by fine-grained pruning (§4.3: "AutoBlox applied the
 		// learning order ... to improve its learning efficiency").
-		fine, err := core.FinePrune(e.Validator, e.Grader, target, e.RefCfg, nil,
+		fine, err := core.FinePrune(e.ctx(), e.Validator, e.Grader, target, e.RefCfg, nil,
 			core.PruneOptions{Seed: e.Scale.Seed, Samples: e.Scale.PruneSamples})
 		if err != nil {
 			return nil, err
@@ -125,11 +125,12 @@ func runTarget(e *Env, target string, opts MatrixOptions) (*TargetRun, error) {
 		tOpts.UseTuningOrder = true
 		tOpts.Order = order
 	}
+	tOpts.Checkpoint = e.checkpointFor(target)
 	tuner, err := core.NewTuner(e.Space, e.Validator, e.Grader, tOpts)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := tuner.Tune(target, e.InitialConfigs())
+	tr, err := tuner.Tune(e.ctx(), target, e.InitialConfigs())
 	if err != nil {
 		return nil, err
 	}
@@ -146,11 +147,12 @@ func runTarget(e *Env, target string, opts MatrixOptions) (*TargetRun, error) {
 		g0.Beta = 0
 		bOpts := tOpts
 		bOpts.Beta = 0
+		bOpts.Checkpoint, bOpts.Resume = "", false // distinct run; never share a checkpoint
 		t0, err := core.NewTuner(e.Space, e.Validator, &g0, bOpts)
 		if err != nil {
 			return nil, err
 		}
-		mr, err := t0.Tune(target, e.InitialConfigs())
+		mr, err := t0.Tune(e.ctx(), target, e.InitialConfigs())
 		if err != nil {
 			return nil, err
 		}
@@ -167,11 +169,12 @@ func runTarget(e *Env, target string, opts MatrixOptions) (*TargetRun, error) {
 		runFresh := func(useOrder bool) (*core.TuneResult, error) {
 			v := core.NewValidatorSources(e.Space, e.sourceGroups())
 			v.Parallel = e.Scale.Parallel
-			g, err := core.NewGrader(v, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
+			g, err := core.NewGrader(e.ctx(), v, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 			if err != nil {
 				return nil, err
 			}
 			vOpts := tOpts
+			vOpts.Checkpoint, vOpts.Resume = "", false
 			vOpts.UseTuningOrder = useOrder
 			if useOrder {
 				vOpts.Order = order
@@ -182,7 +185,7 @@ func runTarget(e *Env, target string, opts MatrixOptions) (*TargetRun, error) {
 			if err != nil {
 				return nil, err
 			}
-			return tn.Tune(target, e.InitialConfigs())
+			return tn.Tune(e.ctx(), target, e.InitialConfigs())
 		}
 		or, err := runFresh(true)
 		if err != nil {

@@ -97,7 +97,7 @@ func RunTable6(e *Env) (*OverheadResult, error) {
 	// WallSpan coincide so "total - SimBusy" is a valid learning cost.
 	fresh := core.NewValidatorSources(e.Space, e.sourceGroups())
 	fresh.Parallel = 1
-	grader, err := core.NewGrader(fresh, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
+	grader, err := core.NewGrader(e.ctx(), fresh, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +106,7 @@ func RunTable6(e *Env) (*OverheadResult, error) {
 		return nil, err
 	}
 	t0 = time.Now()
-	res, err := tuner.Tune(target, []ssdconf.Config{e.RefCfg})
+	res, err := tuner.Tune(e.ctx(), target, []ssdconf.Config{e.RefCfg})
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +157,7 @@ func RunTable7(scale Scale, goalFactor float64) ([]WhatIfRun, *Env, error) {
 		// What-if explores a much larger space; give it more room
 		// (the paper reports 121 iterations vs 89 for commodity runs).
 		opts.MaxIterations = scale.MaxIterations * 4
-		res, err := core.WhatIf(env.Space, env.Validator, env.Grader, goal,
+		res, err := core.WhatIf(env.ctx(), env.Space, env.Validator, env.Grader, goal,
 			[]ssdconf.Config{env.RefCfg}, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiments: what-if %s: %w", goal.Target, err)

@@ -34,6 +34,8 @@ type flashBlock struct {
 	writePtr   int32
 	eraseCount int32
 	allocSeq   int64 // allocation order, for FIFO GC
+	failCount  int32 // cumulative program failures (fault injection)
+	retired    bool  // bad block: factory-marked or grown defect
 }
 
 func (b *flashBlock) full(pagesPerBlock int32) bool { return b.writePtr >= pagesPerBlock }
@@ -77,6 +79,15 @@ type ftl struct {
 	stripe  uint64  // write-striping counter
 
 	gcMinFree int32
+
+	// faults is the seeded fault-injection state (faults.go); nil when
+	// the device's FaultProfile is disabled, so fault-free runs take no
+	// extra branches with observable effects.
+	faults *faultState
+	// fatal is the sticky unrecoverable device error (ErrOutOfSpace);
+	// once set the engine stops issuing work and surfaces it through
+	// the Run/RunSource error return.
+	fatal error
 
 	// Counters for metrics/energy.
 	userReads, userPrograms     int64
@@ -132,7 +143,83 @@ func newFTL(p *DeviceParams) (*ftl, error) {
 	for i := range f.mapping {
 		f.mapping[i] = unmapped
 	}
+	if p.Faults.Enabled() {
+		if err := f.initFaults(p, planes); err != nil {
+			return nil, err
+		}
+	}
 	return f, nil
+}
+
+// initFaults seeds the fault RNG and applies the initialization-time
+// fault population: failed dies (with plane remapping onto survivors)
+// and factory-marked bad blocks (drawn from BadBlockPct, retired off
+// the free lists). Draw order is fixed — dies first, then blocks in
+// plane/block order — so a given (params, seed) pair always yields the
+// same defect map.
+func (f *ftl) initFaults(p *DeviceParams, planes int) error {
+	fs := newFaultState(p)
+	f.faults = fs
+
+	if n := p.Faults.DieFailures; n > 0 {
+		totalDies := p.Channels * p.ChipsPerChannel * p.DiesPerChip
+		if n >= totalDies {
+			return fmt.Errorf("ssd: fault profile fails all %d dies", totalDies)
+		}
+		dead := make([]bool, totalDies)
+		for k := 0; k < n; k++ {
+			d := int(fs.rng.next() % uint64(totalDies))
+			for dead[d] {
+				d = (d + 1) % totalDies
+			}
+			dead[d] = true
+		}
+		// planeIndex iterates planes fastest, so plane pl belongs to die
+		// pl / PlanesPerDie.
+		fs.deadPlane = make([]bool, planes)
+		for pl := 0; pl < planes; pl++ {
+			fs.deadPlane[pl] = dead[pl/p.PlanesPerDie]
+		}
+		fs.redirect = make([]planeID, planes)
+		for pl := range fs.redirect {
+			t := pl
+			for fs.deadPlane[t] {
+				t = (t + 1) % planes
+			}
+			fs.redirect[pl] = planeID(t)
+		}
+	}
+
+	// Factory bad blocks: each non-active block is marked bad with
+	// probability BadBlockPct/100, capped so every plane keeps enough
+	// free blocks to operate (the cap only binds at absurd rates).
+	if pct := p.BadBlockPct / 100; pct > 0 {
+		for pi := range f.planes {
+			fp := &f.planes[pi]
+			maxBad := len(fp.freeList) - int(f.gcMinFree) - 2
+			bad := 0
+			for _, b := range fp.freeList {
+				if bad >= maxBad {
+					break
+				}
+				if fs.rng.float64() < pct {
+					fp.blocks[b].retired = true
+					fs.factoryBadBlocks++
+					bad++
+				}
+			}
+			if bad > 0 {
+				live := fp.freeList[:0]
+				for _, b := range fp.freeList {
+					if !fp.blocks[b].retired {
+						live = append(live, b)
+					}
+				}
+				fp.freeList = live
+			}
+		}
+	}
+	return nil
 }
 
 func fillStale(s []int32) {
@@ -207,9 +294,12 @@ func (f *ftl) prefill(frac float64) {
 // of GC page-moves and erases that the allocation triggered (zero when no
 // GC ran). Timing is the caller's job.
 func (f *ftl) placePage(lp int64) (pl planeID, gcMoves, gcErases int32) {
+	if f.fatal != nil {
+		return 0, 0, 0 // device wedged; engine surfaces f.fatal
+	}
 	ch, chip, die, plane := f.alloc.locate(f.stripe)
 	f.stripe++
-	pl = f.alloc.planeIndex(ch, chip, die, plane)
+	pl = f.redirectPlane(f.alloc.planeIndex(ch, chip, die, plane))
 	fp := &f.planes[pl]
 
 	// Invalidate the previous location.
@@ -225,7 +315,30 @@ func (f *ftl) placePage(lp int64) (pl planeID, gcMoves, gcErases int32) {
 	blk := &fp.blocks[fp.active]
 	if blk.full(f.pagesPerBlock) {
 		f.advanceActive(fp)
+		if f.fatal != nil {
+			f.mapping[lp] = unmapped
+			return pl, 0, 0
+		}
 		blk = &fp.blocks[fp.active]
+	}
+	if f.faults != nil {
+		// Program failures: a failed program leaves its slot unusable
+		// until the block is erased (counted against the block's grown-
+		// defect budget); the controller retries on the next slot.
+		for f.faults.programFails() {
+			blk.pages[blk.writePtr] = -1
+			blk.writePtr++
+			blk.failCount++
+			f.faults.programFailures++
+			if blk.full(f.pagesPerBlock) {
+				f.advanceActive(fp)
+				if f.fatal != nil {
+					f.mapping[lp] = unmapped
+					return pl, 0, 0
+				}
+				blk = &fp.blocks[fp.active]
+			}
+		}
 	}
 	slot := blk.writePtr
 	blk.writePtr++
@@ -245,7 +358,11 @@ func (f *ftl) advanceActive(fp *flashPlane) {
 		// Emergency GC: free at least one block synchronously.
 		f.collect(fp, f.planeIDOf(fp))
 		if len(fp.freeList) == 0 {
-			panic("ssd: plane out of free blocks after GC (over-provisioning too small)")
+			// Over-provisioning too small, or fault-driven retirement
+			// consumed it. Sticky typed error, not a panic: the engine
+			// checks f.fatal at the next request boundary.
+			f.fatal = ErrOutOfSpace
+			return
 		}
 	}
 	nb := fp.freeList[len(fp.freeList)-1]
@@ -318,6 +435,19 @@ func (f *ftl) collect(fp *flashPlane, pl planeID) (moves, erasesDone int32) {
 			// Could not fully evacuate; give up to avoid livelock.
 			break
 		}
+		if f.faults != nil && f.faults.retireAtErase(blk) {
+			// Bad-block retirement: the erase failed (or the block's
+			// grown-defect budget ran out), so the block leaves service
+			// instead of rejoining the free list — shrinking the plane's
+			// effective over-provisioning. It stays permanently "full"
+			// and is skipped by every victim policy via the retired flag.
+			blk.retired = true
+			blk.writePtr = f.pagesPerBlock
+			blk.valid = 0
+			f.faults.retiredBlocks++
+			fp.gcRuns++
+			continue
+		}
 		// Erase.
 		blk.writePtr = 0
 		blk.valid = 0
@@ -364,7 +494,7 @@ func (f *ftl) lookup(lp int64) planeID {
 		return pl
 	}
 	ch, chip, die, plane := f.alloc.locate(uint64(lp))
-	return f.alloc.planeIndex(ch, chip, die, plane)
+	return f.redirectPlane(f.alloc.planeIndex(ch, chip, die, plane))
 }
 
 // --- Cached mapping table (DFTL-style). ---

@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"context"
 	"testing"
 
 	"autoblox/internal/workload"
@@ -72,11 +73,12 @@ func eraseCounts(f *ftl) [][]int32 {
 	return out
 }
 
-// TestFTLConservationInvariants replays a mixed read/write trace on a
-// GC-pressured device under every (GC policy × cache policy × alloc
-// scheme) combination, then audits that no logical page was lost or
-// duplicated and that erase counts only ever grew.
-func TestFTLConservationInvariants(t *testing.T) {
+// sweepPolicyMatrix replays a mixed read/write trace on a GC-pressured
+// device under every (GC policy × cache policy × alloc scheme)
+// combination, audits that no logical page was lost or duplicated and
+// that erase counts only ever grew, and — with faults enabled — that
+// retired blocks stay off the free lists.
+func sweepPolicyMatrix(t *testing.T, faults FaultProfile, tweak func(*DeviceParams)) {
 	tr := workload.MustGenerate(workload.FIU, workload.Options{Requests: 2500, Seed: 11})
 	schemes := AllocSchemeNames()
 	if testing.Short() {
@@ -89,19 +91,23 @@ func TestFTLConservationInvariants(t *testing.T) {
 				p.GCPolicy = GCPolicy(gi)
 				p.CachePolicy = CachePolicy(ci)
 				p.PlaneAllocScheme = AllocScheme(si)
+				p.Faults = faults
+				if tweak != nil {
+					tweak(&p)
+				}
 				label := p.GCPolicy.String() + "/" + p.CachePolicy.String() + "/" + p.PlaneAllocScheme.String()
 				eng, err := newEngine(&p)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
 				src := tr.Source()
-				if _, err := eng.warmup(src); err != nil {
+				if _, err := eng.warmup(context.Background(), src); err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
 				auditFTL(t, label+"/warm", eng.ftl)
 				before := eraseCounts(eng.ftl)
 				src.Reset()
-				if _, err := eng.run(src); err != nil {
+				if _, err := eng.run(context.Background(), src); err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
 				auditFTL(t, label, eng.ftl)
@@ -113,7 +119,49 @@ func TestFTLConservationInvariants(t *testing.T) {
 						}
 					}
 				}
+				auditRetired(t, label, eng.ftl)
 			}
 		}
 	}
+}
+
+// auditRetired verifies retired blocks never reappear on a free list or
+// as an active block.
+func auditRetired(t *testing.T, label string, f *ftl) {
+	t.Helper()
+	for pi := range f.planes {
+		fp := &f.planes[pi]
+		if fp.blocks[fp.active].retired {
+			t.Fatalf("%s: plane %d active block %d is retired", label, pi, fp.active)
+		}
+		for _, b := range fp.freeList {
+			if fp.blocks[b].retired {
+				t.Fatalf("%s: plane %d retired block %d on free list", label, pi, b)
+			}
+		}
+	}
+}
+
+func TestFTLConservationInvariants(t *testing.T) {
+	sweepPolicyMatrix(t, FaultProfile{}, nil)
+}
+
+// TestFTLConservationInvariantsWithFaults re-runs the full policy
+// matrix with program/erase/read faults injected: conservation and
+// erase monotonicity must survive slot-wasting program failures,
+// bad-block retirement and read-retry churn.
+func TestFTLConservationInvariantsWithFaults(t *testing.T) {
+	sweepPolicyMatrix(t, FaultProfile{Rate: 0.01, Seed: 7}, nil)
+}
+
+// TestFTLConservationInvariantsWithDieFailure adds a failed die on top
+// of the fault rate, exercising the plane-remapping path. The device
+// gets more dies and a lower occupancy than smallDevice: losing one of
+// smallDevice's four dies removes more capacity than its 8%
+// over-provisioning covers, which is (correctly) ErrOutOfSpace.
+func TestFTLConservationInvariantsWithDieFailure(t *testing.T) {
+	sweepPolicyMatrix(t, FaultProfile{Rate: 0.005, Seed: 3, DieFailures: 1}, func(p *DeviceParams) {
+		p.DiesPerChip = 2
+		p.InitialOccupancyFrac = 0.4
+	})
 }

@@ -3,6 +3,7 @@ package ssd
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"time"
 )
@@ -66,9 +67,18 @@ type deviceJSON struct {
 	IOMergingEnabled     bool    `json:"io_merging_enabled"`
 	TransactionSchedOOO  bool    `json:"transaction_sched_ooo"`
 	InitialOccupancyFrac float64 `json:"initial_occupancy_frac"`
+
+	// Fault injection; omitted when disabled so fault-free device files
+	// keep their historical byte layout.
+	FaultRate        float64 `json:"fault_rate,omitempty"`
+	FaultSeed        int64   `json:"fault_seed,omitempty"`
+	FaultDieFailures int     `json:"fault_die_failures,omitempty"`
 }
 
-func us(v float64) time.Duration { return time.Duration(v * float64(time.Microsecond)) }
+// us converts microseconds to a Duration, rounding to the nearest
+// nanosecond: truncation would turn e.g. 3ns → 0.003µs → 2.999…µs→ 2ns
+// and break the decode→encode→decode fixed point FuzzParamsJSON pins.
+func us(v float64) time.Duration { return time.Duration(math.Round(v * 1000)) }
 
 // MarshalJSONParams serializes a device configuration.
 func MarshalJSONParams(p DeviceParams) ([]byte, error) {
@@ -106,6 +116,9 @@ func MarshalJSONParams(p DeviceParams) ([]byte, error) {
 		BadBlockPct: p.BadBlockPct, ReadRetryLimit: p.ReadRetryLimit,
 		IOMergingEnabled: p.IOMergingEnabled, TransactionSchedOOO: p.TransactionSchedOOO,
 		InitialOccupancyFrac: p.InitialOccupancyFrac,
+
+		FaultRate: p.Faults.Rate, FaultSeed: p.Faults.Seed,
+		FaultDieFailures: p.Faults.DieFailures,
 	}
 	return json.MarshalIndent(j, "", "  ")
 }
@@ -143,6 +156,8 @@ func UnmarshalJSONParams(data []byte) (DeviceParams, error) {
 		BadBlockPct: j.BadBlockPct, ReadRetryLimit: j.ReadRetryLimit,
 		IOMergingEnabled: j.IOMergingEnabled, TransactionSchedOOO: j.TransactionSchedOOO,
 		InitialOccupancyFrac: j.InitialOccupancyFrac,
+
+		Faults: FaultProfile{Rate: j.FaultRate, Seed: j.FaultSeed, DieFailures: j.FaultDieFailures},
 	}
 	// Enum fields resolve through the policy registry: empty strings keep
 	// the lenient defaults (MLC, NVMe, LRU, greedy, CWDP) and unknown

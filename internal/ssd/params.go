@@ -145,6 +145,9 @@ type DeviceParams struct {
 	IOMergingEnabled     bool
 	TransactionSchedOOO  bool    // out-of-order transaction scheduling
 	InitialOccupancyFrac float64 // pre-fill fraction before measurement
+
+	// --- Fault injection (faults.go). The zero value disables it.
+	Faults FaultProfile
 }
 
 // PagesPerPlane returns the page count of one plane.
@@ -207,6 +210,34 @@ func (p *DeviceParams) Validate() error {
 		{p.MappingGranularity >= 1, "MappingGranularity must be >= 1"},
 		{p.CMTEntryBytes >= 1, "CMTEntryBytes must be >= 1"},
 		{p.InitialOccupancyFrac >= 0 && p.InitialOccupancyFrac < 1, "InitialOccupancyFrac out of range"},
+
+		// Range checks on the remaining numeric fields. Besides catching
+		// typos in hand-written device files, the bounds keep every
+		// validated configuration JSON-round-trippable (no NaN/Inf, and
+		// durations small enough that the microsecond float encoding is
+		// exact — see FuzzParamsJSON).
+		{p.Channels <= 1024 && p.ChipsPerChannel <= 1024 && p.DiesPerChip <= 1024 && p.PlanesPerDie <= 1024,
+			"geometry fan-out out of range (each level must be <= 1024)"},
+		{p.BlocksPerPlane <= 1<<20 && p.PagesPerBlock <= 1<<20, "BlocksPerPlane/PagesPerBlock out of range"},
+		{p.PageSizeBytes <= 1<<26, "PageSizeBytes out of range"},
+		{p.ReadLatency <= time.Second, "ReadLatency out of range"},
+		{p.ProgramLatency <= 10*time.Second, "ProgramLatency out of range"},
+		{p.EraseLatency <= 60*time.Second, "EraseLatency out of range"},
+		{p.SuspendProgram >= 0 && p.SuspendProgram <= 60*time.Second, "SuspendProgram out of range"},
+		{p.SuspendErase >= 0 && p.SuspendErase <= 60*time.Second, "SuspendErase out of range"},
+		{p.ECCLatency >= 0 && p.ECCLatency <= time.Second, "ECCLatency out of range"},
+		{p.FirmwareOverhead >= 0 && p.FirmwareOverhead <= time.Second, "FirmwareOverhead out of range"},
+		{p.ChannelMTps <= 1e6, "ChannelMTps out of range"},
+		{p.PCIeLaneMBps >= 0 && p.PCIeLaneMBps <= 1e6, "PCIeLaneMBps out of range"},
+		{p.WriteBufferFlushPct >= 0 && p.WriteBufferFlushPct <= 100, "WriteBufferFlushPct out of range"},
+		{p.BadBlockPct >= 0 && p.BadBlockPct <= 50, "BadBlockPct out of range"},
+		{p.ReadRetryLimit >= 0 && p.ReadRetryLimit <= 64, "ReadRetryLimit out of range"},
+		{p.DataCacheBytes >= 0 && p.CMTBytes >= 0, "cache sizes must be non-negative"},
+		{p.CacheLineBytes >= 0 && p.PageMetadataBytes >= 0 && p.WearLevelingThresh >= 0,
+			"CacheLineBytes/PageMetadataBytes/WearLevelingThresh must be non-negative"},
+		{p.Faults.Rate >= 0 && p.Faults.Rate <= 0.5, "Faults.Rate out of range [0, 0.5]"},
+		{p.Faults.DieFailures >= 0 && p.Faults.DieFailures < p.Channels*p.ChipsPerChannel*p.DiesPerChip,
+			"Faults.DieFailures must leave at least one live die"},
 	}
 	for _, c := range checks {
 		if !c.ok {

@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -44,26 +45,35 @@ type policyDomain struct {
 	names []string // value -> canonical name; dense from 0
 	docs  []string // value -> one-line description
 	index map[string]uint8
+	// err records a malformed domain table. Tables are package-level
+	// literals, so instead of panicking at init the defect is stored and
+	// surfaced as a typed error from every validation/parse path that
+	// touches the domain (DeviceParams.Validate, the JSON codec, CLI
+	// flag parsing).
+	err error
 }
 
 func newPolicyDomain(label string, names, docs []string) *policyDomain {
-	if len(names) == 0 || len(names) != len(docs) || len(names) > 256 {
-		panic("ssd: malformed policy table for " + label)
-	}
 	d := &policyDomain{label: label, names: names, docs: docs, index: make(map[string]uint8, len(names))}
+	if len(names) == 0 || len(names) != len(docs) || len(names) > 256 {
+		d.err = errors.New("ssd: malformed policy table for " + label)
+		return d
+	}
 	for i, n := range names {
 		if n == "" {
-			panic(fmt.Sprintf("ssd: %s value %d has no name", label, i))
+			d.err = fmt.Errorf("ssd: %s value %d has no name", label, i)
+			return d
 		}
 		if _, dup := d.index[n]; dup {
-			panic("ssd: duplicate " + label + " name " + n)
+			d.err = errors.New("ssd: duplicate " + label + " name " + n)
+			return d
 		}
 		d.index[n] = uint8(i)
 	}
 	return d
 }
 
-func (d *policyDomain) valid(v uint8) bool { return int(v) < len(d.names) }
+func (d *policyDomain) valid(v uint8) bool { return d.err == nil && int(v) < len(d.names) }
 
 func (d *policyDomain) name(v uint8) string {
 	if !d.valid(v) {
@@ -73,6 +83,9 @@ func (d *policyDomain) name(v uint8) string {
 }
 
 func (d *policyDomain) parse(s string) (uint8, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
 	if v, ok := d.index[s]; ok {
 		return v, nil
 	}

@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -52,6 +53,15 @@ type Result struct {
 	ProactiveFlushes int64
 	// WriteAmplification is (user + GC programs) / user programs.
 	WriteAmplification float64
+	// Fault-injection counters (all zero when the FaultProfile is
+	// disabled). The op counters cover the measured phase only;
+	// RetiredBlocks/FactoryBadBlocks are end-of-run device state.
+	ProgramFailures  int64
+	EraseFailures    int64
+	ReadRetries      int64
+	ECCSoftDecodes   int64
+	RetiredBlocks    int64
+	FactoryBadBlocks int64
 	// ChannelUtilization is the mean fraction of the makespan each
 	// channel bus spent transferring data.
 	ChannelUtilization float64
@@ -75,6 +85,12 @@ const (
 	MetricRequestLatency = "ssd_request_latency_ns"
 	MetricGCPause        = "ssd_gc_pause_ns"
 	MetricChannelStall   = "ssd_channel_stall_ns"
+
+	MetricFaultProgramFailures = "ssd_fault_program_failures_total"
+	MetricFaultEraseFailures   = "ssd_fault_erase_failures_total"
+	MetricFaultReadRetries     = "ssd_fault_read_retries_total"
+	MetricFaultECCSoftDecodes  = "ssd_fault_ecc_soft_decodes_total"
+	MetricFaultRetiredBlocks   = "ssd_fault_retired_blocks_total"
 )
 
 // NewSimulator validates params and returns a simulator.
@@ -103,11 +119,20 @@ func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
 // trace.Source determinism contract (two sweeps yield identical request
 // sequences); generator- and file-backed sources do by construction.
 func (s *Simulator) RunSource(src trace.Source) (*Result, error) {
+	return s.RunSourceContext(context.Background(), src)
+}
+
+// RunSourceContext is RunSource with cooperative cancellation: the
+// warm-up and measured sweeps poll ctx every 1024 requests and return
+// ctx.Err() when it fires, so a per-simulation timeout or an
+// interrupted tuning run stops a simulation mid-flight instead of
+// waiting out the trace. Cancellation never produces a partial Result.
+func (s *Simulator) RunSourceContext(ctx context.Context, src trace.Source) (*Result, error) {
 	eng, err := newEngine(&s.p)
 	if err != nil {
 		return nil, err
 	}
-	n, err := eng.warmup(src)
+	n, err := eng.warmup(ctx, src)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +150,18 @@ func (s *Simulator) RunSource(src trace.Source) (*Result, error) {
 		eng.gcHist = s.Obs.Histogram(MetricGCPause)
 		eng.stallHist = s.Obs.Histogram(MetricChannelStall)
 	}
-	return eng.run(src)
+	res, err := eng.run(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	if fa := eng.ftl.faults; fa != nil && s.Obs != nil {
+		s.Obs.Counter(MetricFaultProgramFailures).Add(fa.programFailures)
+		s.Obs.Counter(MetricFaultEraseFailures).Add(fa.eraseFailures)
+		s.Obs.Counter(MetricFaultReadRetries).Add(fa.readRetries)
+		s.Obs.Counter(MetricFaultECCSoftDecodes).Add(fa.eccSoftDecodes)
+		s.Obs.Counter(MetricFaultRetiredBlocks).Add(fa.retiredBlocks)
+	}
+	return res, nil
 }
 
 // warmup replays the trace once with timing disabled so the CMT, the
@@ -140,12 +176,17 @@ func (s *Simulator) RunSource(src trace.Source) (*Result, error) {
 // the whole sample in DRAM — a hit rate the real workload could never
 // see. Measured-phase cache hits therefore reflect only genuine
 // intra-trace reuse.
-func (e *engine) warmup(src trace.Source) (int, error) {
+func (e *engine) warmup(ctx context.Context, src trace.Source) (int, error) {
 	e.warming = true
 	defer func() { e.warming = false }()
 	src.Reset()
 	n := 0
 	for {
+		if n&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
 		req, ok := src.Next()
 		if !ok {
 			break
@@ -164,10 +205,16 @@ func (e *engine) warmup(src trace.Source) (int, error) {
 	if err := src.Err(); err != nil {
 		return n, fmt.Errorf("ssd: warm-up sweep: %w", err)
 	}
+	if err := e.ftl.fatal; err != nil {
+		return n, fmt.Errorf("%w (during warm-up)", err)
+	}
 	// Reset counters and timelines accumulated during warm-up.
 	f := e.ftl
 	f.userReads, f.userPrograms, f.gcReads, f.gcPrograms = 0, 0, 0, 0
 	f.erases, f.mappingReads, f.mappingWrites = 0, 0, 0
+	if f.faults != nil {
+		f.faults.resetOpCounters()
+	}
 	for i := range f.planes {
 		f.planes[i].gcRuns = 0
 		f.planes[i].wlSwaps = 0
@@ -254,6 +301,9 @@ func newEngine(p *DeviceParams) (*engine, error) {
 		}
 	}
 	f.prefill(p.InitialOccupancyFrac)
+	if f.fatal != nil {
+		return nil, fmt.Errorf("%w (during prefill)", f.fatal)
+	}
 	return e, nil
 }
 
@@ -268,7 +318,7 @@ type requestStream interface {
 // are folded into a running sum plus the latency histogram as they are
 // produced — there is no per-request buffer, so memory stays O(device
 // state) regardless of trace length.
-func (e *engine) run(src trace.Source) (*Result, error) {
+func (e *engine) run(ctx context.Context, src trace.Source) (*Result, error) {
 	var stream requestStream = src
 	var ms *mergeStream
 	if e.p.IOMergingEnabled {
@@ -285,6 +335,14 @@ func (e *engine) run(src trace.Source) (*Result, error) {
 	)
 
 	for {
+		if count&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := e.ftl.fatal; err != nil {
+			return nil, fmt.Errorf("%w (after %d measured requests)", err, count)
+		}
 		req, ok := stream.Next()
 		if !ok {
 			break
@@ -341,6 +399,9 @@ func (e *engine) run(src trace.Source) (*Result, error) {
 	}
 	if err := src.Err(); err != nil {
 		return nil, fmt.Errorf("ssd: measured sweep: %w", err)
+	}
+	if err := e.ftl.fatal; err != nil {
+		return nil, fmt.Errorf("%w (after %d measured requests)", err, count)
 	}
 	if count == 0 {
 		return nil, fmt.Errorf("ssd: empty trace")
@@ -472,6 +533,20 @@ func (e *engine) flashRead(pl planeID, t int64) int64 {
 		begin += wait
 	}
 	cellDone := begin + e.readNS
+	var softDecode int64
+	if fa := e.ftl.faults; fa != nil && !e.warming {
+		// Stepped read-retry: each retry re-senses the page at a shifted
+		// read voltage, re-occupying the plane; an exhausted ladder falls
+		// back to an ECC soft-decode pass charged after the transfer.
+		if steps := fa.readRetrySteps(e.p.ReadRetryLimit); steps > 0 {
+			cellDone += int64(steps) * e.readNS
+			fa.readRetries += int64(steps)
+			if steps >= e.p.ReadRetryLimit {
+				fa.eccSoftDecodes++
+				softDecode = eccSoftDecodeMult * e.eccNS
+			}
+		}
+	}
 	fp.nextFree = cellDone
 
 	ch := e.ftl.alloc.channelOf(pl)
@@ -482,7 +557,7 @@ func (e *engine) flashRead(pl planeID, t int64) int64 {
 	}
 	e.channelFree[ch] = xferBegin + e.xferNS
 	e.channelBusyNS += e.xferNS
-	return xferBegin + e.xferNS + e.eccNS
+	return xferBegin + e.xferNS + e.eccNS + softDecode
 }
 
 // flashProgram charges one page program on plane pl (bus transfer first,
@@ -576,6 +651,14 @@ func (e *engine) buildResult(count, latSum int64, totalBytes uint64, firstArriva
 	}
 	r.MergedRequests = e.mergedRequests
 	r.ProactiveFlushes = e.proactiveFlushes
+	if fa := f.faults; fa != nil {
+		r.ProgramFailures = fa.programFailures
+		r.EraseFailures = fa.eraseFailures
+		r.ReadRetries = fa.readRetries
+		r.ECCSoftDecodes = fa.eccSoftDecodes
+		r.RetiredBlocks = fa.retiredBlocks
+		r.FactoryBadBlocks = fa.factoryBadBlocks
+	}
 	r.ChannelUtilization = float64(e.channelBusyNS) / (float64(makespan) * float64(e.p.Channels))
 	if f.userPrograms > 0 {
 		r.WriteAmplification = float64(f.userPrograms+f.gcPrograms) / float64(f.userPrograms)

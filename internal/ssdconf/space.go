@@ -100,6 +100,11 @@ func DefaultConstraints() Constraints {
 type Space struct {
 	Params []Param
 	Cons   Constraints
+	// Faults, when enabled, is stamped onto every device the space
+	// materializes. It is environmental state, not a tunable dimension:
+	// the 48 search parameters are unchanged, and the same seeded fault
+	// stream applies to every candidate so measurements stay comparable.
+	Faults ssd.FaultProfile
 	index  map[string]int
 }
 
@@ -428,6 +433,7 @@ func (s *Space) ToDevice(cfg Config) ssd.DeviceParams {
 	for i, p := range s.Params {
 		p.apply(&d, p.Values[cfg[i]])
 	}
+	d.Faults = s.Faults
 	return d
 }
 

@@ -11,6 +11,7 @@
 package autoblox_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -73,7 +74,7 @@ func BenchmarkTuneSerialVsParallel(b *testing.B) {
 				b.StopTimer()
 				v, ref := coldValidator(ws, mode.parallel)
 				b.StartTimer()
-				g, err := core.NewGrader(v, ref, core.DefaultAlpha, core.DefaultBeta)
+				g, err := core.NewGrader(context.Background(), v, ref, core.DefaultAlpha, core.DefaultBeta)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -83,7 +84,7 @@ func BenchmarkTuneSerialVsParallel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := tuner.Tune(string(workload.Database), []ssdconf.Config{ref})
+				res, err := tuner.Tune(context.Background(), string(workload.Database), []ssdconf.Config{ref})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -110,7 +111,7 @@ func BenchmarkTuneObserved(b *testing.B) {
 		v.Obs = obs.NewRegistry()
 		obs.SetTracer(obs.NewTracer(io.Discard))
 		b.StartTimer()
-		g, err := core.NewGrader(v, ref, core.DefaultAlpha, core.DefaultBeta)
+		g, err := core.NewGrader(context.Background(), v, ref, core.DefaultAlpha, core.DefaultBeta)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +121,7 @@ func BenchmarkTuneObserved(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := tuner.Tune(string(workload.Database), []ssdconf.Config{ref})
+		res, err := tuner.Tune(context.Background(), string(workload.Database), []ssdconf.Config{ref})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func BenchmarkMatrixSweepSerialVsParallel(b *testing.B) {
 					cfgs[k] = cfg
 				}
 				b.StartTimer()
-				if err := v.MeasureBatch(cfgs, v.Clusters()); err != nil {
+				if err := v.MeasureBatch(context.Background(), cfgs, v.Clusters()); err != nil {
 					b.Fatal(err)
 				}
 				if got, want := v.SimRuns(), len(cfgs)*len(ws); got != want {
