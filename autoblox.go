@@ -65,6 +65,9 @@ type (
 	Assignment = core.Assignment
 	// PruneOptions controls §3.3 parameter pruning.
 	PruneOptions = core.PruneOptions
+	// Backend executes validation measurements (in-process pool or a
+	// distributed fleet; see internal/dist).
+	Backend = core.Backend
 )
 
 // DefaultConstraints returns the paper's §4.2 setting: 512GB, NVMe, MLC.
@@ -110,6 +113,12 @@ type Options struct {
 	// Parallel bounds concurrent validation simulations (0 selects
 	// runtime.GOMAXPROCS(0)). Results are identical at any setting.
 	Parallel int
+	// Backend, when set, routes every validation simulation through a
+	// custom measurement backend — e.g. a dist.Fleet coordinator
+	// sharding simulations across worker processes. nil selects the
+	// in-process pool bounded by Parallel. Backends are required to be
+	// deterministic, so results are bit-identical either way.
+	Backend Backend
 	// WhatIfSpace switches the expanded §4.5 bounds on.
 	WhatIfSpace bool
 	// Metrics, when set, receives counters and latency histograms from
@@ -280,6 +289,7 @@ func (f *Framework) ensureEnv(ctx context.Context) error {
 	}
 	f.validator = core.NewValidatorSources(f.Space, groups)
 	f.validator.Parallel = f.opts.Parallel
+	f.validator.Backend = f.opts.Backend
 	f.validator.Obs = f.opts.Metrics
 	f.validator.SimTimeout = f.opts.SimTimeout
 	f.validator.MaxRetries = f.opts.SimRetries

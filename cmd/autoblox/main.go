@@ -29,6 +29,7 @@ import (
 
 	"autoblox"
 	"autoblox/internal/cliobs"
+	"autoblox/internal/dist"
 	"autoblox/internal/ssd"
 	"autoblox/internal/trace"
 	"autoblox/internal/workload"
@@ -76,8 +77,11 @@ type commonFlags struct {
 	iters    int
 	seed     int64
 	parallel int
+	workers  int
+	listen   string
 	obs      *cliobs.Flags
 	res      *cliobs.Resilience
+	fleet    *dist.Fleet
 }
 
 func registerCommon(fs *flag.FlagSet) *commonFlags {
@@ -91,6 +95,8 @@ func registerCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.iters, "iters", 20, "tuner iterations")
 	fs.Int64Var(&c.seed, "seed", 42, "RNG seed")
 	fs.IntVar(&c.parallel, "parallel", runtime.GOMAXPROCS(0), "max concurrent validation simulations")
+	fs.IntVar(&c.workers, "workers", 0, "in-process fleet: spawn N loopback sim workers (0 = local pool)")
+	fs.StringVar(&c.listen, "listen", "", "accept remote autobloxd-worker connections on this address")
 	return c
 }
 
@@ -125,7 +131,9 @@ func (c *commonFlags) setupObs() func() {
 }
 
 // framework builds the Framework; call after setupObs so the metrics
-// registry (when requested) is attached to the validator.
+// registry (when requested) is attached to the validator. With -workers
+// or -listen set it also starts the validation fleet and routes every
+// simulation through it.
 func (c *commonFlags) framework(whatIf bool) *autoblox.Framework {
 	opts := autoblox.Options{
 		DBPath: c.db, Seed: c.seed, WhatIfSpace: whatIf, Parallel: c.parallel,
@@ -134,11 +142,52 @@ func (c *commonFlags) framework(whatIf bool) *autoblox.Framework {
 		SimTimeout: c.res.SimTimeout, SimRetries: c.res.SimRetries,
 		Checkpoint: c.res.Checkpoint, Resume: c.res.Resume,
 	}
+	if c.workers > 0 || c.listen != "" {
+		c.startFleet(whatIf)
+		opts.Backend = c.fleet.Backend()
+	}
 	fw, err := autoblox.New(c.constraints(), opts)
 	if err != nil {
 		fatal(err)
 	}
 	return fw
+}
+
+// startFleet builds the distributable measurement environment — the
+// studied synthetic categories at the run's -requests/-seed — and
+// starts the coordinator plus any loopback workers. Freshly clustered
+// blktrace workloads are not distributable (remote workers cannot
+// regenerate them from a seed), so recommending for a brand-new trace
+// category fails worker-side with an unknown-cluster error; use the
+// local pool for that.
+func (c *commonFlags) startFleet(whatIf bool) {
+	specs := make(map[string][]dist.WorkloadSpec)
+	for _, cat := range workload.Studied() {
+		specs[string(cat)] = []dist.WorkloadSpec{{Category: string(cat), Requests: c.requests, Seed: c.seed}}
+	}
+	env, err := dist.NewEnv(c.constraints(), whatIf, ssd.FaultProfile{}, specs)
+	if err != nil {
+		fatal(err)
+	}
+	c.fleet, err = dist.StartFleet(env, dist.FleetOptions{
+		Workers: c.workers, Listen: c.listen,
+		WorkerParallel: c.parallel,
+		SimTimeout:     c.res.SimTimeout, MaxRetries: c.res.SimRetries,
+		Obs: c.obs.Reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if c.listen != "" {
+		fmt.Fprintf(os.Stderr, "autoblox: accepting workers on %s\n", c.fleet.Addr())
+	}
+}
+
+// closeFleet shuts the fleet down (nil-safe; deferred by subcommands).
+func (c *commonFlags) closeFleet() {
+	if c.fleet != nil {
+		c.fleet.Close()
+	}
 }
 
 // learnStudied trains on the seven studied categories. Streaming
@@ -165,6 +214,7 @@ func runLearn(args []string) {
 	defer c.setupObs()()
 	fw := c.framework(false)
 	defer fw.Close()
+	defer c.closeFleet()
 	learnStudied(fw, c)
 	fmt.Printf("learned %d workload clusters into %s: %v\n",
 		len(fw.Workloads()), c.db, fw.Workloads())
@@ -180,6 +230,7 @@ func runRecommend(args []string) {
 	defer c.setupObs()()
 	fw := c.framework(false)
 	defer fw.Close()
+	defer c.closeFleet()
 	learnStudied(fw, c)
 	fw.SetProgress(c.obs.Prog.Update)
 
@@ -230,6 +281,7 @@ func runTune(args []string) {
 	defer c.setupObs()()
 	fw := c.framework(false)
 	defer fw.Close()
+	defer c.closeFleet()
 	learnStudied(fw, c)
 	fw.SetProgress(func(iter int, best float64) {
 		c.obs.Prog.Update(iter, best)
@@ -262,6 +314,7 @@ func runPrune(args []string) {
 	defer c.setupObs()()
 	fw := c.framework(false)
 	defer fw.Close()
+	defer c.closeFleet()
 	learnStudied(fw, c)
 	ctx, stop := cliobs.SignalContext()
 	defer stop()
@@ -286,6 +339,7 @@ func runWhatIf(args []string) {
 	defer c.setupObs()()
 	fw := c.framework(true)
 	defer fw.Close()
+	defer c.closeFleet()
 	learnStudied(fw, c)
 	fw.SetProgress(c.obs.Prog.Update)
 	ctx, stop := cliobs.SignalContext()

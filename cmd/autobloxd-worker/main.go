@@ -1,0 +1,76 @@
+// Command autobloxd-worker joins a distributed validation fleet: it
+// dials a coordinator (an autoblox or experiments run started with
+// -listen), reconstructs the measurement environment from the
+// handshake, and serves leased simulation batches until the coordinator
+// closes.
+//
+// Usage:
+//
+//	autobloxd-worker -connect host:6901 [-name w1] [-parallel N] [-batch N]
+//
+// The worker refuses to serve when its locally derived parameter space
+// fingerprint disagrees with the coordinator's (stale binary), so a
+// mixed-version fleet can never corrupt a tuning run. The observability
+// flags -metrics/-trace/-pprof and the resilience flags
+// -sim-timeout/-sim-retries are also accepted.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"autoblox/internal/cliobs"
+	"autoblox/internal/dist"
+)
+
+func main() {
+	connect := flag.String("connect", "", "coordinator address (host:port) to pull work from")
+	name := flag.String("name", "", "worker name reported to the coordinator (default <hostname>/<pid>)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations on this worker")
+	batch := flag.Int("batch", 8, "max leases pulled per request")
+	obsFlags := cliobs.Register(flag.CommandLine)
+	resFlags := cliobs.RegisterResilience(flag.CommandLine)
+	flag.Parse()
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "usage: autobloxd-worker -connect host:port [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cleanup, err := obsFlags.Setup(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autobloxd-worker:", err)
+		os.Exit(1)
+	}
+	defer cleanup()
+
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+
+	w := &dist.Worker{
+		Name:       *name,
+		Parallel:   *parallel,
+		BatchSize:  *batch,
+		SimTimeout: resFlags.SimTimeout,
+		MaxRetries: resFlags.SimRetries,
+		Obs:        obsFlags.Reg,
+	}
+	err = w.Run(ctx, *connect)
+	switch {
+	case err == nil:
+		fmt.Printf("coordinator closed; measured %d jobs in %v\n", w.Jobs(), w.Busy().Round(0))
+	case errors.Is(err, dist.ErrSpaceMismatch):
+		fmt.Fprintln(os.Stderr, "autobloxd-worker: rejected:", err)
+		fmt.Fprintln(os.Stderr, "hint: worker and coordinator binaries derive different parameter spaces; rebuild both from the same source")
+		os.Exit(1)
+	case errors.Is(err, dist.ErrVersionMismatch):
+		fmt.Fprintln(os.Stderr, "autobloxd-worker: rejected:", err)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "autobloxd-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -23,7 +23,11 @@ import (
 	"strings"
 
 	"autoblox/internal/cliobs"
+	"autoblox/internal/dist"
 	"autoblox/internal/experiments"
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/workload"
 )
 
 func main() {
@@ -32,6 +36,8 @@ func main() {
 	iters := flag.Int("iters", 0, "override tuner max iterations")
 	seed := flag.Int64("seed", 0, "override RNG seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent validation simulations")
+	workers := flag.Int("workers", 0, "in-process fleet: spawn N loopback sim workers (0 = local pool)")
+	listen := flag.String("listen", "", "accept remote autobloxd-worker connections on this address")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	csvDir := flag.String("csv", "", "also export artifact data as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -73,6 +79,37 @@ func main() {
 	}
 	defer cleanup()
 	scale.Obs = obsFlags.Reg
+
+	if *workers > 0 || *listen != "" {
+		// The fleet environment spans every built-in category under the
+		// default constraints; experiment envs with other constraint sets
+		// or what-if bounds fall back to the local pool automatically.
+		specs := make(map[string][]dist.WorkloadSpec)
+		for _, cat := range workload.All() {
+			specs[string(cat)] = []dist.WorkloadSpec{{Category: string(cat), Requests: scale.Requests, Seed: scale.Seed}}
+		}
+		env, err := dist.NewEnv(ssdconf.DefaultConstraints(), false, ssd.FaultProfile{}, specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fleet, err := dist.StartFleet(env, dist.FleetOptions{
+			Workers: *workers, Listen: *listen,
+			WorkerParallel: *parallel,
+			SimTimeout:     resFlags.SimTimeout, MaxRetries: resFlags.SimRetries,
+			Obs: obsFlags.Reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer fleet.Close()
+		if *listen != "" {
+			fmt.Fprintf(os.Stderr, "experiments: accepting workers on %s\n", fleet.Addr())
+		}
+		scale.Backend = fleet.Backend()
+		scale.BackendEnv = env
+	}
 
 	filter := map[string]bool{}
 	if *only != "" {

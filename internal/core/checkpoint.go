@@ -1,15 +1,10 @@
 package core
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
-	"math"
 	"os"
 	"path/filepath"
-
-	"autoblox/internal/ssdconf"
 )
 
 // Checkpointing makes a tuning run crash-safe: after frontier
@@ -61,48 +56,6 @@ type checkpointFile struct {
 	Validated []checkpointEntry `json:"validated"`
 	Seen      []string          `json:"seen"`
 	Cache     []CachedPerf      `json:"cache"`
-}
-
-// spaceSignature fingerprints a parameter space: every parameter's
-// name, kind, tunability, grid values and labels, plus the constraint
-// tuple and the fault profile (faults change every measurement, so a
-// checkpoint taken under one fault stream must not seed a run under
-// another).
-func spaceSignature(s *ssdconf.Space) string {
-	h := fnv.New64a()
-	wu := func(v uint64) {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], v)
-		h.Write(b[:])
-	}
-	for _, p := range s.Params {
-		h.Write([]byte(p.Name))
-		h.Write([]byte{0, byte(p.Kind), boolByte(p.Tunable)})
-		wu(uint64(len(p.Values)))
-		for _, v := range p.Values {
-			wu(math.Float64bits(v))
-		}
-		for _, l := range p.Labels {
-			h.Write([]byte(l))
-			h.Write([]byte{0})
-		}
-	}
-	wu(uint64(s.Cons.CapacityBytes))
-	wu(math.Float64bits(s.Cons.CapacityTolerance))
-	wu(uint64(s.Cons.Interface))
-	wu(uint64(s.Cons.Flash))
-	wu(math.Float64bits(s.Cons.PowerBudgetWatts))
-	wu(math.Float64bits(s.Faults.Rate))
-	wu(uint64(s.Faults.Seed))
-	wu(uint64(s.Faults.DieFailures))
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
-func boolByte(b bool) byte {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 // writeCheckpoint atomically replaces path with the snapshot: the JSON

@@ -43,11 +43,13 @@ func (e *PanicError) Error() string {
 
 // Registry metric names recorded by an instrumented validator. Every
 // MeasureTrace call resolves as exactly one of: a cache hit, a coalesced
-// wait on another goroutine's in-flight run, or a fresh simulation.
+// wait on another goroutine's in-flight run, a fresh local simulation,
+// or a result measured by a remote backend.
 const (
-	MetricSimRuns   = "validator_sim_runs_total"
-	MetricCacheHits = "validator_cache_hits_total"
-	MetricCoalesced = "validator_coalesced_waits_total"
+	MetricSimRuns       = "validator_sim_runs_total"
+	MetricCacheHits     = "validator_cache_hits_total"
+	MetricCoalesced     = "validator_coalesced_waits_total"
+	MetricRemoteResults = "validator_remote_results_total"
 	// MetricQueueWait is the time a fresh simulation waited for a worker
 	// slot; MetricSimTime is its in-simulator time. Comparing the two
 	// histograms separates queueing pressure from simulation cost.
@@ -127,16 +129,24 @@ type Validator struct {
 	// ErrTransient-wrapped error (50ms exponential backoff between
 	// attempts). 0 means no retries.
 	MaxRetries int
+	// Backend, when non-nil, executes every cold-key measurement —
+	// e.g. a dist.Coordinator sharding simulations across a worker
+	// fleet. nil selects the in-process pool bounded by Parallel.
+	// Because backends must be deterministic, results are bit-identical
+	// either way. Set it before the first measurement.
+	Backend Backend
 
 	mu       sync.Mutex
 	cache    map[simKey]autodb.Perf
 	inflight map[simKey]*inflightSim
 	sem      chan struct{} // validator-wide simulation slots (lazy)
+	local    *localBackend // default backend (lazy)
 
 	simRuns   atomic.Int64
 	simWall   atomic.Int64 // aggregate per-worker in-simulator ns
 	cacheHits atomic.Int64
 	coalesced atomic.Int64
+	remote    atomic.Int64 // results measured by a remote Backend
 	// firstStartNS/lastEndNS bracket the real wall-clock span covered by
 	// simulations (unix ns): lastEnd-firstStart is elapsed time, not the
 	// per-worker sum simWall accumulates.
@@ -202,6 +212,14 @@ type ValidatorStats struct {
 	// CoalescedWaits counts calls that waited on another goroutine's
 	// in-flight simulation of the same key (singleflight dedup).
 	CoalescedWaits int64
+	// RemoteResults counts cold keys measured by a remote Backend
+	// instead of the local pool. The accounting law extends to
+	// SimRuns + CacheHits + CoalescedWaits + RemoteResults == calls.
+	RemoteResults int64
+	// Backend is the executing backend's own decomposition of where
+	// jobs spent their time (queue wait vs execution), so remote
+	// queueing delay is reported separately from local busy time.
+	Backend BackendStats
 	// SimBusy is the aggregate in-simulator time summed over workers;
 	// under parallel validation it exceeds WallSpan by up to the worker
 	// count.
@@ -228,8 +246,11 @@ func (v *Validator) Stats() ValidatorStats {
 		SimRuns:        v.simRuns.Load(),
 		CacheHits:      v.cacheHits.Load(),
 		CoalescedWaits: v.coalesced.Load(),
+		RemoteResults:  v.remote.Load(),
 		SimBusy:        time.Duration(v.simWall.Load()),
 	}
+	be, _ := v.backend()
+	st.Backend = be.Stats()
 	if first := v.firstStartNS.Load(); first != 0 {
 		if last := v.lastEndNS.Load(); last > first {
 			st.WallSpan = time.Duration(last - first)
@@ -282,6 +303,22 @@ func (v *Validator) slots() chan struct{} {
 	return s
 }
 
+// backend resolves the executing backend, materializing the in-process
+// pool on first use when none is configured. remote reports whether the
+// backend came from the Backend field.
+func (v *Validator) backend() (be Backend, remote bool) {
+	if b := v.Backend; b != nil {
+		return b, true
+	}
+	v.mu.Lock()
+	if v.local == nil {
+		v.local = &localBackend{v: v}
+	}
+	b := v.local
+	v.mu.Unlock()
+	return b, false
+}
+
 // MeasureTrace runs one configuration against one trace, drawing a
 // fresh streaming cursor from the factory. Concurrent calls with the
 // same (configuration, trace) share a single simulation. Failed or
@@ -319,23 +356,12 @@ func (v *Validator) MeasureTrace(ctx context.Context, cfg ssdconf.Config, name s
 	v.inflight[key] = fl
 	v.mu.Unlock()
 
-	sem := v.slots()
-	waitStart := time.Now()
-	select {
-	case sem <- struct{}{}:
-	case <-ctx.Done():
-		// Never acquired a slot: release waiters with the cancellation
-		// error and leave the cache untouched.
-		fl.err = ctx.Err()
-		v.mu.Lock()
-		delete(v.inflight, key)
-		v.mu.Unlock()
-		close(fl.done)
-		return autodb.Perf{}, fl.err
+	be, remote := v.backend()
+	fl.perf, fl.err = be.Measure(ctx, Job{Cfg: cfg, Name: name, Src: f})
+	if remote && fl.err == nil {
+		v.remote.Add(1)
+		v.Obs.Counter(MetricRemoteResults).Inc()
 	}
-	v.Obs.Histogram(MetricQueueWait).Record(time.Since(waitStart).Nanoseconds())
-	fl.perf, fl.err = v.simulate(ctx, cfg, f)
-	<-sem
 
 	v.mu.Lock()
 	if fl.err == nil {
@@ -351,18 +377,19 @@ func (v *Validator) MeasureTrace(ctx context.Context, cfg ssdconf.Config, name s
 // ErrTransient failures with exponential backoff (50ms, doubling) up to
 // MaxRetries. Deterministic failures — bad parameters, fault-driven
 // ErrOutOfSpace, per-simulation timeouts, panics — return on the first
-// attempt.
-func (v *Validator) simulate(ctx context.Context, cfg ssdconf.Config, f trace.SourceFactory) (autodb.Perf, error) {
+// attempt. The returned duration is the successful attempt's
+// in-simulator time (0 on failure), feeding the backend's SimBusy.
+func (v *Validator) simulate(ctx context.Context, cfg ssdconf.Config, f trace.SourceFactory) (autodb.Perf, time.Duration, error) {
 	backoff := 50 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		perf, err := v.simulateOnce(ctx, cfg, f)
+		perf, d, err := v.simulateOnce(ctx, cfg, f)
 		if err == nil || attempt >= v.MaxRetries || !errors.Is(err, ErrTransient) {
-			return perf, err
+			return perf, d, err
 		}
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
-			return autodb.Perf{}, ctx.Err()
+			return autodb.Perf{}, 0, ctx.Err()
 		}
 		backoff *= 2
 	}
@@ -373,17 +400,17 @@ func (v *Validator) simulate(ctx context.Context, cfg ssdconf.Config, f trace.So
 // owns a private cursor. A panic anywhere below — the source, the FTL,
 // the codec — surfaces as a *PanicError instead of crashing the worker
 // pool, and SimTimeout (when set) bounds the attempt.
-func (v *Validator) simulateOnce(ctx context.Context, cfg ssdconf.Config, f trace.SourceFactory) (perf autodb.Perf, err error) {
+func (v *Validator) simulateOnce(ctx context.Context, cfg ssdconf.Config, f trace.SourceFactory) (perf autodb.Perf, simDur time.Duration, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			perf = autodb.Perf{}
+			perf, simDur = autodb.Perf{}, 0
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
 	dev := v.Space.ToDevice(cfg)
 	sim, err := ssd.NewSimulator(dev)
 	if err != nil {
-		return autodb.Perf{}, fmt.Errorf("core: validator: %w", err)
+		return autodb.Perf{}, 0, fmt.Errorf("core: validator: %w", err)
 	}
 	sim.Obs = v.Obs
 	if v.SimTimeout > 0 {
@@ -394,7 +421,7 @@ func (v *Validator) simulateOnce(ctx context.Context, cfg ssdconf.Config, f trac
 	t0 := time.Now()
 	res, err := sim.RunSourceContext(ctx, f())
 	if err != nil {
-		return autodb.Perf{}, fmt.Errorf("core: validator run: %w", err)
+		return autodb.Perf{}, 0, fmt.Errorf("core: validator run: %w", err)
 	}
 	t1 := time.Now()
 	v.simRuns.Add(1)
@@ -408,7 +435,7 @@ func (v *Validator) simulateOnce(ctx context.Context, cfg ssdconf.Config, f trac
 		ThroughputBps: res.ThroughputBps,
 		EnergyJoules:  res.EnergyJoules,
 		PowerWatts:    res.AvgPowerWatts,
-	}, nil
+	}, t1.Sub(t0), nil
 }
 
 // CachedPerf is one memoized (configuration, trace) measurement in
@@ -450,13 +477,6 @@ func (v *Validator) RestoreCache(entries []CachedPerf) {
 	v.mu.Unlock()
 }
 
-// batchJob is one (configuration, trace) simulation of a batch.
-type batchJob struct {
-	cfg  ssdconf.Config
-	name string
-	src  trace.SourceFactory
-}
-
 // MeasureBatch measures every (configuration × cluster × trace)
 // combination, fanning the simulations out over the validator's worker
 // bound. It warms the cache; callers read results back through
@@ -465,7 +485,7 @@ type batchJob struct {
 // exactly one simulation each, so SimRuns grows by exactly the number
 // of distinct cold keys.
 func (v *Validator) MeasureBatch(ctx context.Context, cfgs []ssdconf.Config, clusters []string) error {
-	var jobs []batchJob
+	var jobs []Job
 	for _, cl := range clusters {
 		factories, ok := v.Workloads[cl]
 		if !ok || len(factories) == 0 {
@@ -473,7 +493,7 @@ func (v *Validator) MeasureBatch(ctx context.Context, cfgs []ssdconf.Config, clu
 		}
 		for _, cfg := range cfgs {
 			for i, f := range factories {
-				jobs = append(jobs, batchJob{cfg: cfg, name: traceName(cl, i), src: f})
+				jobs = append(jobs, Job{Cfg: cfg, Name: traceName(cl, i), Src: f})
 			}
 		}
 	}
@@ -483,9 +503,9 @@ func (v *Validator) MeasureBatch(ctx context.Context, cfgs []ssdconf.Config, clu
 // MeasureConfigs measures many configurations against one explicit
 // trace — the batch entry point for the §3.3 pruning sweeps.
 func (v *Validator) MeasureConfigs(ctx context.Context, cfgs []ssdconf.Config, name string, f trace.SourceFactory) error {
-	jobs := make([]batchJob, len(cfgs))
+	jobs := make([]Job, len(cfgs))
 	for i, cfg := range cfgs {
-		jobs[i] = batchJob{cfg: cfg, name: name, src: f}
+		jobs[i] = Job{Cfg: cfg, Name: name, Src: f}
 	}
 	return v.measureJobs(ctx, jobs)
 }
@@ -493,14 +513,23 @@ func (v *Validator) MeasureConfigs(ctx context.Context, cfgs []ssdconf.Config, n
 // measureJobs drains the job list through a bounded worker pool. The
 // first error wins; remaining queued jobs are skipped. Cancelling ctx
 // drains the queue without starting new simulations.
-func (v *Validator) measureJobs(ctx context.Context, jobs []batchJob) error {
+func (v *Validator) measureJobs(ctx context.Context, jobs []Job) error {
 	n := v.workers()
+	if v.Backend != nil {
+		// A remote fleet bounds concurrency on the workers' side; the
+		// local goroutines only wait on leases, so fan every job out at
+		// once (capped) to keep the coordinator's queue full.
+		n = len(jobs)
+		if n > 256 {
+			n = 256
+		}
+	}
 	if n > len(jobs) {
 		n = len(jobs)
 	}
 	if n <= 1 {
 		for _, j := range jobs {
-			if _, err := v.MeasureTrace(ctx, j.cfg, j.name, j.src); err != nil {
+			if _, err := v.MeasureTrace(ctx, j.Cfg, j.Name, j.Src); err != nil {
 				return err
 			}
 		}
@@ -512,7 +541,7 @@ func (v *Validator) measureJobs(ctx context.Context, jobs []batchJob) error {
 		firstErr error
 		failed   atomic.Bool
 	)
-	ch := make(chan batchJob)
+	ch := make(chan Job)
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -527,7 +556,7 @@ func (v *Validator) measureJobs(ctx context.Context, jobs []batchJob) error {
 					continue
 				}
 				t0 := time.Now()
-				if _, err := v.MeasureTrace(ctx, j.cfg, j.name, j.src); err != nil {
+				if _, err := v.MeasureTrace(ctx, j.Cfg, j.Name, j.Src); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 				}

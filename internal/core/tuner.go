@@ -209,6 +209,14 @@ func NewTuner(space *ssdconf.Space, v *Validator, g *Grader, opts TunerOptions) 
 // the search between (and, cooperatively, within) iterations with
 // ErrInterrupted; with Opts.Checkpoint set, the snapshot of the last
 // completed iteration survives on disk for Opts.Resume.
+// freshMeasurements counts measurements that were not served from the
+// memo cache, wherever they executed: in-process simulations plus
+// results returned by a distributed backend.
+func freshMeasurements(v *Validator) int {
+	st := v.Stats()
+	return int(st.SimRuns + st.RemoteResults)
+}
+
 func (t *Tuner) Tune(ctx context.Context, target string, initial []ssdconf.Config) (*TuneResult, error) {
 	if _, ok := t.Validator.Workloads[target]; !ok {
 		return nil, fmt.Errorf("core: unknown target workload %q", target)
@@ -217,7 +225,7 @@ func (t *Tuner) Tune(ctx context.Context, target string, initial []ssdconf.Confi
 		return nil, errors.New("core: no initial configurations")
 	}
 	start := time.Now()
-	simStart := t.Validator.SimRuns()
+	simStart := freshMeasurements(t.Validator)
 	tsp := obs.StartSpan("tune").Arg("target", target)
 	defer tsp.End()
 
@@ -397,7 +405,7 @@ func (t *Tuner) Tune(ctx context.Context, target string, initial []ssdconf.Confi
 		res.BestPerf[cl] = ps
 	}
 	msp.End()
-	res.SimRuns = t.Validator.SimRuns() - simStart
+	res.SimRuns = freshMeasurements(t.Validator) - simStart
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -413,7 +421,7 @@ func (t *Tuner) saveCheckpoint(target string, iter, noProgress int, res *TuneRes
 		Version:           checkpointVersion,
 		Target:            target,
 		Seed:              t.Opts.Seed,
-		SpaceSig:          spaceSignature(t.Space),
+		SpaceSig:          t.Space.Signature(),
 		Iteration:         iter,
 		NoProgress:        noProgress,
 		RNGDraws:          t.rngSrc.draws,
@@ -450,7 +458,7 @@ func (t *Tuner) restoreCheckpoint(ck *checkpointFile, target string, res *TuneRe
 	if ck.Seed != t.Opts.Seed {
 		return fmt.Errorf("core: checkpoint seed %d, this run seeds %d", ck.Seed, t.Opts.Seed)
 	}
-	if sig := spaceSignature(t.Space); ck.SpaceSig != sig {
+	if sig := t.Space.Signature(); ck.SpaceSig != sig {
 		return fmt.Errorf("core: checkpoint space signature %s does not match this space (%s); constraints, grids or fault profile changed", ck.SpaceSig, sig)
 	}
 	if t.rngSrc == nil {

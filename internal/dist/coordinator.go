@@ -1,0 +1,513 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoblox/internal/autodb"
+	"autoblox/internal/core"
+	"autoblox/internal/obs"
+	"autoblox/internal/ssdconf"
+)
+
+// Fleet metric names, recorded when the coordinator has a registry.
+const (
+	MetricLeasesGranted    = "dist_leases_granted_total"
+	MetricLeasesExpired    = "dist_leases_expired_total"
+	MetricLeasesReassigned = "dist_leases_reassigned_total"
+	MetricResultsDup       = "dist_results_duplicate_total"
+	MetricHandshakeRejects = "dist_handshake_rejects_total"
+)
+
+// MetricWorkerBusy names a fleet worker's per-batch busy-time histogram
+// ("dist_worker_busy_ns{worker=\"name\"}").
+func MetricWorkerBusy(worker string) string {
+	return fmt.Sprintf(`dist_worker_busy_ns{worker=%q}`, worker)
+}
+
+// CoordinatorOptions tunes the lease machinery.
+type CoordinatorOptions struct {
+	// LeaseTTL is how long a worker may hold a lease before the job is
+	// reassigned (default 30s).
+	LeaseTTL time.Duration
+	// PollInterval bounds how long an idle LeaseReq blocks before an
+	// empty grant tells the worker to ask again (default 250ms). It is
+	// also the granularity at which expired leases are detected.
+	PollInterval time.Duration
+	// BatchMax caps leases per grant (default 16).
+	BatchMax int
+	// Obs, when set, receives fleet counters and per-worker busy
+	// histograms. Never influences results.
+	Obs *obs.Registry
+}
+
+func (o CoordinatorOptions) leaseTTL() time.Duration {
+	if o.LeaseTTL > 0 {
+		return o.LeaseTTL
+	}
+	return 30 * time.Second
+}
+
+func (o CoordinatorOptions) pollInterval() time.Duration {
+	if o.PollInterval > 0 {
+		return o.PollInterval
+	}
+	return 250 * time.Millisecond
+}
+
+func (o CoordinatorOptions) batchMax() int {
+	if o.BatchMax > 0 {
+		return o.BatchMax
+	}
+	return 16
+}
+
+// FleetCounters is a point-in-time snapshot of the coordinator's
+// always-on counters (kept regardless of Obs).
+type FleetCounters struct {
+	Granted          int64
+	Expired          int64
+	Reassigned       int64
+	Duplicates       int64
+	HandshakeRejects int64
+}
+
+type jobState uint8
+
+const (
+	jobPending jobState = iota
+	jobLeased
+	jobDone
+)
+
+// distJob is one measurement key moving through the lease state
+// machine.
+type distJob struct {
+	key       simKey
+	cfg       ssdconf.Config
+	submitted time.Time
+	state     jobState
+	leaseID   uint64   // current lease (state == jobLeased)
+	owner     *session // current lessee
+	expiry    time.Time
+	grants    int // total leases issued for this job
+	waited    bool
+	queueWait time.Duration // submit → first grant
+
+	done chan struct{}
+	perf autodb.Perf
+	err  error
+}
+
+// simKey mirrors the validator's struct cache key.
+type simKey struct {
+	cfg  string
+	name string
+}
+
+// session is one connected worker's lease bookkeeping.
+type session struct {
+	name   string
+	leases map[uint64]*distJob
+}
+
+// RemoteError is a worker-side measurement failure relayed through the
+// coordinator.
+type RemoteError struct {
+	Worker string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("dist: worker %s: %s", e.Worker, e.Msg)
+}
+
+// Coordinator owns the distributed measurement queue and implements
+// core.Backend: Measure enqueues a key and blocks until some worker
+// returns its result. Deduplication generalizes the validator's
+// singleflight across the fleet — one lease chain per distinct key, TTL
+// expiry and worker death both return the job to the queue, and results
+// apply idempotently (deterministic sims make any worker's result THE
+// result for the key).
+type Coordinator struct {
+	env  *Env
+	opts CoordinatorOptions
+
+	counters                                          core.BackendCounters
+	granted, expired, reassigned, duplicates, rejects atomic.Int64
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	closed    bool
+	nextLease uint64
+	pending   []*distJob
+	leased    map[uint64]*distJob
+	byKey     map[simKey]*distJob
+}
+
+// NewCoordinator builds a coordinator over a fingerprinted env.
+func NewCoordinator(env *Env, opts CoordinatorOptions) *Coordinator {
+	c := &Coordinator{
+		env:    env,
+		opts:   opts,
+		leased: make(map[uint64]*distJob),
+		byKey:  make(map[simKey]*distJob),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Env returns the coordinator's environment.
+func (c *Coordinator) Env() *Env { return c.env }
+
+// Counters snapshots the fleet counters.
+func (c *Coordinator) Counters() FleetCounters {
+	return FleetCounters{
+		Granted:          c.granted.Load(),
+		Expired:          c.expired.Load(),
+		Reassigned:       c.reassigned.Load(),
+		Duplicates:       c.duplicates.Load(),
+		HandshakeRejects: c.rejects.Load(),
+	}
+}
+
+// Stats implements core.Backend: QueueWait is submit-to-first-lease,
+// SimBusy the worker-reported per-job time.
+func (c *Coordinator) Stats() core.BackendStats {
+	return c.counters.Snapshot(core.BackendKindDist)
+}
+
+// Measure implements core.Backend: enqueue the job (deduplicated by
+// key) and wait for a worker's result.
+func (c *Coordinator) Measure(ctx context.Context, job core.Job) (autodb.Perf, error) {
+	j, err := c.submit(job)
+	if err != nil {
+		return autodb.Perf{}, err
+	}
+	select {
+	case <-j.done:
+		return j.perf, j.err
+	case <-ctx.Done():
+		return autodb.Perf{}, ctx.Err()
+	}
+}
+
+// submit enqueues a job, returning the existing entry when the key is
+// already pending, leased, or done.
+func (c *Coordinator) submit(job core.Job) (*distJob, error) {
+	k := simKey{cfg: job.Cfg.Key(), name: job.Name}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if j, ok := c.byKey[k]; ok {
+		return j, nil
+	}
+	j := &distJob{
+		key:       k,
+		cfg:       job.Cfg.Clone(),
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	c.byKey[k] = j
+	c.pending = append(c.pending, j)
+	c.cond.Broadcast()
+	return j, nil
+}
+
+// Close shuts the queue down: every unfinished job fails with
+// ErrClosed, idle lease polls return Closed grants, and connected
+// workers exit on their next pull.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, j := range c.byKey {
+		if j.state != jobDone {
+			j.state = jobDone
+			j.err = ErrClosed
+			close(j.done)
+		}
+	}
+	c.pending = nil
+	c.leased = make(map[uint64]*distJob)
+	c.cond.Broadcast()
+}
+
+// isClosed reports whether Close has run.
+func (c *Coordinator) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// expireLocked returns every overdue lease to the pending queue.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, j := range c.leased {
+		if now.Before(j.expiry) {
+			continue
+		}
+		delete(c.leased, id)
+		if j.owner != nil {
+			delete(j.owner.leases, id)
+			j.owner = nil
+		}
+		j.state = jobPending
+		c.pending = append(c.pending, j)
+		c.expired.Add(1)
+		c.obsInc(MetricLeasesExpired)
+	}
+}
+
+// dropSession expires a disconnected worker's leases immediately.
+func (c *Coordinator) dropSession(sess *session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, j := range sess.leases {
+		if j.state != jobLeased || j.leaseID != id {
+			continue
+		}
+		delete(c.leased, id)
+		j.owner = nil
+		j.state = jobPending
+		c.pending = append(c.pending, j)
+		c.expired.Add(1)
+		c.obsInc(MetricLeasesExpired)
+	}
+	sess.leases = make(map[uint64]*distJob)
+	c.cond.Broadcast()
+}
+
+// lease blocks up to PollInterval for work, then answers. closed=true
+// tells the worker to exit.
+func (c *Coordinator) lease(sess *session, max int) (leases []Lease, closed bool) {
+	if max <= 0 {
+		max = 1
+	}
+	if bm := c.opts.batchMax(); max > bm {
+		max = bm
+	}
+	deadline := time.Now().Add(c.opts.pollInterval())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		now := time.Now()
+		c.expireLocked(now)
+		if c.closed {
+			return nil, true
+		}
+		if len(c.pending) > 0 {
+			n := max
+			if n > len(c.pending) {
+				n = len(c.pending)
+			}
+			ttl := c.opts.leaseTTL()
+			leases = make([]Lease, 0, n)
+			for _, j := range c.pending[:n] {
+				c.nextLease++
+				j.leaseID = c.nextLease
+				j.owner = sess
+				j.state = jobLeased
+				j.expiry = now.Add(ttl)
+				if !j.waited {
+					j.waited = true
+					j.queueWait = now.Sub(j.submitted)
+				}
+				if j.grants > 0 {
+					c.reassigned.Add(1)
+					c.obsInc(MetricLeasesReassigned)
+				}
+				j.grants++
+				c.leased[j.leaseID] = j
+				sess.leases[j.leaseID] = j
+				leases = append(leases, Lease{
+					ID:     j.leaseID,
+					CfgKey: j.key.cfg,
+					Cfg:    []int(j.cfg),
+					Name:   j.key.name,
+				})
+			}
+			c.pending = c.pending[n:]
+			c.granted.Add(int64(len(leases)))
+			c.obsAdd(MetricLeasesGranted, int64(len(leases)))
+			return leases, false
+		}
+		if !now.Before(deadline) {
+			return nil, false
+		}
+		// cond has no deadline wait; arm a broadcast at the poll boundary
+		// so this wakes for new work, shutdown, or timeout alike.
+		t := time.AfterFunc(deadline.Sub(now), c.cond.Broadcast)
+		c.cond.Wait()
+		t.Stop()
+	}
+}
+
+// applyResults folds a worker's result batch into the job table,
+// idempotently: a result for an unknown or already-done key counts as a
+// duplicate and changes nothing; a result from an expired (reassigned)
+// lease is accepted — the sims are deterministic, so any result for the
+// key is the result.
+func (c *Coordinator) applyResults(msg *ResultMsg) {
+	c.mu.Lock()
+	for _, r := range msg.Results {
+		k := simKey{cfg: r.CfgKey, name: r.Name}
+		j, ok := c.byKey[k]
+		if !ok || j.state == jobDone {
+			c.duplicates.Add(1)
+			c.obsInc(MetricResultsDup)
+			continue
+		}
+		switch j.state {
+		case jobLeased:
+			delete(c.leased, j.leaseID)
+			if j.owner != nil {
+				delete(j.owner.leases, j.leaseID)
+				j.owner = nil
+			}
+		case jobPending:
+			// Reassignment raced the late result: pull the job back out of
+			// the queue before some worker re-runs it.
+			for i, p := range c.pending {
+				if p == j {
+					c.pending = append(c.pending[:i], c.pending[i+1:]...)
+					break
+				}
+			}
+		}
+		j.state = jobDone
+		if r.Err != "" {
+			j.err = &RemoteError{Worker: msg.Worker, Msg: r.Err}
+			// Errors are not cached validator-side either; forget the key so
+			// a later submit may retry.
+			delete(c.byKey, k)
+		} else {
+			j.perf = r.Perf
+		}
+		c.counters.Record(j.queueWait, time.Duration(r.SimNS))
+		close(j.done)
+	}
+	c.mu.Unlock()
+	if r := c.opts.Obs; r != nil {
+		r.Histogram(MetricWorkerBusy(msg.Worker)).Record(msg.BusyNS)
+	}
+}
+
+func (c *Coordinator) obsInc(name string) {
+	if r := c.opts.Obs; r != nil {
+		r.Counter(name).Inc()
+	}
+}
+
+func (c *Coordinator) obsAdd(name string, delta int64) {
+	if r := c.opts.Obs; r != nil {
+		r.Counter(name).Add(delta)
+	}
+}
+
+// ServeConn speaks the worker protocol over one connection: handshake,
+// then a lease/result loop until the peer disconnects or the
+// coordinator closes. It blocks; run it in a goroutine per connection.
+// Leases held by a disconnecting worker are reassigned immediately.
+func (c *Coordinator) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	m, err := Decode(r)
+	if err != nil {
+		return fmt.Errorf("dist: handshake read: %w", err)
+	}
+	if m.Type != MsgHello {
+		return fmt.Errorf("dist: expected hello, got %s", m.Type)
+	}
+	worker := m.Hello.Worker
+	if m.Hello.Version != ProtocolVersion {
+		c.rejects.Add(1)
+		c.obsInc(MetricHandshakeRejects)
+		_ = Encode(conn, &Message{Type: MsgReject, Reject: &Reject{
+			Code:   RejectVersion,
+			Detail: fmt.Sprintf("coordinator speaks v%d, worker v%d", ProtocolVersion, m.Hello.Version),
+		}})
+		return fmt.Errorf("dist: worker %s: %w", worker, ErrVersionMismatch)
+	}
+	welcome := &Welcome{Env: *c.env, LeaseTTLMS: c.opts.leaseTTL().Milliseconds()}
+	if err := Encode(conn, &Message{Type: MsgWelcome, Welcome: welcome}); err != nil {
+		return err
+	}
+	if m, err = Decode(r); err != nil {
+		return fmt.Errorf("dist: handshake read: %w", err)
+	}
+	if m.Type != MsgConfirm {
+		return fmt.Errorf("dist: expected confirm, got %s", m.Type)
+	}
+	if m.Confirm.SpaceSig != c.env.SpaceSig {
+		c.rejects.Add(1)
+		c.obsInc(MetricHandshakeRejects)
+		_ = Encode(conn, &Message{Type: MsgReject, Reject: &Reject{
+			Code:   RejectSpace,
+			Detail: fmt.Sprintf("coordinator %s, worker %s", c.env.SpaceSig, m.Confirm.SpaceSig),
+		}})
+		return fmt.Errorf("dist: worker %s: %w", worker, ErrSpaceMismatch)
+	}
+	if err := Encode(conn, &Message{Type: MsgAccept}); err != nil {
+		return err
+	}
+
+	sess := &session{name: worker, leases: make(map[uint64]*distJob)}
+	defer c.dropSession(sess)
+	for {
+		// Once the coordinator is closed, bound the wait for the worker's
+		// next request so a wedged worker cannot stall Close forever; a
+		// responsive worker gets its polite Closed grant well within the
+		// lease TTL.
+		if c.isClosed() {
+			_ = conn.SetReadDeadline(time.Now().Add(c.opts.leaseTTL()))
+		}
+		m, err := Decode(r)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgLeaseReq:
+			leases, closed := c.lease(sess, m.LeaseReq.Max)
+			grant := &Message{Type: MsgLeaseGrant, LeaseGrant: &LeaseGrant{Leases: leases, Closed: closed}}
+			if err := Encode(conn, grant); err != nil {
+				return err
+			}
+			if closed {
+				return nil
+			}
+		case MsgResult:
+			c.applyResults(m.Result)
+		default:
+			return fmt.Errorf("dist: unexpected %s mid-session", m.Type)
+		}
+	}
+}
+
+// Serve accepts worker connections until the listener closes, then
+// waits for every accepted session to finish — so that workers receive
+// their Closed grant before the caller tears the process down.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.ServeConn(conn)
+		}()
+	}
+}

@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"autoblox/internal/core"
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/trace"
+	"autoblox/internal/workload"
+)
+
+// WorkloadSpec is one seeded synthetic trace: category + generator
+// options. Workers re-derive the identical request stream from the
+// seed, so no trace data ever crosses the wire. Blktrace-file workloads
+// have no such portable description and are not distributable.
+type WorkloadSpec struct {
+	Category string `json:"category"`
+	Requests int    `json:"requests"`
+	Seed     int64  `json:"seed"`
+}
+
+// Env is the portable measurement environment a coordinator ships to
+// its workers: everything needed to reconstruct the exact parameter
+// space (constraints + what-if bounds + fault profile) and every
+// cluster's trace generators. SpaceSig is the coordinator's
+// ssdconf.Space fingerprint; workers recompute it from their own
+// reconstruction and the handshake refuses on disagreement.
+type Env struct {
+	Cons      ssdconf.Constraints       `json:"constraints"`
+	WhatIf    bool                      `json:"what_if,omitempty"`
+	Faults    ssd.FaultProfile          `json:"faults"`
+	Workloads map[string][]WorkloadSpec `json:"workloads"`
+	SpaceSig  string                    `json:"space_sig"`
+}
+
+// NewEnv builds and fingerprints an environment, validating that every
+// workload spec is reconstructible.
+func NewEnv(cons ssdconf.Constraints, whatIf bool, faults ssd.FaultProfile, workloads map[string][]WorkloadSpec) (*Env, error) {
+	e := &Env{Cons: cons, WhatIf: whatIf, Faults: faults, Workloads: workloads}
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("dist: env has no workloads")
+	}
+	if _, err := e.Sources(); err != nil {
+		return nil, err
+	}
+	e.SpaceSig = e.Space().Signature()
+	return e, nil
+}
+
+// Space reconstructs the parameter space the env describes, fault
+// profile stamped.
+func (e *Env) Space() *ssdconf.Space {
+	var s *ssdconf.Space
+	if e.WhatIf {
+		s = ssdconf.NewWhatIfSpace(e.Cons)
+	} else {
+		s = ssdconf.NewSpace(e.Cons)
+	}
+	s.Faults = e.Faults
+	return s
+}
+
+// Sources materializes the per-cluster streaming source factories.
+func (e *Env) Sources() (map[string][]trace.SourceFactory, error) {
+	out := make(map[string][]trace.SourceFactory, len(e.Workloads))
+	for cl, specs := range e.Workloads {
+		fs := make([]trace.SourceFactory, len(specs))
+		for i, sp := range specs {
+			f, err := workload.Factory(workload.Category(sp.Category),
+				workload.Options{Requests: sp.Requests, Seed: sp.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("dist: cluster %q: %w", cl, err)
+			}
+			fs[i] = f
+		}
+		out[cl] = fs
+	}
+	return out, nil
+}
+
+// NewValidator builds a validator over the environment — the one shared
+// construction used coordinator-side and worker-side, so both ends
+// measure under bit-identical spaces and traces.
+func NewValidator(e *Env) (*core.Validator, error) {
+	groups, err := e.Sources()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewValidatorSources(e.Space(), groups), nil
+}
+
+// FactoryFor resolves a canonical trace name "<cluster>#<i>" to its
+// generator.
+func (e *Env) FactoryFor(name string) (trace.SourceFactory, error) {
+	cut := strings.LastIndexByte(name, '#')
+	if cut < 0 {
+		return nil, fmt.Errorf("dist: trace name %q has no cluster separator", name)
+	}
+	cl, idxs := name[:cut], name[cut+1:]
+	idx, err := strconv.Atoi(idxs)
+	if err != nil {
+		return nil, fmt.Errorf("dist: trace name %q: bad index: %w", name, err)
+	}
+	specs, ok := e.Workloads[cl]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown workload cluster %q", cl)
+	}
+	if idx < 0 || idx >= len(specs) {
+		return nil, fmt.Errorf("dist: cluster %q has no trace %d", cl, idx)
+	}
+	sp := specs[idx]
+	return workload.Factory(workload.Category(sp.Category),
+		workload.Options{Requests: sp.Requests, Seed: sp.Seed})
+}
+
+// Covers reports whether a fleet built from this env can serve a
+// validator over the given space and clusters: matching space
+// fingerprint and a spec for every cluster at the same generator
+// options. Callers use it to fall back to local validation for
+// environments the fleet was not built for.
+func (e *Env) Covers(space *ssdconf.Space, clusters []string, requests int, seed int64) bool {
+	if space.Signature() != e.SpaceSig {
+		return false
+	}
+	for _, cl := range clusters {
+		specs := e.Workloads[cl]
+		if len(specs) == 0 {
+			return false
+		}
+		for _, sp := range specs {
+			if sp.Requests != requests || sp.Seed != seed {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"autoblox/internal/core"
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/workload"
+)
+
+// TestTuneSerialDistributedEquivalence is the acceptance-criteria test:
+// the same tuning run executed serially, in-process-parallel, on a
+// 1-worker fleet, and on a 4-worker fleet must write byte-identical
+// final checkpoints — cache contents, trajectory, RNG draw count, seen
+// set, everything. Two scenarios cover two target categories, one with
+// fault injection enabled (Rate > 0), so the determinism claim holds
+// under die failures and transient I/O errors too.
+func TestTuneSerialDistributedEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name   string
+		target workload.Category
+		faults ssd.FaultProfile
+	}{
+		{name: "database-clean", target: workload.Database, faults: ssd.FaultProfile{}},
+		{name: "websearch-faulted", target: workload.WebSearch, faults: ssd.FaultProfile{Rate: 0.02, Seed: 9}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			env := testEnv(t, 1500, sc.faults,
+				workload.Database, workload.WebSearch, workload.CloudStorage)
+
+			// tune runs one full tuning session to completion and returns the
+			// final checkpoint bytes. backend == nil selects the in-process
+			// pool at the given parallelism; otherwise the fleet executes
+			// every simulation.
+			tune := func(label string, parallel int, backend core.Backend) []byte {
+				t.Helper()
+				v, err := NewValidator(env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				v.Parallel = parallel
+				v.Backend = backend
+				ref := v.Space.FromDevice(ssd.Intel750())
+				g, err := core.NewGrader(context.Background(), v, ref, core.DefaultAlpha, core.DefaultBeta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ckpt := filepath.Join(t.TempDir(), label+".json")
+				tuner, err := core.NewTuner(v.Space, v, g, core.TunerOptions{
+					Seed: 5, MaxIterations: 5, SGDSteps: 3, Checkpoint: ckpt,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := tuner.Tune(context.Background(), string(sc.target), []ssdconf.Config{ref}); err != nil {
+					t.Fatal(err)
+				}
+				data, err := os.ReadFile(ckpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return data
+			}
+
+			serial := tune("serial", 1, nil)
+			parallel := tune("parallel", 8, nil)
+
+			distTune := func(label string, workers int) []byte {
+				t.Helper()
+				fleet, err := StartFleet(env, FleetOptions{
+					Workers:        workers,
+					WorkerParallel: 2,
+					PollInterval:   25 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer fleet.Close()
+				return tune(label, 0, fleet.Backend())
+			}
+			dist1 := distTune("dist-1", 1)
+			dist4 := distTune("dist-4", 4)
+
+			for _, cmp := range []struct {
+				label string
+				got   []byte
+			}{{"in-process-parallel", parallel}, {"1-worker fleet", dist1}, {"4-worker fleet", dist4}} {
+				if !bytes.Equal(serial, cmp.got) {
+					t.Errorf("%s checkpoint differs from serial (%d vs %d bytes)",
+						cmp.label, len(cmp.got), len(serial))
+				}
+			}
+			if t.Failed() {
+				t.Fatalf("distribution is observable in checkpoint bytes; serial checkpoint:\n%.2000s", serial)
+			}
+		})
+	}
+}

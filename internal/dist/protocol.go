@@ -1,0 +1,298 @@
+// Package dist shards Validator measurements across processes: a
+// coordinator owns the queue of measurement keys and workers pull
+// leased batches over a length-prefixed TCP/JSON protocol, run the
+// simulations locally through the ordinary MeasureBatch path, and
+// stream results back.
+//
+// Distribution is provably invisible: simulations are deterministic and
+// keyed, so any worker's result for a key IS the result, results apply
+// idempotently, and a serial, in-process-parallel, and distributed
+// tuning run write byte-identical checkpoints (enforced by
+// TestTuneSerialDistributedEquivalence).
+//
+// # Wire format
+//
+// Every message is one frame: a 4-byte big-endian payload length
+// followed by a JSON-encoded Message envelope. A session is strictly
+// request/response from the worker's side:
+//
+//	worker → Hello{name, version}
+//	coord  → Welcome{env} | Reject{code: "version-mismatch"}
+//	worker → Confirm{locally recomputed space fingerprint}
+//	coord  → Accept | Reject{code: "space-mismatch"}
+//	repeat:
+//	  worker → LeaseReq{max}
+//	  coord  → LeaseGrant{leases} (empty grant = long-poll timeout; Closed = shutdown)
+//	  worker → Result{results}    (omitted when the grant was empty)
+//
+// # Lease state machine
+//
+// A job is pending → leased → done. Leases carry a TTL: an expired
+// lease returns its job to pending (counted dist_leases_expired_total)
+// and the next grant re-issues it (dist_leases_reassigned_total); a
+// worker disconnect expires all its leases immediately. Results are
+// applied idempotently by (config key, trace name) — a late result from
+// an expired lease is still accepted, and duplicates are dropped
+// (dist_results_duplicate_total).
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"autoblox/internal/autodb"
+)
+
+// ProtocolVersion gates the handshake; incompatible workers are
+// rejected before any lease is granted.
+const ProtocolVersion = 1
+
+// MaxFrameBytes bounds one wire frame; a peer announcing a larger
+// payload is malformed (or malicious) and the connection is dropped.
+const MaxFrameBytes = 16 << 20
+
+// Typed handshake rejections, surfaced by Worker.Run and matched with
+// errors.Is.
+var (
+	// ErrVersionMismatch: the worker speaks a different protocol version.
+	ErrVersionMismatch = errors.New("dist: protocol version mismatch")
+	// ErrSpaceMismatch: the worker's locally reconstructed parameter
+	// space fingerprint disagrees with the coordinator's — typically a
+	// stale binary with different grids or constraints. Measuring under
+	// a mismatched space would silently remap every grid index, so the
+	// handshake refuses.
+	ErrSpaceMismatch = errors.New("dist: space fingerprint mismatch")
+	// ErrClosed: the coordinator is shut down.
+	ErrClosed = errors.New("dist: coordinator closed")
+)
+
+// Reject codes on the wire.
+const (
+	RejectVersion = "version-mismatch"
+	RejectSpace   = "space-mismatch"
+)
+
+// MsgType discriminates the Message envelope.
+type MsgType uint8
+
+const (
+	MsgHello      MsgType = iota + 1 // worker → coordinator: introduction
+	MsgWelcome                       // coordinator → worker: measurement environment
+	MsgConfirm                       // worker → coordinator: recomputed space fingerprint
+	MsgAccept                        // coordinator → worker: handshake complete
+	MsgReject                        // coordinator → worker: typed handshake rejection
+	MsgLeaseReq                      // worker → coordinator: pull up to Max leases
+	MsgLeaseGrant                    // coordinator → worker: leased batch (possibly empty)
+	MsgResult                        // worker → coordinator: measured results
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgWelcome:
+		return "welcome"
+	case MsgConfirm:
+		return "confirm"
+	case MsgAccept:
+		return "accept"
+	case MsgReject:
+		return "reject"
+	case MsgLeaseReq:
+		return "lease-req"
+	case MsgLeaseGrant:
+		return "lease-grant"
+	case MsgResult:
+		return "result"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Message is the wire envelope: exactly the payload matching Type is
+// set (Accept carries none).
+type Message struct {
+	Type       MsgType     `json:"type"`
+	Hello      *Hello      `json:"hello,omitempty"`
+	Welcome    *Welcome    `json:"welcome,omitempty"`
+	Confirm    *Confirm    `json:"confirm,omitempty"`
+	Reject     *Reject     `json:"reject,omitempty"`
+	LeaseReq   *LeaseReq   `json:"lease_req,omitempty"`
+	LeaseGrant *LeaseGrant `json:"lease_grant,omitempty"`
+	Result     *ResultMsg  `json:"result,omitempty"`
+}
+
+// Hello introduces a worker.
+type Hello struct {
+	Worker  string `json:"worker"`
+	Version int    `json:"version"`
+}
+
+// Welcome carries the measurement environment the worker must
+// reconstruct locally, plus the lease TTL it is expected to beat.
+type Welcome struct {
+	Env        Env   `json:"env"`
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// Confirm closes the handshake: the worker reports the fingerprint of
+// the space it reconstructed from the Welcome env.
+type Confirm struct {
+	SpaceSig string `json:"space_sig"`
+}
+
+// Reject is a typed handshake refusal.
+type Reject struct {
+	Code   string `json:"code"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Err maps a rejection onto its typed sentinel.
+func (r *Reject) Err() error {
+	switch r.Code {
+	case RejectVersion:
+		return fmt.Errorf("%w: %s", ErrVersionMismatch, r.Detail)
+	case RejectSpace:
+		return fmt.Errorf("%w: %s", ErrSpaceMismatch, r.Detail)
+	default:
+		return fmt.Errorf("dist: rejected (%s): %s", r.Code, r.Detail)
+	}
+}
+
+// LeaseReq pulls up to Max leases; the coordinator long-polls before
+// answering an empty grant.
+type LeaseReq struct {
+	Max int `json:"max"`
+}
+
+// Lease is one measurement assignment. Cfg is the full grid-index
+// vector (the worker re-derives CfgKey from it and refuses on
+// disagreement); Name is the canonical trace name "<cluster>#<i>".
+type Lease struct {
+	ID     uint64 `json:"id"`
+	CfgKey string `json:"cfg_key"`
+	Cfg    []int  `json:"cfg"`
+	Name   string `json:"name"`
+}
+
+// LeaseGrant answers a LeaseReq. Empty Leases with Closed=false means
+// "nothing available right now, ask again"; Closed=true means the
+// coordinator shut down and the worker should exit.
+type LeaseGrant struct {
+	Leases []Lease `json:"leases,omitempty"`
+	Closed bool    `json:"closed,omitempty"`
+}
+
+// JobResult is one finished measurement. Err, when non-empty, reports a
+// worker-side failure; SimNS is the worker's wall time for the job
+// (queue wait in its local pool included), feeding the coordinator's
+// BackendStats.SimBusy.
+type JobResult struct {
+	LeaseID uint64      `json:"lease_id"`
+	CfgKey  string      `json:"cfg_key"`
+	Name    string      `json:"name"`
+	Perf    autodb.Perf `json:"perf"`
+	Err     string      `json:"err,omitempty"`
+	SimNS   int64       `json:"sim_ns"`
+}
+
+// ResultMsg returns a batch of results; BusyNS is the batch's
+// wall-clock time on the worker, recorded into the per-worker busy
+// histogram.
+type ResultMsg struct {
+	Worker  string      `json:"worker"`
+	Results []JobResult `json:"results"`
+	BusyNS  int64       `json:"busy_ns"`
+}
+
+// Validate checks the envelope invariant: a known type with exactly the
+// matching payload.
+func (m *Message) Validate() error {
+	payloads := 0
+	for _, p := range []bool{
+		m.Hello != nil, m.Welcome != nil, m.Confirm != nil, m.Reject != nil,
+		m.LeaseReq != nil, m.LeaseGrant != nil, m.Result != nil,
+	} {
+		if p {
+			payloads++
+		}
+	}
+	want := func(ok bool) error {
+		if !ok || payloads != 1 {
+			return fmt.Errorf("dist: malformed %s message", m.Type)
+		}
+		return nil
+	}
+	switch m.Type {
+	case MsgHello:
+		return want(m.Hello != nil)
+	case MsgWelcome:
+		return want(m.Welcome != nil)
+	case MsgConfirm:
+		return want(m.Confirm != nil)
+	case MsgAccept:
+		if payloads != 0 {
+			return fmt.Errorf("dist: malformed %s message", m.Type)
+		}
+		return nil
+	case MsgReject:
+		return want(m.Reject != nil)
+	case MsgLeaseReq:
+		return want(m.LeaseReq != nil)
+	case MsgLeaseGrant:
+		return want(m.LeaseGrant != nil)
+	case MsgResult:
+		return want(m.Result != nil)
+	default:
+		return fmt.Errorf("dist: unknown message type %d", uint8(m.Type))
+	}
+}
+
+// Encode writes one framed message.
+func Encode(w io.Writer, m *Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: encode %s: %w", m.Type, err)
+	}
+	if len(body) > MaxFrameBytes {
+		return fmt.Errorf("dist: %s frame exceeds %d bytes", m.Type, MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// Decode reads one framed message, validating length, JSON shape and
+// the type/payload invariant.
+func Decode(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameBytes {
+		return nil, fmt.Errorf("dist: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("dist: decode frame: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

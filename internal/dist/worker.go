@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoblox/internal/autodb"
+	"autoblox/internal/core"
+	"autoblox/internal/obs"
+	"autoblox/internal/ssdconf"
+)
+
+// Worker pulls leased measurement batches from a coordinator, runs the
+// simulations through a locally reconstructed validator (same memo
+// cache, singleflight, and bounded pool as any in-process run), and
+// streams results back. Zero value + Run is usable; all fields are
+// optional.
+type Worker struct {
+	// Name identifies the worker in coordinator metrics (default
+	// "<hostname>/<pid>").
+	Name string
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+	// BatchSize caps leases pulled per request (default 8).
+	BatchSize int
+	// SimTimeout/MaxRetries configure the local validator like their
+	// core.Validator counterparts.
+	SimTimeout time.Duration
+	MaxRetries int
+	// Obs, when set, receives the local validator's metrics.
+	Obs *obs.Registry
+
+	jobs   atomic.Int64
+	busyNS atomic.Int64
+}
+
+func (w *Worker) name() string {
+	if w.Name != "" {
+		return w.Name
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s/%d", host, os.Getpid())
+}
+
+func (w *Worker) batchSize() int {
+	if w.BatchSize > 0 {
+		return w.BatchSize
+	}
+	return 8
+}
+
+// Jobs reports how many leased measurements this worker completed.
+func (w *Worker) Jobs() int64 { return w.jobs.Load() }
+
+// Busy reports the cumulative wall time spent measuring batches.
+func (w *Worker) Busy() time.Duration { return time.Duration(w.busyNS.Load()) }
+
+// Run dials a coordinator and serves until the coordinator closes (nil
+// error), the context cancels, or the connection fails. A handshake
+// refusal surfaces as ErrVersionMismatch / ErrSpaceMismatch.
+func (w *Worker) Run(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	return w.RunConn(ctx, conn)
+}
+
+// RunConn serves the worker protocol over an established connection
+// (used directly for in-process loopback fleets over net.Pipe).
+func (w *Worker) RunConn(ctx context.Context, conn net.Conn) error {
+	defer conn.Close()
+	// Cancellation unblocks pending reads/writes by closing the conn.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	r := bufio.NewReader(conn)
+	if err := Encode(conn, &Message{Type: MsgHello, Hello: &Hello{Worker: w.name(), Version: ProtocolVersion}}); err != nil {
+		return err
+	}
+	m, err := Decode(r)
+	if err != nil {
+		return err
+	}
+	if m.Type == MsgReject {
+		return m.Reject.Err()
+	}
+	if m.Type != MsgWelcome {
+		return fmt.Errorf("dist: expected welcome, got %s", m.Type)
+	}
+	env := m.Welcome.Env
+	// Reconstruct the space locally and report its fingerprint: if this
+	// binary derives different grids from the same constraints, the
+	// coordinator must refuse us before any measurement happens.
+	if err := Encode(conn, &Message{Type: MsgConfirm, Confirm: &Confirm{SpaceSig: env.Space().Signature()}}); err != nil {
+		return err
+	}
+	if m, err = Decode(r); err != nil {
+		return err
+	}
+	if m.Type == MsgReject {
+		return m.Reject.Err()
+	}
+	if m.Type != MsgAccept {
+		return fmt.Errorf("dist: expected accept, got %s", m.Type)
+	}
+
+	v, err := NewValidator(&env)
+	if err != nil {
+		return err
+	}
+	v.Parallel = w.Parallel
+	v.Obs = w.Obs
+	v.SimTimeout = w.SimTimeout
+	v.MaxRetries = w.MaxRetries
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := Encode(conn, &Message{Type: MsgLeaseReq, LeaseReq: &LeaseReq{Max: w.batchSize()}}); err != nil {
+			return err
+		}
+		m, err := Decode(r)
+		if err != nil {
+			return err
+		}
+		if m.Type != MsgLeaseGrant {
+			return fmt.Errorf("dist: expected lease-grant, got %s", m.Type)
+		}
+		if m.LeaseGrant.Closed {
+			return nil
+		}
+		if len(m.LeaseGrant.Leases) == 0 {
+			continue // long-poll timed out; ask again
+		}
+		res := w.runBatch(ctx, v, &env, m.LeaseGrant.Leases)
+		if err := Encode(conn, &Message{Type: MsgResult, Result: res}); err != nil {
+			return err
+		}
+	}
+}
+
+// runBatch measures every lease concurrently (the validator's pool
+// bounds actual simulator concurrency) and reports per-job results —
+// failures included, so the coordinator never waits out a TTL for a
+// job that already failed deterministically.
+func (w *Worker) runBatch(ctx context.Context, v *core.Validator, env *Env, leases []Lease) *ResultMsg {
+	t0 := time.Now()
+	results := make([]JobResult, len(leases))
+	var wg sync.WaitGroup
+	for i, l := range leases {
+		wg.Add(1)
+		go func(i int, l Lease) {
+			defer wg.Done()
+			s0 := time.Now()
+			jr := JobResult{LeaseID: l.ID, CfgKey: l.CfgKey, Name: l.Name}
+			perf, err := w.runLease(ctx, v, env, l)
+			if err != nil {
+				jr.Err = err.Error()
+			} else {
+				jr.Perf = perf
+			}
+			jr.SimNS = time.Since(s0).Nanoseconds()
+			results[i] = jr
+		}(i, l)
+	}
+	wg.Wait()
+	busy := time.Since(t0).Nanoseconds()
+	w.jobs.Add(int64(len(leases)))
+	w.busyNS.Add(busy)
+	return &ResultMsg{Worker: w.name(), Results: results, BusyNS: busy}
+}
+
+// runLease validates and measures one lease.
+func (w *Worker) runLease(ctx context.Context, v *core.Validator, env *Env, l Lease) (perf autodb.Perf, err error) {
+	cfg := ssdconf.Config(l.Cfg)
+	if got := cfg.Key(); got != l.CfgKey {
+		return perf, fmt.Errorf("dist: lease %d: config key %q does not match vector key %q", l.ID, l.CfgKey, got)
+	}
+	f, err := env.FactoryFor(l.Name)
+	if err != nil {
+		return perf, err
+	}
+	return v.MeasureTrace(ctx, cfg, l.Name, f)
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"autoblox/internal/core"
+	"autoblox/internal/dist"
 	"autoblox/internal/obs"
 	"autoblox/internal/ssd"
 	"autoblox/internal/ssdconf"
@@ -51,6 +52,15 @@ type Scale struct {
 	// Ctx, when set, cancels every measurement the suite issues (nil =
 	// context.Background()); it is copied onto each Env the suite builds.
 	Ctx context.Context
+	// Backend, when set together with BackendEnv, routes validation
+	// simulations through a distributed fleet. Each Env adopts the
+	// backend only when BackendEnv covers its configuration (same space
+	// fingerprint, a workload spec for every cluster at the run's
+	// requests/seed); environments the fleet cannot reproduce — what-if
+	// bounds, altered constraint sets — keep the local pool, so mixed
+	// suites run correctly with only the matching envs distributed.
+	Backend    core.Backend
+	BackendEnv *dist.Env
 }
 
 // DefaultScale is sized for CI and benchmarks.
@@ -119,6 +129,15 @@ func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []
 	e.Validator.Obs = scale.Obs
 	e.Validator.SimTimeout = scale.SimTimeout
 	e.Validator.MaxRetries = scale.SimRetries
+	if scale.Backend != nil && scale.BackendEnv != nil {
+		clusters := make([]string, len(cats))
+		for i, c := range cats {
+			clusters[i] = string(c)
+		}
+		if scale.BackendEnv.Covers(space, clusters, scale.Requests, scale.Seed) {
+			e.Validator.Backend = scale.Backend
+		}
+	}
 	g, err := core.NewGrader(e.ctx(), e.Validator, e.RefCfg, core.DefaultAlpha, core.DefaultBeta)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,55 @@
+package ssdconf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Signature fingerprints the parameter space: every parameter's name,
+// kind, tunability, grid values and labels, plus the constraint tuple
+// and the fault profile (faults change every measurement, so results
+// taken under one fault stream must never seed a run under another).
+//
+// Two consumers share the fingerprint: tuning checkpoints refuse to
+// resume under a different space (a silent grid-index remap otherwise),
+// and distributed-validation workers are rejected at handshake when
+// their locally reconstructed space disagrees with the coordinator's —
+// e.g. a stale binary with different grids.
+func (s *Space) Signature() string {
+	h := fnv.New64a()
+	wu := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	for _, p := range s.Params {
+		h.Write([]byte(p.Name))
+		h.Write([]byte{0, byte(p.Kind), boolByte(p.Tunable)})
+		wu(uint64(len(p.Values)))
+		for _, v := range p.Values {
+			wu(math.Float64bits(v))
+		}
+		for _, l := range p.Labels {
+			h.Write([]byte(l))
+			h.Write([]byte{0})
+		}
+	}
+	wu(uint64(s.Cons.CapacityBytes))
+	wu(math.Float64bits(s.Cons.CapacityTolerance))
+	wu(uint64(s.Cons.Interface))
+	wu(uint64(s.Cons.Flash))
+	wu(math.Float64bits(s.Cons.PowerBudgetWatts))
+	wu(math.Float64bits(s.Faults.Rate))
+	wu(uint64(s.Faults.Seed))
+	wu(uint64(s.Faults.DieFailures))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

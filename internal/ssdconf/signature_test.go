@@ -1,0 +1,42 @@
+package ssdconf
+
+import (
+	"testing"
+
+	"autoblox/internal/ssd"
+)
+
+// TestSignatureSensitivity: the fingerprint must be stable across
+// reconstructions of the same space and must change whenever anything a
+// measurement depends on changes — constraints, grids, or the fault
+// profile.
+func TestSignatureSensitivity(t *testing.T) {
+	base := NewSpace(DefaultConstraints()).Signature()
+	if again := NewSpace(DefaultConstraints()).Signature(); again != base {
+		t.Fatalf("signature unstable across reconstruction: %s vs %s", base, again)
+	}
+	if len(base) != 16 {
+		t.Fatalf("signature %q is not a 16-hex-digit fingerprint", base)
+	}
+
+	if whatIf := NewWhatIfSpace(DefaultConstraints()).Signature(); whatIf == base {
+		t.Fatal("what-if space (expanded grids) shares the standard signature")
+	}
+
+	cons := DefaultConstraints()
+	cons.PowerBudgetWatts += 1
+	if got := NewSpace(cons).Signature(); got == base {
+		t.Fatal("changed power budget did not change the signature")
+	}
+
+	faulted := NewSpace(DefaultConstraints())
+	faulted.Faults = ssd.FaultProfile{Rate: 0.01, Seed: 1}
+	if got := faulted.Signature(); got == base {
+		t.Fatal("fault profile did not change the signature")
+	}
+	seeded := NewSpace(DefaultConstraints())
+	seeded.Faults = ssd.FaultProfile{Rate: 0.01, Seed: 2}
+	if got := seeded.Signature(); got == faulted.Signature() {
+		t.Fatal("fault seed did not change the signature")
+	}
+}
