@@ -215,6 +215,12 @@ func (f *Framework) SetProgress(fn func(iteration int, bestGrade float64)) {
 	f.opts.Tuner.OnIteration = fn
 }
 
+// SetCheckpointHook installs a callback invoked after every successful
+// checkpoint write with the checkpoint path (live freshness reporting).
+func (f *Framework) SetCheckpointHook(fn func(path string)) {
+	f.opts.Tuner.OnCheckpoint = fn
+}
+
 // LearnWorkloads trains the §3.1 clustering model on one representative
 // trace per workload category and persists it to AutoDB. The traces also
 // become the per-cluster representatives used in non-target validation.

@@ -11,8 +11,9 @@
 //	autoblox tune    -db autoblox.db -target Database
 //
 // Every subcommand also accepts the observability flags -metrics <file>,
-// -trace <file> (Chrome trace_event JSONL), -pprof <addr> and -progress,
-// plus the resilience flags -sim-timeout <dur>, -sim-retries <n>,
+// -trace <file> (Chrome trace_event JSONL), -pprof <addr>, -progress and
+// -http <addr> (live introspection: /metrics, /statusz, /tunez, /eventz,
+// /debug/pprof), plus the resilience flags -sim-timeout <dur>, -sim-retries <n>,
 // -checkpoint <file> and -resume. With -checkpoint set, Ctrl-C stops the
 // search at the next iteration boundary and a rerun with -resume
 // continues it bit-identically.
@@ -178,6 +179,8 @@ func (c *commonFlags) startFleet(whatIf bool) {
 	if err != nil {
 		fatal(err)
 	}
+	fleet := c.fleet
+	c.obs.SetStatus(func() any { return fleet.Status() })
 	if c.listen != "" {
 		fmt.Fprintf(os.Stderr, "autoblox: accepting workers on %s\n", c.fleet.Addr())
 	}
@@ -232,7 +235,8 @@ func runRecommend(args []string) {
 	defer fw.Close()
 	defer c.closeFleet()
 	learnStudied(fw, c)
-	fw.SetProgress(c.obs.Prog.Update)
+	fw.SetProgress(c.obs.Tune.Update)
+	fw.SetCheckpointHook(c.obs.Tune.MarkCheckpoint)
 
 	var tr *autoblox.Trace
 	var err error
@@ -283,8 +287,10 @@ func runTune(args []string) {
 	defer fw.Close()
 	defer c.closeFleet()
 	learnStudied(fw, c)
+	c.obs.Tune.Begin(*target, c.iters)
+	fw.SetCheckpointHook(c.obs.Tune.MarkCheckpoint)
 	fw.SetProgress(func(iter int, best float64) {
-		c.obs.Prog.Update(iter, best)
+		c.obs.Tune.Update(iter, best)
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "  iteration %3d: best grade %.4f\n", iter+1, best)
 		}
@@ -341,7 +347,9 @@ func runWhatIf(args []string) {
 	defer fw.Close()
 	defer c.closeFleet()
 	learnStudied(fw, c)
-	fw.SetProgress(c.obs.Prog.Update)
+	c.obs.Tune.Begin(*target, c.iters)
+	fw.SetProgress(c.obs.Tune.Update)
+	fw.SetCheckpointHook(c.obs.Tune.MarkCheckpoint)
 	ctx, stop := cliobs.SignalContext()
 	defer stop()
 	res, err := fw.WhatIfContext(ctx, autoblox.WhatIfGoal{

@@ -11,8 +11,11 @@
 // The worker refuses to serve when its locally derived parameter space
 // fingerprint disagrees with the coordinator's (stale binary), so a
 // mixed-version fleet can never corrupt a tuning run. The observability
-// flags -metrics/-trace/-pprof and the resilience flags
-// -sim-timeout/-sim-retries are also accepted.
+// flags -metrics/-trace/-pprof/-http and the resilience flags
+// -sim-timeout/-sim-retries are also accepted. With -metrics or -http
+// set, the worker also pushes delta-encoded metric snapshots to the
+// coordinator after each result batch, where they aggregate into the
+// fleet registry under this worker's name.
 package main
 
 import (
@@ -57,6 +60,9 @@ func main() {
 		SimTimeout: resFlags.SimTimeout,
 		MaxRetries: resFlags.SimRetries,
 		Obs:        obsFlags.Reg,
+		// A remote worker owns its registry, so pushing delta snapshots
+		// to the coordinator's fleet registry is safe and on by default.
+		PushStats: obsFlags.Reg != nil,
 	}
 	err = w.Run(ctx, *connect)
 	switch {

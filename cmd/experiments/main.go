@@ -104,6 +104,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer fleet.Close()
+		obsFlags.SetStatus(func() any { return fleet.Status() })
 		if *listen != "" {
 			fmt.Fprintf(os.Stderr, "experiments: accepting workers on %s\n", fleet.Addr())
 		}

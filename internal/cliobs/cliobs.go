@@ -1,8 +1,8 @@
 // Package cliobs wires the observability layer (internal/obs) into
 // command-line binaries: it registers the shared -metrics, -trace,
-// -pprof and -progress flags and activates the requested observers.
-// With no flags set the run is uninstrumented and the hooks cost
-// nothing.
+// -pprof, -progress and -http flags and activates the requested
+// observers. With no flags set the run is uninstrumented and the hooks
+// cost nothing.
 package cliobs
 
 import (
@@ -15,23 +15,31 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"autoblox/internal/core"
 	"autoblox/internal/obs"
+	"autoblox/internal/obs/httpobs"
 )
 
 // Flags holds the parsed observability flags and, after Setup, the live
-// registry and progress reporter (nil when not requested).
+// observers (nil when not requested).
 type Flags struct {
 	Metrics  string
 	Trace    string
 	Pprof    string
 	Progress bool
+	HTTP     string
 
-	Reg  *obs.Registry
-	Prog *obs.Progress
+	Reg    *obs.Registry
+	Prog   *obs.Progress
+	Tune   *obs.TuneStatus
+	Flight *obs.FlightRecorder
+	Srv    *httpobs.Server
+
+	status atomic.Pointer[func() any]
 }
 
 // Register adds the observability flags to a flag set.
@@ -41,7 +49,17 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&o.Trace, "trace", "", "write a Chrome trace_event JSONL file (open in chrome://tracing or Perfetto)")
 	fs.StringVar(&o.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.BoolVar(&o.Progress, "progress", false, "print a sims/sec + ETA ticker to stderr")
+	fs.StringVar(&o.HTTP, "http", "", "serve live introspection on this address: /metrics /statusz /tunez /eventz /debug/pprof")
 	return o
+}
+
+// SetStatus installs the /statusz fleet-status provider (e.g. the
+// distributed backend's status snapshot). Safe to call before or after
+// Setup, from any goroutine.
+func (o *Flags) SetStatus(fn func() any) {
+	if o != nil {
+		o.status.Store(&fn)
+	}
 }
 
 // Setup activates the requested observers and returns a cleanup to
@@ -73,14 +91,48 @@ func (o *Flags) Setup(iters int) (cleanup func(), err error) {
 			f.Close()
 		})
 	}
-	if o.Metrics != "" || o.Progress {
+	instrumented := o.Metrics != "" || o.Progress || o.HTTP != ""
+	if instrumented {
 		o.Reg = obs.NewRegistry()
+		registerHelp(o.Reg)
+	}
+	// One TuneStatus backs both the -progress ticker and /tunez, so the
+	// two surfaces render the same snapshot.
+	o.Tune = obs.NewTuneStatus()
+	o.Tune.SetSims(o.Reg.Counter(core.MetricSimRuns))
+	o.Tune.SetTotal(iters)
+	if instrumented || o.Trace != "" {
+		o.Flight = obs.NewFlightRecorder(1024)
+		obs.SetFlightRecorder(o.Flight)
+		closers = append(closers, func() { obs.SetFlightRecorder(nil) })
+		closers = append(closers, watchSIGQUIT(o.Flight))
 	}
 	if o.Progress {
-		o.Prog = obs.NewProgress(os.Stderr, o.Reg.Counter(core.MetricSimRuns), 0)
-		o.Prog.SetTotal(iters)
+		o.Prog = obs.NewProgress(os.Stderr, o.Tune, 0)
 		o.Prog.Start()
 		closers = append(closers, o.Prog.Stop)
+	}
+	if o.HTTP != "" {
+		srv, err := httpobs.Start(o.HTTP, httpobs.Options{
+			Registry: o.Reg,
+			Tune:     o.Tune,
+			Flight:   o.Flight,
+			Status: func() any {
+				if fn := o.status.Load(); fn != nil {
+					return (*fn)()
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			for i := len(closers) - 1; i >= 0; i-- {
+				closers[i]()
+			}
+			return nil, err
+		}
+		o.Srv = srv
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/\n", srv.Addr())
+		closers = append(closers, func() { srv.Close() })
 	}
 	if o.Metrics != "" {
 		closers = append(closers, func() { WriteMetrics(o.Reg, o.Metrics) })
@@ -90,6 +142,55 @@ func (o *Flags) Setup(iters int) (cleanup func(), err error) {
 			closers[i]()
 		}
 	}, nil
+}
+
+// watchSIGQUIT dumps the flight recorder to stderr whenever the process
+// receives SIGQUIT, and returns a stop function.
+func watchSIGQUIT(rec *obs.FlightRecorder) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+				rec.WriteText(os.Stderr)
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+// registerHelp attaches HELP text to the metric families the framework
+// emits, keeping the Prometheus export lint-clean.
+func registerHelp(reg *obs.Registry) {
+	for family, text := range map[string]string{
+		"validator_sim_runs_total":       "fresh simulations executed",
+		"validator_cache_hits_total":     "validations served from the memo cache",
+		"validator_coalesced_total":      "validations that joined an in-flight duplicate",
+		"validator_retries_total":        "transient simulation failures retried",
+		"validator_failures_total":       "simulations exhausting their retry budget",
+		"validator_remote_results_total": "validations measured by remote workers",
+		"validator_sim_ns":               "wall-clock nanoseconds per simulation",
+		"dist_leases_granted_total":      "job leases granted to workers",
+		"dist_leases_expired_total":      "job leases that timed out",
+		"dist_leases_reassigned_total":   "expired jobs handed to another worker",
+		"dist_results_total":             "job results accepted by the coordinator",
+		"dist_duplicate_results_total":   "job results discarded as duplicates",
+		"dist_workers_connected":         "workers currently holding a session",
+		"dist_workers_rejected_total":    "workers rejected during the handshake",
+		"dist_worker_busy_ns":            "per-worker cumulative in-simulation nanoseconds",
+		"dist_stats_pushes_total":        "worker metric snapshots absorbed by the coordinator",
+		"worker_jobs_total":              "jobs executed by this worker process",
+		"worker_busy_ns":                 "cumulative in-simulation nanoseconds on this worker",
+	} {
+		reg.SetHelp(family, text)
+	}
 }
 
 // Resilience holds the parsed crash-safety flags shared by the tuning

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -384,8 +385,14 @@ func (v *Validator) simulate(ctx context.Context, cfg ssdconf.Config, f trace.So
 	for attempt := 0; ; attempt++ {
 		perf, d, err := v.simulateOnce(ctx, cfg, f)
 		if err == nil || attempt >= v.MaxRetries || !errors.Is(err, ErrTransient) {
+			if err != nil && attempt >= v.MaxRetries && errors.Is(err, ErrTransient) {
+				obs.RecordEvent("warn-sim-failed", "cfg", cfg.Key(),
+					"attempts", strconv.Itoa(attempt+1), "err", err.Error())
+			}
 			return perf, d, err
 		}
+		obs.RecordEvent("sim-retry", "cfg", cfg.Key(),
+			"attempt", strconv.Itoa(attempt+1), "err", err.Error())
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():

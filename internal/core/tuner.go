@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"autoblox/internal/autodb"
@@ -70,6 +71,11 @@ type TunerOptions struct {
 	// with the iteration index and the best grade so far (progress
 	// reporting in CLIs).
 	OnIteration func(iter int, bestGrade float64)
+
+	// OnCheckpoint, when set, is invoked after every successful
+	// checkpoint write with the checkpoint path (freshness reporting:
+	// /tunez serves the checkpoint age from it).
+	OnCheckpoint func(path string)
 
 	// Checkpoint, when non-empty, is a JSON file the tuner atomically
 	// rewrites after frontier initialization and after every iteration,
@@ -442,7 +448,14 @@ func (t *Tuner) saveCheckpoint(target string, iter, noProgress int, res *TuneRes
 		ck.Seen = append(ck.Seen, k)
 	}
 	sort.Strings(ck.Seen)
-	return writeCheckpoint(t.Opts.Checkpoint, ck)
+	if err := writeCheckpoint(t.Opts.Checkpoint, ck); err != nil {
+		return err
+	}
+	obs.RecordEvent("checkpoint", "path", t.Opts.Checkpoint, "iter", strconv.Itoa(iter))
+	if t.Opts.OnCheckpoint != nil {
+		t.Opts.OnCheckpoint(t.Opts.Checkpoint)
+	}
+	return nil
 }
 
 // restoreCheckpoint rebuilds the tuner's in-flight state from a

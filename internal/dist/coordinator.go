@@ -5,6 +5,8 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +24,8 @@ const (
 	MetricLeasesReassigned = "dist_leases_reassigned_total"
 	MetricResultsDup       = "dist_results_duplicate_total"
 	MetricHandshakeRejects = "dist_handshake_rejects_total"
+	MetricStatsPushes      = "dist_stats_pushes_total"
+	MetricWorkersConnected = "dist_workers_connected"
 )
 
 // MetricWorkerBusy names a fleet worker's per-batch busy-time histogram
@@ -75,6 +79,7 @@ type FleetCounters struct {
 	Reassigned       int64
 	Duplicates       int64
 	HandshakeRejects int64
+	StatsPushes      int64
 }
 
 type jobState uint8
@@ -96,6 +101,7 @@ type distJob struct {
 	owner     *session // current lessee
 	expiry    time.Time
 	grants    int // total leases issued for this job
+	expiries  int // leases of this job that timed out (flaky detection)
 	waited    bool
 	queueWait time.Duration // submit → first grant
 
@@ -110,10 +116,29 @@ type simKey struct {
 	name string
 }
 
-// session is one connected worker's lease bookkeeping.
+// session is one connected worker's lease bookkeeping, plus the
+// clock-offset estimate taken during its handshake.
 type session struct {
 	name   string
 	leases map[uint64]*distJob
+	lane   int64 // trace lane for this worker's replayed spans
+	// offsetNS estimates workerClock − coordClock; subtracting it from a
+	// worker timestamp lands it on the coordinator's clock. rttNS is the
+	// handshake round trip the estimate derived from (its error bound).
+	offsetNS int64
+	rttNS    int64
+}
+
+// workerTally accumulates one worker's fleet statistics. Tallies are
+// keyed by worker name and survive reconnects.
+type workerTally struct {
+	jobs       int64
+	busyNS     int64
+	expired    int64
+	reassigned int64
+	sessions   int      // currently connected session count
+	cur        *session // most recent connected session (nil when none)
+	lastSeen   time.Time
 }
 
 // RemoteError is a worker-side measurement failure relayed through the
@@ -138,25 +163,33 @@ type Coordinator struct {
 	env  *Env
 	opts CoordinatorOptions
 
-	counters                                          core.BackendCounters
-	granted, expired, reassigned, duplicates, rejects atomic.Int64
+	counters                                                       core.BackendCounters
+	granted, expired, reassigned, duplicates, rejects, statsPushes atomic.Int64
+
+	// traceID names this coordinator's tracing session; leases carry it
+	// so worker-side trace events correlate back to this tune.
+	traceID string
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	closed    bool
 	nextLease uint64
+	nextLane  int64
 	pending   []*distJob
 	leased    map[uint64]*distJob
 	byKey     map[simKey]*distJob
+	tallies   map[string]*workerTally
 }
 
 // NewCoordinator builds a coordinator over a fingerprinted env.
 func NewCoordinator(env *Env, opts CoordinatorOptions) *Coordinator {
 	c := &Coordinator{
-		env:    env,
-		opts:   opts,
-		leased: make(map[uint64]*distJob),
-		byKey:  make(map[simKey]*distJob),
+		env:     env,
+		opts:    opts,
+		leased:  make(map[uint64]*distJob),
+		byKey:   make(map[simKey]*distJob),
+		tallies: make(map[string]*workerTally),
+		traceID: obs.TraceID(),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -173,13 +206,124 @@ func (c *Coordinator) Counters() FleetCounters {
 		Reassigned:       c.reassigned.Load(),
 		Duplicates:       c.duplicates.Load(),
 		HandshakeRejects: c.rejects.Load(),
+		StatsPushes:      c.statsPushes.Load(),
 	}
 }
 
 // Stats implements core.Backend: QueueWait is submit-to-first-lease,
-// SimBusy the worker-reported per-job time.
+// SimBusy the worker-reported per-job time, plus fleet lease churn and
+// a per-worker decomposition.
 func (c *Coordinator) Stats() core.BackendStats {
-	return c.counters.Snapshot(core.BackendKindDist)
+	s := c.counters.Snapshot(core.BackendKindDist)
+	s.LeasesExpired = c.expired.Load()
+	s.LeasesReassigned = c.reassigned.Load()
+	c.mu.Lock()
+	names := make([]string, 0, len(c.tallies))
+	for name := range c.tallies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := c.tallies[name]
+		s.Workers = append(s.Workers, core.WorkerBackendStats{
+			Name:             name,
+			Connected:        t.sessions > 0,
+			Jobs:             t.jobs,
+			BusyNS:           t.busyNS,
+			LeasesExpired:    t.expired,
+			LeasesReassigned: t.reassigned,
+		})
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// WorkerStatus is one worker's row in the fleet status view.
+type WorkerStatus struct {
+	Name             string `json:"name"`
+	Connected        bool   `json:"connected"`
+	Jobs             int64  `json:"jobs"`
+	BusyNS           int64  `json:"busy_ns"`
+	LeasesHeld       int    `json:"leases_held"`
+	LeasesExpired    int64  `json:"leases_expired"`
+	LeasesReassigned int64  `json:"leases_reassigned"`
+	ClockOffsetNS    int64  `json:"clock_offset_ns"`
+	RTTNS            int64  `json:"rtt_ns"`
+	LastSeen         string `json:"last_seen,omitempty"`
+}
+
+// FleetStatus is the coordinator's /statusz document: queue depths,
+// lease churn, and per-worker rows.
+type FleetStatus struct {
+	Closed           bool           `json:"closed"`
+	Pending          int            `json:"pending"`
+	Leased           int            `json:"leased"`
+	LeasesGranted    int64          `json:"leases_granted"`
+	LeasesExpired    int64          `json:"leases_expired"`
+	LeasesReassigned int64          `json:"leases_reassigned"`
+	DuplicateResults int64          `json:"duplicate_results"`
+	HandshakeRejects int64          `json:"handshake_rejects"`
+	StatsPushes      int64          `json:"stats_pushes"`
+	Workers          []WorkerStatus `json:"workers,omitempty"`
+}
+
+// StatusSnapshot captures the live fleet view served at /statusz.
+func (c *Coordinator) StatusSnapshot() FleetStatus {
+	st := FleetStatus{
+		LeasesGranted:    c.granted.Load(),
+		LeasesExpired:    c.expired.Load(),
+		LeasesReassigned: c.reassigned.Load(),
+		DuplicateResults: c.duplicates.Load(),
+		HandshakeRejects: c.rejects.Load(),
+		StatsPushes:      c.statsPushes.Load(),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st.Closed = c.closed
+	st.Pending = len(c.pending)
+	st.Leased = len(c.leased)
+	held := map[string]int{}
+	for _, j := range c.leased {
+		if j.owner != nil {
+			held[j.owner.name]++
+		}
+	}
+	names := make([]string, 0, len(c.tallies))
+	for name := range c.tallies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := c.tallies[name]
+		row := WorkerStatus{
+			Name:             name,
+			Connected:        t.sessions > 0,
+			Jobs:             t.jobs,
+			BusyNS:           t.busyNS,
+			LeasesHeld:       held[name],
+			LeasesExpired:    t.expired,
+			LeasesReassigned: t.reassigned,
+		}
+		if t.cur != nil {
+			row.ClockOffsetNS = t.cur.offsetNS
+			row.RTTNS = t.cur.rttNS
+		}
+		if !t.lastSeen.IsZero() {
+			row.LastSeen = t.lastSeen.UTC().Format(time.RFC3339Nano)
+		}
+		st.Workers = append(st.Workers, row)
+	}
+	return st
+}
+
+// tallyLocked returns (creating if needed) a worker's tally; c.mu held.
+func (c *Coordinator) tallyLocked(name string) *workerTally {
+	t, ok := c.tallies[name]
+	if !ok {
+		t = &workerTally{}
+		c.tallies[name] = t
+	}
+	return t
 }
 
 // Measure implements core.Backend: enqueue the job (deduplicated by
@@ -250,21 +394,35 @@ func (c *Coordinator) isClosed() bool {
 	return c.closed
 }
 
-// expireLocked returns every overdue lease to the pending queue.
+// expireLocked returns every overdue lease to the pending queue,
+// attributing the expiry to the worker that held it. A job expiring for
+// the second time records a "warn-flaky-job" flight event — two workers
+// (or the same worker twice) sat on the same deterministic job, which
+// usually means a wedged or overloaded worker, not a bad job.
 func (c *Coordinator) expireLocked(now time.Time) {
 	for id, j := range c.leased {
 		if now.Before(j.expiry) {
 			continue
 		}
 		delete(c.leased, id)
+		owner := ""
 		if j.owner != nil {
+			owner = j.owner.name
 			delete(j.owner.leases, id)
 			j.owner = nil
+			c.tallyLocked(owner).expired++
 		}
 		j.state = jobPending
+		j.expiries++
 		c.pending = append(c.pending, j)
 		c.expired.Add(1)
 		c.obsInc(MetricLeasesExpired)
+		obs.RecordEvent("lease-expired",
+			"lease", fmt.Sprint(id), "worker", owner, "trace", j.key.name, "expiries", fmt.Sprint(j.expiries))
+		if j.expiries == 2 {
+			obs.RecordEvent("warn-flaky-job",
+				"trace", j.key.name, "cfg", j.key.cfg, "worker", owner, "expiries", "2")
+		}
 	}
 }
 
@@ -279,11 +437,25 @@ func (c *Coordinator) dropSession(sess *session) {
 		delete(c.leased, id)
 		j.owner = nil
 		j.state = jobPending
+		j.expiries++
 		c.pending = append(c.pending, j)
 		c.expired.Add(1)
 		c.obsInc(MetricLeasesExpired)
+		c.tallyLocked(sess.name).expired++
+		obs.RecordEvent("lease-expired",
+			"lease", fmt.Sprint(id), "worker", sess.name, "trace", j.key.name, "reason", "disconnect")
 	}
 	sess.leases = make(map[uint64]*distJob)
+	t := c.tallyLocked(sess.name)
+	t.sessions--
+	if t.cur == sess {
+		t.cur = nil
+	}
+	t.lastSeen = time.Now()
+	if r := c.opts.Obs; r != nil {
+		r.Gauge(MetricWorkersConnected).Add(-1)
+	}
+	obs.RecordEvent("worker-disconnected", "worker", sess.name)
 	c.cond.Broadcast()
 }
 
@@ -325,15 +497,19 @@ func (c *Coordinator) lease(sess *session, max int) (leases []Lease, closed bool
 				if j.grants > 0 {
 					c.reassigned.Add(1)
 					c.obsInc(MetricLeasesReassigned)
+					c.tallyLocked(sess.name).reassigned++
+					obs.RecordEvent("lease-reassigned",
+						"lease", fmt.Sprint(j.leaseID), "worker", sess.name, "trace", j.key.name, "grants", fmt.Sprint(j.grants+1))
 				}
 				j.grants++
 				c.leased[j.leaseID] = j
 				sess.leases[j.leaseID] = j
 				leases = append(leases, Lease{
-					ID:     j.leaseID,
-					CfgKey: j.key.cfg,
-					Cfg:    []int(j.cfg),
-					Name:   j.key.name,
+					ID:      j.leaseID,
+					CfgKey:  j.key.cfg,
+					Cfg:     []int(j.cfg),
+					Name:    j.key.name,
+					TraceID: c.traceID,
 				})
 			}
 			c.pending = c.pending[n:]
@@ -355,10 +531,24 @@ func (c *Coordinator) lease(sess *session, max int) (leases []Lease, closed bool
 // applyResults folds a worker's result batch into the job table,
 // idempotently: a result for an unknown or already-done key counts as a
 // duplicate and changes nothing; a result from an expired (reassigned)
-// lease is accepted — the sims are deterministic, so any result for the
-// key is the result.
-func (c *Coordinator) applyResults(msg *ResultMsg) {
+// lease is accepted — the sims are deterministic, so any worker's result
+// for the key is the result. When the coordinator traces, each accepted
+// result is also replayed as a span pair on the coordinator's own
+// timeline: a "lease" span covering submit→done (queue wait included)
+// and a "worker-sim" span at the worker's reported start, shifted onto
+// the coordinator's clock by the session's handshake offset estimate.
+func (c *Coordinator) applyResults(sess *session, msg *ResultMsg) {
+	type replay struct {
+		r         JobResult
+		submitted time.Time
+		done      time.Time
+	}
+	var replays []replay
 	c.mu.Lock()
+	t := c.tallyLocked(msg.Worker)
+	t.jobs += int64(len(msg.Results))
+	t.busyNS += msg.BusyNS
+	t.lastSeen = time.Now()
 	for _, r := range msg.Results {
 		k := simKey{cfg: r.CfgKey, name: r.Name}
 		j, ok := c.byKey[k]
@@ -367,6 +557,7 @@ func (c *Coordinator) applyResults(msg *ResultMsg) {
 			c.obsInc(MetricResultsDup)
 			continue
 		}
+		replays = append(replays, replay{r: r, submitted: j.submitted, done: time.Now()})
 		switch j.state {
 		case jobLeased:
 			delete(c.leased, j.leaseID)
@@ -399,6 +590,26 @@ func (c *Coordinator) applyResults(msg *ResultMsg) {
 	c.mu.Unlock()
 	if r := c.opts.Obs; r != nil {
 		r.Histogram(MetricWorkerBusy(msg.Worker)).Record(msg.BusyNS)
+	}
+	for _, rp := range replays {
+		leaseID := strconv.FormatUint(rp.r.LeaseID, 10)
+		obs.Complete("lease", sess.lane, rp.submitted, rp.done.Sub(rp.submitted),
+			"lease", leaseID, "worker", msg.Worker, "trace", rp.r.Name, "trace_id", c.traceID)
+		if rp.r.StartUnixNano != 0 {
+			start := time.Unix(0, rp.r.StartUnixNano-sess.offsetNS)
+			obs.Complete("worker-sim", sess.lane, start, time.Duration(rp.r.SimNS),
+				"lease", leaseID, "worker", msg.Worker, "trace", rp.r.Name, "trace_id", c.traceID)
+		}
+	}
+}
+
+// absorbStats folds a worker's delta-encoded metrics push into the
+// coordinator's registry under a worker label.
+func (c *Coordinator) absorbStats(sp *StatsPush) {
+	c.statsPushes.Add(1)
+	c.obsInc(MetricStatsPushes)
+	if r := c.opts.Obs; r != nil {
+		r.Absorb(sp.Stats, "worker", sp.Worker)
 	}
 }
 
@@ -438,13 +649,20 @@ func (c *Coordinator) ServeConn(conn net.Conn) error {
 		}})
 		return fmt.Errorf("dist: worker %s: %w", worker, ErrVersionMismatch)
 	}
-	welcome := &Welcome{Env: *c.env, LeaseTTLMS: c.opts.leaseTTL().Milliseconds()}
+	t1 := time.Now()
+	welcome := &Welcome{
+		Env:           *c.env,
+		LeaseTTLMS:    c.opts.leaseTTL().Milliseconds(),
+		CoordUnixNano: t1.UnixNano(),
+		TraceID:       c.traceID,
+	}
 	if err := Encode(conn, &Message{Type: MsgWelcome, Welcome: welcome}); err != nil {
 		return err
 	}
 	if m, err = Decode(r); err != nil {
 		return fmt.Errorf("dist: handshake read: %w", err)
 	}
+	t2 := time.Now()
 	if m.Type != MsgConfirm {
 		return fmt.Errorf("dist: expected confirm, got %s", m.Type)
 	}
@@ -462,6 +680,26 @@ func (c *Coordinator) ServeConn(conn net.Conn) error {
 	}
 
 	sess := &session{name: worker, leases: make(map[uint64]*distJob)}
+	// NTP-style offset from the handshake stamps: the worker's space
+	// reconstruction between its Recv and Send stamps is excluded, so
+	// the round trip is pure wire + framing time.
+	if wr, ws := m.Confirm.RecvUnixNano, m.Confirm.SendUnixNano; wr != 0 && ws != 0 {
+		sess.rttNS = t2.Sub(t1).Nanoseconds() - (ws - wr)
+		sess.offsetNS = ((wr - t1.UnixNano()) + (ws - t2.UnixNano())) / 2
+	}
+	c.mu.Lock()
+	c.nextLane++
+	sess.lane = 100 + c.nextLane // lanes 101+ keep worker spans off the tuner's lane 1
+	t := c.tallyLocked(worker)
+	t.sessions++
+	t.cur = sess
+	t.lastSeen = time.Now()
+	c.mu.Unlock()
+	if r := c.opts.Obs; r != nil {
+		r.Gauge(MetricWorkersConnected).Add(1)
+	}
+	obs.RecordEvent("worker-connected", "worker", worker,
+		"rtt_ns", strconv.FormatInt(sess.rttNS, 10), "offset_ns", strconv.FormatInt(sess.offsetNS, 10))
 	defer c.dropSession(sess)
 	for {
 		// Once the coordinator is closed, bound the wait for the worker's
@@ -486,7 +724,9 @@ func (c *Coordinator) ServeConn(conn net.Conn) error {
 				return nil
 			}
 		case MsgResult:
-			c.applyResults(m.Result)
+			c.applyResults(sess, m.Result)
+		case MsgStatsPush:
+			c.absorbStats(m.StatsPush)
 		default:
 			return fmt.Errorf("dist: unexpected %s mid-session", m.Type)
 		}

@@ -105,6 +105,10 @@ func (f *Fleet) Backend() core.Backend { return f.coord }
 // Coordinator exposes the underlying coordinator (counters, env).
 func (f *Fleet) Coordinator() *Coordinator { return f.coord }
 
+// Status returns the coordinator's live fleet view — wire it into the
+// introspection server's /statusz provider.
+func (f *Fleet) Status() FleetStatus { return f.coord.StatusSnapshot() }
+
 // Addr returns the TCP listener address ("" without Listen) — handy
 // for printing the -connect endpoint and for tests using ":0".
 func (f *Fleet) Addr() string {

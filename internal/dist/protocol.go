@@ -24,6 +24,12 @@
 //	  worker → LeaseReq{max}
 //	  coord  → LeaseGrant{leases} (empty grant = long-poll timeout; Closed = shutdown)
 //	  worker → Result{results}    (omitted when the grant was empty)
+//	  worker → StatsPush{metrics delta} (optional, one-way, after results)
+//
+// The handshake doubles as a clock-offset probe: Welcome carries the
+// coordinator's send time, Confirm carries the worker's receive and send
+// times, and the coordinator derives an NTP-style RTT and offset that
+// exclude the worker's in-between space reconstruction.
 //
 // # Lease state machine
 //
@@ -44,6 +50,7 @@ import (
 	"io"
 
 	"autoblox/internal/autodb"
+	"autoblox/internal/obs"
 )
 
 // ProtocolVersion gates the handshake; incompatible workers are
@@ -87,6 +94,7 @@ const (
 	MsgLeaseReq                      // worker → coordinator: pull up to Max leases
 	MsgLeaseGrant                    // coordinator → worker: leased batch (possibly empty)
 	MsgResult                        // worker → coordinator: measured results
+	MsgStatsPush                     // worker → coordinator: delta-encoded metrics snapshot
 )
 
 func (t MsgType) String() string {
@@ -107,6 +115,8 @@ func (t MsgType) String() string {
 		return "lease-grant"
 	case MsgResult:
 		return "result"
+	case MsgStatsPush:
+		return "stats-push"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -123,6 +133,7 @@ type Message struct {
 	LeaseReq   *LeaseReq   `json:"lease_req,omitempty"`
 	LeaseGrant *LeaseGrant `json:"lease_grant,omitempty"`
 	Result     *ResultMsg  `json:"result,omitempty"`
+	StatsPush  *StatsPush  `json:"stats_push,omitempty"`
 }
 
 // Hello introduces a worker.
@@ -133,15 +144,26 @@ type Hello struct {
 
 // Welcome carries the measurement environment the worker must
 // reconstruct locally, plus the lease TTL it is expected to beat.
+// CoordUnixNano timestamps the send on the coordinator's clock and
+// TraceID names the coordinator's tracing session; together they let a
+// worker's trace events be correlated onto the coordinator's timeline.
 type Welcome struct {
-	Env        Env   `json:"env"`
-	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	Env           Env    `json:"env"`
+	LeaseTTLMS    int64  `json:"lease_ttl_ms"`
+	CoordUnixNano int64  `json:"coord_unix_nano,omitempty"`
+	TraceID       string `json:"trace_id,omitempty"`
 }
 
 // Confirm closes the handshake: the worker reports the fingerprint of
-// the space it reconstructed from the Welcome env.
+// the space it reconstructed from the Welcome env, plus two local clock
+// stamps — when the Welcome arrived and when this Confirm left. The
+// coordinator combines them with its own send/receive times into an
+// NTP-style round-trip and clock-offset estimate that excludes the
+// worker's (heavy) space reconstruction between the two stamps.
 type Confirm struct {
-	SpaceSig string `json:"space_sig"`
+	SpaceSig     string `json:"space_sig"`
+	RecvUnixNano int64  `json:"recv_unix_nano,omitempty"`
+	SendUnixNano int64  `json:"send_unix_nano,omitempty"`
 }
 
 // Reject is a typed handshake refusal.
@@ -176,6 +198,9 @@ type Lease struct {
 	CfgKey string `json:"cfg_key"`
 	Cfg    []int  `json:"cfg"`
 	Name   string `json:"name"`
+	// TraceID stamps the lease with the coordinator's tracing session so
+	// the worker tags its trace events for cross-process correlation.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // LeaseGrant answers a LeaseReq. Empty Leases with Closed=false means
@@ -197,6 +222,10 @@ type JobResult struct {
 	Perf    autodb.Perf `json:"perf"`
 	Err     string      `json:"err,omitempty"`
 	SimNS   int64       `json:"sim_ns"`
+	// StartUnixNano stamps the job's start on the worker's clock; the
+	// coordinator offset-corrects it to replay the job as a span on its
+	// own merged timeline.
+	StartUnixNano int64 `json:"start_unix_nano,omitempty"`
 }
 
 // ResultMsg returns a batch of results; BusyNS is the batch's
@@ -208,13 +237,24 @@ type ResultMsg struct {
 	BusyNS  int64       `json:"busy_ns"`
 }
 
+// StatsPush ships a worker's metrics to the coordinator: a registry
+// snapshot delta-encoded against the previous push (obs.DeltaSince), so
+// repeated pushes stay small and absorb idempotently — counter deltas
+// add, gauges overwrite, histogram bucket deltas merge exactly. The
+// coordinator folds each push into its fleet registry under a
+// worker="name" label. One-way: the coordinator never replies.
+type StatsPush struct {
+	Worker string       `json:"worker"`
+	Stats  obs.Snapshot `json:"stats"`
+}
+
 // Validate checks the envelope invariant: a known type with exactly the
 // matching payload.
 func (m *Message) Validate() error {
 	payloads := 0
 	for _, p := range []bool{
 		m.Hello != nil, m.Welcome != nil, m.Confirm != nil, m.Reject != nil,
-		m.LeaseReq != nil, m.LeaseGrant != nil, m.Result != nil,
+		m.LeaseReq != nil, m.LeaseGrant != nil, m.Result != nil, m.StatsPush != nil,
 	} {
 		if p {
 			payloads++
@@ -246,6 +286,8 @@ func (m *Message) Validate() error {
 		return want(m.LeaseGrant != nil)
 	case MsgResult:
 		return want(m.Result != nil)
+	case MsgStatsPush:
+		return want(m.StatsPush != nil)
 	default:
 		return fmt.Errorf("dist: unknown message type %d", uint8(m.Type))
 	}

@@ -35,9 +35,17 @@ type Worker struct {
 	MaxRetries int
 	// Obs, when set, receives the local validator's metrics.
 	Obs *obs.Registry
+	// PushStats, when set (and Obs is), ships a delta-encoded snapshot
+	// of Obs to the coordinator after every result batch, where it is
+	// folded into the fleet registry under this worker's name. Leave it
+	// off when Obs is shared with the coordinator process (in-process
+	// loopback fleets), or the push would re-absorb its own series.
+	PushStats bool
 
 	jobs   atomic.Int64
 	busyNS atomic.Int64
+
+	lastPush obs.Snapshot // previous push baseline (lease loop only)
 }
 
 func (w *Worker) name() string {
@@ -98,11 +106,19 @@ func (w *Worker) RunConn(ctx context.Context, conn net.Conn) error {
 	if m.Type != MsgWelcome {
 		return fmt.Errorf("dist: expected welcome, got %s", m.Type)
 	}
+	recv := time.Now() // Welcome receipt stamp, for the clock-offset probe
 	env := m.Welcome.Env
 	// Reconstruct the space locally and report its fingerprint: if this
 	// binary derives different grids from the same constraints, the
-	// coordinator must refuse us before any measurement happens.
-	if err := Encode(conn, &Message{Type: MsgConfirm, Confirm: &Confirm{SpaceSig: env.Space().Signature()}}); err != nil {
+	// coordinator must refuse us before any measurement happens. The two
+	// local stamps bracket that (heavy) reconstruction so the
+	// coordinator's RTT estimate excludes it.
+	confirm := &Confirm{
+		SpaceSig:     env.Space().Signature(),
+		RecvUnixNano: recv.UnixNano(),
+	}
+	confirm.SendUnixNano = time.Now().UnixNano()
+	if err := Encode(conn, &Message{Type: MsgConfirm, Confirm: confirm}); err != nil {
 		return err
 	}
 	if m, err = Decode(r); err != nil {
@@ -148,7 +164,28 @@ func (w *Worker) RunConn(ctx context.Context, conn net.Conn) error {
 		if err := Encode(conn, &Message{Type: MsgResult, Result: res}); err != nil {
 			return err
 		}
+		if err := w.pushStats(conn); err != nil {
+			return err
+		}
 	}
+}
+
+// pushStats ships the registry's changes since the previous push as a
+// one-way delta message; no-op unless PushStats and Obs are both set.
+func (w *Worker) pushStats(conn net.Conn) error {
+	if !w.PushStats || w.Obs == nil {
+		return nil
+	}
+	snap := w.Obs.Snapshot()
+	delta := snap.DeltaSince(w.lastPush)
+	if delta.Empty() {
+		return nil
+	}
+	if err := Encode(conn, &Message{Type: MsgStatsPush, StatsPush: &StatsPush{Worker: w.name(), Stats: delta}}); err != nil {
+		return err
+	}
+	w.lastPush = snap
+	return nil
 }
 
 // runBatch measures every lease concurrently (the validator's pool
@@ -164,7 +201,15 @@ func (w *Worker) runBatch(ctx context.Context, v *core.Validator, env *Env, leas
 		go func(i int, l Lease) {
 			defer wg.Done()
 			s0 := time.Now()
-			jr := JobResult{LeaseID: l.ID, CfgKey: l.CfgKey, Name: l.Name}
+			// Tag the worker-side span with the coordinator's lease and
+			// trace IDs so a local -trace file correlates with the
+			// coordinator's merged timeline.
+			sp := obs.StartSpan("worker-job").
+				ArgInt("lease", int64(l.ID)).
+				Arg("trace", l.Name).
+				Arg("trace_id", l.TraceID).
+				Lane(int64(i%8) + 1)
+			jr := JobResult{LeaseID: l.ID, CfgKey: l.CfgKey, Name: l.Name, StartUnixNano: s0.UnixNano()}
 			perf, err := w.runLease(ctx, v, env, l)
 			if err != nil {
 				jr.Err = err.Error()
@@ -172,6 +217,7 @@ func (w *Worker) runBatch(ctx context.Context, v *core.Validator, env *Env, leas
 				jr.Perf = perf
 			}
 			jr.SimNS = time.Since(s0).Nanoseconds()
+			sp.End()
 			results[i] = jr
 		}(i, l)
 	}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: a bounded ring buffer of recent structured events —
+// lease grants and expiries, reassignments, retries, faults, checkpoint
+// writes — kept for post-mortems. The CLI layer dumps it to stderr on
+// SIGQUIT and serves it at /eventz. Like every observer in this
+// package, it is nil-safe and never influences the computation it
+// records; with no recorder installed the global RecordEvent is one
+// atomic load and a nil check.
+
+// FlightEvent is one recorded event.
+type FlightEvent struct {
+	// Seq is the event's position in the recorder's lifetime stream;
+	// gaps below the first retained event mean the ring wrapped.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind names the event ("lease-expired", "sim-retry", "checkpoint",
+	// ...). Kinds prefixed "warn-" are anomalies worth paging on.
+	Kind   string `json:"kind"`
+	Fields []KV   `json:"fields,omitempty"`
+}
+
+// KV is one ordered event annotation.
+type KV struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// FlightRecorder retains the most recent events in a fixed ring.
+// All methods are safe for concurrent use and no-ops on nil.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []FlightEvent
+	next uint64           // total events ever recorded
+	now  func() time.Time // injectable clock (tests)
+}
+
+// NewFlightRecorder builds a recorder retaining up to capacity events
+// (<=0 selects 256).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, capacity), now: time.Now}
+}
+
+// Record appends one event; kv is alternating key/value pairs.
+func (f *FlightRecorder) Record(kind string, kv ...string) {
+	if f == nil {
+		return
+	}
+	var fields []KV
+	for i := 0; i+1 < len(kv); i += 2 {
+		fields = append(fields, KV{Key: kv[i], Value: kv[i+1]})
+	}
+	f.mu.Lock()
+	f.ring[f.next%uint64(len(f.ring))] = FlightEvent{
+		Seq: f.next, Time: f.now(), Kind: kind, Fields: fields,
+	}
+	f.next++
+	f.mu.Unlock()
+}
+
+// Events returns the retained events in chronological order (nil on a
+// nil recorder).
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.next
+	cap64 := uint64(len(f.ring))
+	start := uint64(0)
+	if n > cap64 {
+		start = n - cap64
+	}
+	out := make([]FlightEvent, 0, n-start)
+	for s := start; s < n; s++ {
+		out = append(out, f.ring[s%cap64])
+	}
+	return out
+}
+
+// Dropped reports how many events fell off the ring.
+func (f *FlightRecorder) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cap64 := uint64(len(f.ring)); f.next > cap64 {
+		return f.next - cap64
+	}
+	return 0
+}
+
+// WriteText dumps the retained events as one line each — the SIGQUIT
+// post-mortem format.
+func (f *FlightRecorder) WriteText(w io.Writer) error {
+	events := f.Events()
+	if _, err := fmt.Fprintf(w, "flight recorder: %d events retained, %d dropped\n",
+		len(events), f.Dropped()); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "[%06d] %s %s", e.Seq, e.Time.Format("15:04:05.000"), e.Kind); err != nil {
+			return err
+		}
+		for _, kv := range e.Fields {
+			if _, err := fmt.Fprintf(w, " %s=%s", kv.Key, kv.Value); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON dumps the retained events as an indented JSON array (the
+// /eventz format).
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	events := f.Events()
+	if events == nil {
+		events = []FlightEvent{}
+	}
+	return enc.Encode(events)
+}
+
+// globalRecorder is the process-wide recorder used by RecordEvent, so
+// deeply nested layers (coordinator, validator, tuner) need no recorder
+// plumbing.
+var globalRecorder atomic.Pointer[FlightRecorder]
+
+// SetFlightRecorder installs (or, with nil, removes) the global
+// recorder.
+func SetFlightRecorder(f *FlightRecorder) { globalRecorder.Store(f) }
+
+// Recorder returns the installed global recorder (nil when disabled).
+func Recorder() *FlightRecorder { return globalRecorder.Load() }
+
+// RecordEvent records an event on the global recorder; with none
+// installed it is a no-op.
+func RecordEvent(kind string, kv ...string) {
+	globalRecorder.Load().Record(kind, kv...)
+}

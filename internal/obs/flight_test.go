@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	f.now = func() time.Time { return base }
+
+	for i := 0; i < 6; i++ {
+		f.Record("tick", "i", string(rune('0'+i)))
+	}
+	events := f.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	if events[0].Seq != 2 || events[3].Seq != 5 {
+		t.Fatalf("retained seqs %d..%d, want 2..5", events[0].Seq, events[3].Seq)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatal("events out of order")
+		}
+	}
+	if f.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", f.Dropped())
+	}
+}
+
+func TestFlightRecorderDumps(t *testing.T) {
+	f := NewFlightRecorder(8)
+	base := time.Date(2026, 1, 2, 3, 4, 5, 123456789, time.UTC)
+	f.now = func() time.Time { return base }
+	f.Record("lease-expired", "lease", "7", "worker", "w1")
+	f.Record("warn-flaky-job", "trace", "Database#0")
+
+	var text strings.Builder
+	if err := f.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{
+		"2 events retained, 0 dropped",
+		"[000000] 03:04:05.123 lease-expired lease=7 worker=w1",
+		"[000001] 03:04:05.123 warn-flaky-job trace=Database#0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf strings.Builder
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []FlightEvent
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[1].Kind != "warn-flaky-job" {
+		t.Fatalf("bad JSON dump: %+v", decoded)
+	}
+}
+
+func TestFlightRecorderNilAndGlobal(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("ignored")
+	if f.Events() != nil || f.Dropped() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+
+	// No global recorder installed: RecordEvent is a no-op.
+	SetFlightRecorder(nil)
+	RecordEvent("dropped-on-floor")
+
+	rec := NewFlightRecorder(16)
+	SetFlightRecorder(rec)
+	defer SetFlightRecorder(nil)
+	RecordEvent("checkpoint", "path", "x.json")
+	if events := Recorder().Events(); len(events) != 1 || events[0].Kind != "checkpoint" {
+		t.Fatalf("global record missing: %+v", events)
+	}
+
+	// Odd kv tail is tolerated (last key dropped).
+	rec.Record("odd", "k1", "v1", "dangling")
+	events := rec.Events()
+	last := events[len(events)-1]
+	if len(last.Fields) != 1 || last.Fields[0] != (KV{"k1", "v1"}) {
+		t.Fatalf("odd kv handling: %+v", last.Fields)
+	}
+}

@@ -1,0 +1,152 @@
+// Package httpobs serves live introspection over HTTP for any autoblox
+// process (coordinator, worker, or single-binary run):
+//
+//	/metrics      Prometheus text exposition of the process registry
+//	/statusz      JSON fleet/process status (pluggable provider)
+//	/tunez        JSON live tune progress (same snapshot as -progress)
+//	/eventz       JSON flight-recorder dump (recent structured events)
+//	/debug/pprof  net/http/pprof profiles
+//
+// The server is an observer only: every handler renders a point-in-time
+// snapshot, and a nil registry/status/tune/flight source renders an
+// empty document rather than an error, so wiring is optional per
+// binary.
+package httpobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+
+	"autoblox/internal/obs"
+)
+
+// Options selects the data sources behind each endpoint. Any field may
+// be nil; the matching endpoint then serves an empty snapshot.
+type Options struct {
+	// Registry backs /metrics.
+	Registry *obs.Registry
+	// Tune backs /tunez.
+	Tune *obs.TuneStatus
+	// Flight backs /eventz; nil falls back to the global recorder.
+	Flight *obs.FlightRecorder
+	// Status supplies the application section of /statusz — typically
+	// the distributed fleet view (connected workers, leases, per-worker
+	// tallies). It must return a JSON-serializable value.
+	Status func() any
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Start listens on addr (e.g. "localhost:8080", ":0" for an ephemeral
+// port) and serves the introspection endpoints until Close.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := opts.Registry.WritePrometheus(w); err != nil {
+			fmt.Fprintln(os.Stderr, "httpobs: /metrics:", err)
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		doc := map[string]any{
+			"pid":        os.Getpid(),
+			"go_version": runtime.Version(),
+			"goroutines": runtime.NumGoroutine(),
+			"uptime":     time.Since(s.start).Round(time.Millisecond).String(),
+		}
+		if opts.Status != nil {
+			if v := opts.Status(); v != nil {
+				doc["fleet"] = v
+			}
+		}
+		writeJSON(w, doc)
+	})
+	mux.HandleFunc("/tunez", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, opts.Tune.Snapshot())
+	})
+	mux.HandleFunc("/eventz", func(w http.ResponseWriter, r *http.Request) {
+		rec := opts.Flight
+		if rec == nil {
+			rec = obs.Recorder()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := rec.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "httpobs: /eventz:", err)
+		}
+	})
+	// pprof registers on http.DefaultServeMux via init; re-register its
+	// handlers explicitly so this private mux serves them too.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "httpobs:", err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// handleIndex lists the endpoints.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `autoblox introspection
+/metrics      Prometheus text exposition
+/statusz      process + fleet status (JSON)
+/tunez        live tune progress (JSON)
+/eventz       flight recorder dump (JSON)
+/debug/pprof  profiles
+`)
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "httpobs:", err)
+	}
+}

@@ -1,0 +1,129 @@
+package httpobs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"autoblox/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("sim_runs_total").Add(9)
+	reg.Counter(`worker_jobs_total{worker="w1"}`).Add(4)
+
+	tune := obs.NewTuneStatus()
+	tune.Begin("Database", 10)
+	tune.Update(2, 0.75)
+
+	flight := obs.NewFlightRecorder(16)
+	flight.Record("lease-expired", "lease", "3")
+
+	srv, err := Start("127.0.0.1:0", Options{
+		Registry: reg,
+		Tune:     tune,
+		Flight:   flight,
+		Status:   func() any { return map[string]int{"workers": 2} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE sim_runs_total counter",
+		"sim_runs_total 9",
+		`worker_jobs_total{worker="w1"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var statusz struct {
+		PID   int            `json:"pid"`
+		Fleet map[string]int `json:"fleet"`
+	}
+	if err := json.Unmarshal([]byte(body), &statusz); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if statusz.PID == 0 || statusz.Fleet["workers"] != 2 {
+		t.Fatalf("/statusz content: %s", body)
+	}
+
+	code, body = get(t, base+"/tunez")
+	if code != 200 {
+		t.Fatalf("/tunez status %d", code)
+	}
+	var snap obs.TuneSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/tunez not JSON: %v\n%s", err, body)
+	}
+	if snap.Target != "Database" || snap.Iteration != 3 || snap.BestGrade != 0.75 {
+		t.Fatalf("/tunez content: %+v", snap)
+	}
+
+	code, body = get(t, base+"/eventz")
+	if code != 200 {
+		t.Fatalf("/eventz status %d", code)
+	}
+	var events []obs.FlightEvent
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/eventz not JSON: %v\n%s", err, body)
+	}
+	if len(events) != 1 || events[0].Kind != "lease-expired" {
+		t.Fatalf("/eventz content: %s", body)
+	}
+
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %s", code, body)
+	}
+	if code, _ := get(t, base+"/nonexistent"); code != 404 {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+// TestServerNilSources: every endpoint stays up with no data sources —
+// wiring is optional per binary.
+func TestServerNilSources(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/metrics", "/statusz", "/tunez", "/eventz"} {
+		if code, _ := get(t, base+path); code != 200 {
+			t.Errorf("%s status %d with nil sources", path, code)
+		}
+	}
+}

@@ -3,24 +3,19 @@ package obs
 import (
 	"fmt"
 	"io"
-	"math"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
-// Progress periodically prints a one-line status — simulations/second
-// from a counter, plus iteration progress and an ETA when the caller
-// feeds them in — to a writer (typically stderr). It is purely an
-// observer: it never influences the computation it reports on.
+// Progress periodically prints a one-line status to a writer (typically
+// stderr). It renders TuneSnapshot.Line from the same TuneStatus that
+// backs the /tunez HTTP endpoint, so the ticker and the endpoint can
+// never disagree. It is purely an observer: it never influences the
+// computation it reports on.
 type Progress struct {
 	w        io.Writer
-	sims     *Counter // may be nil; rate then reads as 0
+	st       *TuneStatus
 	interval time.Duration
-
-	total atomic.Int64
-	iter  atomic.Int64
-	best  atomic.Uint64 // float64 bits
 
 	start    time.Time
 	stop     chan struct{}
@@ -28,22 +23,33 @@ type Progress struct {
 	stopOnce sync.Once
 }
 
-// NewProgress builds a reporter over a sims counter. A zero interval
+// NewProgress builds a reporter over a tune status. A zero interval
 // defaults to 2s.
-func NewProgress(w io.Writer, sims *Counter, interval time.Duration) *Progress {
+func NewProgress(w io.Writer, st *TuneStatus, interval time.Duration) *Progress {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
+	if st == nil {
+		st = NewTuneStatus()
+	}
 	return &Progress{
-		w: w, sims: sims, interval: interval,
+		w: w, st: st, interval: interval,
 		stop: make(chan struct{}), done: make(chan struct{}),
 	}
+}
+
+// Status exposes the backing TuneStatus (nil on a nil reporter).
+func (p *Progress) Status() *TuneStatus {
+	if p == nil {
+		return nil
+	}
+	return p.st
 }
 
 // SetTotal declares the expected iteration count (enables the ETA).
 func (p *Progress) SetTotal(n int) {
 	if p != nil {
-		p.total.Store(int64(n))
+		p.st.SetTotal(n)
 	}
 }
 
@@ -52,8 +58,7 @@ func (p *Progress) Update(iter int, best float64) {
 	if p == nil {
 		return
 	}
-	p.iter.Store(int64(iter) + 1)
-	p.best.Store(math.Float64bits(best))
+	p.st.Update(iter, best)
 }
 
 // Start launches the ticker goroutine.
@@ -66,17 +71,17 @@ func (p *Progress) Start() {
 		defer close(p.done)
 		tick := time.NewTicker(p.interval)
 		defer tick.Stop()
-		lastSims := p.sims.Value()
+		lastSims := p.st.Snapshot().Sims
 		lastTime := p.start
 		for {
 			select {
 			case <-p.stop:
 				return
 			case now := <-tick.C:
-				cur := p.sims.Value()
-				rate := float64(cur-lastSims) / now.Sub(lastTime).Seconds()
-				lastSims, lastTime = cur, now
-				p.line(cur, rate)
+				snap := p.st.Snapshot()
+				rate := float64(snap.Sims-lastSims) / now.Sub(lastTime).Seconds()
+				lastSims, lastTime = snap.Sims, now
+				fmt.Fprintln(p.w, snap.Line(rate))
 			}
 		}
 	}()
@@ -90,27 +95,10 @@ func (p *Progress) Stop() {
 	p.stopOnce.Do(func() {
 		close(p.stop)
 		<-p.done
+		p.st.Done()
 		elapsed := time.Since(p.start)
-		cur := p.sims.Value()
+		cur := p.st.Snapshot().Sims
 		fmt.Fprintf(p.w, "progress: done: %d sims in %v (%.1f sims/s)\n",
 			cur, elapsed.Round(time.Millisecond), float64(cur)/elapsed.Seconds())
 	})
-}
-
-// line prints one status line.
-func (p *Progress) line(sims int64, rate float64) {
-	fmt.Fprintf(p.w, "progress: %d sims (%.1f/s)", sims, rate)
-	iter, total := p.iter.Load(), p.total.Load()
-	if iter > 0 {
-		fmt.Fprintf(p.w, " iter %d", iter)
-		if total > 0 {
-			fmt.Fprintf(p.w, "/%d", total)
-		}
-		fmt.Fprintf(p.w, " best %.4f", math.Float64frombits(p.best.Load()))
-		if total > iter {
-			eta := time.Duration(float64(time.Since(p.start)) / float64(iter) * float64(total-iter))
-			fmt.Fprintf(p.w, " eta %v", eta.Round(time.Second))
-		}
-	}
-	fmt.Fprintln(p.w)
 }

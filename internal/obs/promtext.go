@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition, lint-clean: every metric family gets a
+// `# HELP` and `# TYPE` header, label values are escaped per the
+// exposition format (backslash, quote, newline), and both families and
+// the series within a family are emitted in sorted order, so two
+// exports of the same state are byte-identical.
+
+// SetHelp registers the HELP text for a metric family (the series name
+// with any baked-in label set stripped). Unregistered families export a
+// generic description. No-op on a nil registry.
+func (r *Registry) SetHelp(family, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = map[string]string{}
+	}
+	r.help[family] = text
+}
+
+// helpFor resolves a family's HELP text.
+func (r *Registry) helpFor(family string) string {
+	if r != nil {
+		r.mu.RLock()
+		text, ok := r.help[family]
+		r.mu.RUnlock()
+		if ok {
+			return text
+		}
+	}
+	return "autoblox metric " + family
+}
+
+// splitSeries separates a series name into its family and baked-in
+// label-set body ("" when the name carries no labels).
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// labelPair is one parsed baked-in label.
+type labelPair struct{ key, value string }
+
+// parseLabels splits a label-set body into pairs. Values may be quoted
+// (commas and escapes inside quotes are honored) or bare; either way
+// they are re-escaped on output, so a caller that baked an unescaped
+// value still exports legally.
+func parseLabels(body string) []labelPair {
+	var out []labelPair
+	for i := 0; i < len(body); {
+		// key
+		eq := -1
+		for j := i; j < len(body); j++ {
+			if body[j] == '=' {
+				eq = j
+				break
+			}
+		}
+		if eq < 0 {
+			break
+		}
+		key := strings.TrimSpace(body[i:eq])
+		// value: quoted or bare
+		j := eq + 1
+		var val string
+		if j < len(body) && body[j] == '"' {
+			j++
+			var b strings.Builder
+			for j < len(body) && body[j] != '"' {
+				if body[j] == '\\' && j+1 < len(body) {
+					j++
+					switch body[j] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					default:
+						b.WriteByte(body[j])
+					}
+				} else {
+					b.WriteByte(body[j])
+				}
+				j++
+			}
+			j++ // closing quote
+			val = b.String()
+		} else {
+			k := j
+			for k < len(body) && body[k] != ',' {
+				k++
+			}
+			val = strings.TrimSpace(body[j:k])
+			j = k
+		}
+		out = append(out, labelPair{key: key, value: val})
+		for j < len(body) && (body[j] == ',' || body[j] == ' ') {
+			j++
+		}
+		i = j
+	}
+	return out
+}
+
+// escapeLabelValue applies the exposition-format escapes.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// renderLabels formats parsed pairs (plus optional extras) back into a
+// `{k="v",...}` body; "" when there are no labels at all.
+func renderLabels(pairs []labelPair, extra ...labelPair) string {
+	all := append(append([]labelPair{}, pairs...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promSample is one rendered sample line body (everything after the
+// family-derived name prefix).
+type promSample struct {
+	sortKey string // label body, for deterministic within-family order
+	lines   []string
+}
+
+// promFamily groups the series of one metric family.
+type promFamily struct {
+	name    string
+	kind    string // "counter", "gauge", "histogram"
+	samples []promSample
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format: `# HELP` and `# TYPE` headers per family, counters and gauges
+// as plain samples, histograms as cumulative `_bucket{le=...}` series
+// (non-empty buckets only) plus `_sum` and `_count`. Families and the
+// series within each family are sorted, label values escaped — the
+// output is deterministic and promlint-clean.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	fams := map[string]*promFamily{}
+	add := func(name, kind string, sample promSample) {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, kind: kind}
+			fams[name] = f
+		}
+		f.samples = append(f.samples, sample)
+	}
+
+	for name, v := range s.Counters {
+		fam, body := splitSeries(name)
+		labels := renderLabels(parseLabels(body))
+		add(fam, "counter", promSample{
+			sortKey: labels,
+			lines:   []string{fmt.Sprintf("%s%s %d", fam, labels, v)},
+		})
+	}
+	for name, v := range s.Gauges {
+		fam, body := splitSeries(name)
+		labels := renderLabels(parseLabels(body))
+		add(fam, "gauge", promSample{
+			sortKey: labels,
+			lines:   []string{fmt.Sprintf("%s%s %g", fam, labels, v)},
+		})
+	}
+	for name, h := range s.Histograms {
+		fam, body := splitSeries(name)
+		pairs := parseLabels(body)
+		var lines []string
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := renderLabels(pairs, labelPair{key: "le", value: fmt.Sprintf("%d", b.High)})
+			lines = append(lines, fmt.Sprintf("%s_bucket%s %d", fam, le, cum))
+		}
+		inf := renderLabels(pairs, labelPair{key: "le", value: "+Inf"})
+		labels := renderLabels(pairs)
+		lines = append(lines,
+			fmt.Sprintf("%s_bucket%s %d", fam, inf, h.Count),
+			fmt.Sprintf("%s_sum%s %d", fam, labels, h.Sum),
+			fmt.Sprintf("%s_count%s %d", fam, labels, h.Count),
+		)
+		add(fam, "histogram", promSample{sortKey: labels, lines: lines})
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.samples, func(a, b int) bool { return f.samples[a].sortKey < f.samples[b].sortKey })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, r.helpFor(f.name), f.name, f.kind); err != nil {
+			return err
+		}
+		for _, sm := range f.samples {
+			for _, line := range sm.lines {
+				if _, err := fmt.Fprintln(w, line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -13,10 +13,8 @@ package obs
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -89,6 +87,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string // family -> HELP text (see SetHelp)
 }
 
 // NewRegistry returns an empty registry.
@@ -199,53 +198,4 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
-}
-
-// WritePrometheus writes the registry in the Prometheus text exposition
-// format: counters and gauges as plain samples, histograms as cumulative
-// `_bucket{le=...}` series (non-empty buckets only) plus `_sum` and
-// `_count`. Metric families are emitted in sorted name order so the
-// output is deterministic.
-func (r *Registry) WritePrometheus(w io.Writer) error {
-	s := r.Snapshot()
-	names := make([]string, 0, len(s.Counters))
-	for name := range s.Counters {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
-			return err
-		}
-	}
-	names = names[:0]
-	for name := range s.Gauges {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if _, err := fmt.Fprintf(w, "%s %g\n", name, s.Gauges[name]); err != nil {
-			return err
-		}
-	}
-	names = names[:0]
-	for name := range s.Histograms {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		h := s.Histograms[name]
-		var cum int64
-		for _, b := range h.Buckets {
-			cum += b.Count
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.High, cum); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
-			name, h.Count, name, h.Sum, name, h.Count); err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -33,6 +33,41 @@ func NewTracer(w io.Writer) *Tracer {
 	return t
 }
 
+// ID returns a stable 16-hex-digit identifier for this tracer, derived
+// from its start time. Coordinators stamp leases with it so worker-side
+// trace events can be correlated back to the originating tune ("" on a
+// nil tracer).
+func (t *Tracer) ID() string {
+	if t == nil {
+		return ""
+	}
+	return strconv.FormatUint(uint64(t.start.UnixNano()), 16)
+}
+
+// Complete emits a complete ("ph":"X") event with an explicitly supplied
+// start time and duration, rather than measuring them live. This is how
+// the coordinator replays remote worker spans into its own timeline
+// after clock-offset correction: start is expressed in the tracer's own
+// clock domain (events before the tracer started clamp to ts=0). Args
+// are alternating key/value pairs.
+func (t *Tracer) Complete(name string, lane int64, start time.Time, dur time.Duration, args ...string) {
+	if t == nil {
+		return
+	}
+	var as []spanArg
+	for i := 0; i+1 < len(args); i += 2 {
+		as = append(as, spanArg{args[i], args[i+1]})
+	}
+	ts := start.Sub(t.start)
+	if ts < 0 {
+		ts = 0
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.emit(name, "X", lane, ts, dur, as)
+}
+
 // Err reports the first write error, if any.
 func (t *Tracer) Err() error {
 	if t == nil {
@@ -188,4 +223,16 @@ func StartSpan(name string) *Span {
 // Instant emits an instant event on the global tracer, if installed.
 func Instant(name string, args ...string) {
 	globalTracer.Load().Instant(name, args...)
+}
+
+// TraceID returns the global tracer's correlation ID ("" when tracing is
+// disabled).
+func TraceID() string {
+	return globalTracer.Load().ID()
+}
+
+// Complete emits an explicit-time complete event on the global tracer,
+// if installed.
+func Complete(name string, lane int64, start time.Time, dur time.Duration, args ...string) {
+	globalTracer.Load().Complete(name, lane, start, dur, args...)
 }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TuneStatus is the single live-progress source for a tuning run: the
+// -progress stderr ticker and the /tunez HTTP endpoint both render a
+// TuneSnapshot taken from the same TuneStatus, so the two surfaces can
+// never disagree. It is a pure observer — atomically updated from the
+// tuner's OnIteration/OnCheckpoint hooks, never read by the search.
+// All methods are nil-safe no-ops.
+type TuneStatus struct {
+	mu       sync.Mutex // guards target, ckptPath
+	target   string
+	ckptPath string
+
+	startNS atomic.Int64 // unix ns of Begin; 0 = no run yet
+	total   atomic.Int64
+	iter    atomic.Int64
+	best    atomic.Uint64 // float64 bits
+	sims    atomic.Pointer[Counter]
+	ckptNS  atomic.Int64 // unix ns of the last checkpoint write
+	running atomic.Bool
+}
+
+// NewTuneStatus returns an empty status.
+func NewTuneStatus() *TuneStatus { return &TuneStatus{} }
+
+// SetSims wires the counter that tracks fresh measurements (sims spent).
+func (s *TuneStatus) SetSims(c *Counter) {
+	if s != nil {
+		s.sims.Store(c)
+	}
+}
+
+// Begin marks the start of a tuning run.
+func (s *TuneStatus) Begin(target string, totalIters int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.target = target
+	s.mu.Unlock()
+	s.total.Store(int64(totalIters))
+	s.iter.Store(0)
+	s.best.Store(math.Float64bits(math.NaN()))
+	s.startNS.Store(time.Now().UnixNano())
+	s.running.Store(true)
+}
+
+// SetTotal declares the expected iteration count (enables the ETA).
+func (s *TuneStatus) SetTotal(n int) {
+	if s != nil {
+		s.total.Store(int64(n))
+	}
+}
+
+// Update records iteration progress; its signature matches the tuner's
+// OnIteration hook, so CLIs wire it directly.
+func (s *TuneStatus) Update(iter int, best float64) {
+	if s == nil {
+		return
+	}
+	if s.startNS.Load() == 0 {
+		s.startNS.Store(time.Now().UnixNano())
+		s.running.Store(true)
+	}
+	s.iter.Store(int64(iter) + 1)
+	s.best.Store(math.Float64bits(best))
+}
+
+// MarkCheckpoint records a successful checkpoint write; its signature
+// matches the tuner's OnCheckpoint hook.
+func (s *TuneStatus) MarkCheckpoint(path string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ckptPath = path
+	s.mu.Unlock()
+	s.ckptNS.Store(time.Now().UnixNano())
+}
+
+// Done marks the run finished.
+func (s *TuneStatus) Done() {
+	if s != nil {
+		s.running.Store(false)
+	}
+}
+
+// TuneSnapshot is a point-in-time view of a tuning run — the one struct
+// behind both the -progress ticker line and /tunez.
+type TuneSnapshot struct {
+	Target          string  `json:"target,omitempty"`
+	Running         bool    `json:"running"`
+	Iteration       int     `json:"iteration"`
+	TotalIterations int     `json:"total_iterations,omitempty"`
+	BestGrade       float64 `json:"best_grade"`
+	Sims            int64   `json:"sims"`
+	ElapsedNS       int64   `json:"elapsed_ns"`
+	CheckpointPath  string  `json:"checkpoint_path,omitempty"`
+	// CheckpointAgeNS is time since the last checkpoint write; -1 when
+	// no checkpoint was written yet.
+	CheckpointAgeNS int64 `json:"checkpoint_age_ns"`
+}
+
+// Snapshot captures the current state (zero snapshot on nil).
+func (s *TuneStatus) Snapshot() TuneSnapshot {
+	if s == nil {
+		return TuneSnapshot{CheckpointAgeNS: -1}
+	}
+	s.mu.Lock()
+	target, ckptPath := s.target, s.ckptPath
+	s.mu.Unlock()
+	snap := TuneSnapshot{
+		Target:          target,
+		Running:         s.running.Load(),
+		Iteration:       int(s.iter.Load()),
+		TotalIterations: int(s.total.Load()),
+		Sims:            s.sims.Load().Value(),
+		CheckpointPath:  ckptPath,
+		CheckpointAgeNS: -1,
+	}
+	if b := math.Float64frombits(s.best.Load()); !math.IsNaN(b) {
+		snap.BestGrade = b
+	}
+	if start := s.startNS.Load(); start != 0 {
+		snap.ElapsedNS = time.Now().UnixNano() - start
+	}
+	if ck := s.ckptNS.Load(); ck != 0 {
+		snap.CheckpointAgeNS = time.Now().UnixNano() - ck
+	}
+	return snap
+}
+
+// Line renders the snapshot as the canonical one-line progress report,
+// optionally with a sims/sec rate (NaN suppresses it).
+func (s TuneSnapshot) Line(rate float64) string {
+	out := fmt.Sprintf("progress: %d sims", s.Sims)
+	if !math.IsNaN(rate) {
+		out += fmt.Sprintf(" (%.1f/s)", rate)
+	}
+	if s.Iteration > 0 {
+		out += fmt.Sprintf(" iter %d", s.Iteration)
+		if s.TotalIterations > 0 {
+			out += fmt.Sprintf("/%d", s.TotalIterations)
+		}
+		out += fmt.Sprintf(" best %.4f", s.BestGrade)
+		if s.TotalIterations > s.Iteration && s.ElapsedNS > 0 {
+			eta := time.Duration(float64(s.ElapsedNS) / float64(s.Iteration) * float64(s.TotalIterations-s.Iteration))
+			out += fmt.Sprintf(" eta %v", eta.Round(time.Second))
+		}
+	}
+	if s.CheckpointAgeNS >= 0 {
+		out += fmt.Sprintf(" ckpt %vago", time.Duration(s.CheckpointAgeNS).Round(time.Second))
+	}
+	return out
+}

@@ -19,6 +19,7 @@ import (
 
 	"autoblox/internal/core"
 	"autoblox/internal/obs"
+	"autoblox/internal/obs/httpobs"
 	"autoblox/internal/ssd"
 	"autoblox/internal/ssdconf"
 	"autoblox/internal/trace"
@@ -97,11 +98,13 @@ func BenchmarkTuneSerialVsParallel(b *testing.B) {
 }
 
 // BenchmarkTuneObserved repeats the parallel-8 tuning run with the full
-// observability stack live — a metrics registry on the validator and a
-// global tracer streaming spans to io.Discard. Comparing its ns/op
-// against BenchmarkTuneSerialVsParallel/parallel-8 measures the
-// instrumentation overhead; the nil-hook (disabled) path is covered by
-// the obs package's zero-allocation benchmarks.
+// observability control plane live — a metrics registry on the
+// validator, a global tracer streaming spans to io.Discard, a flight
+// recorder, a TuneStatus fed by the iteration hook, and an introspection
+// HTTP server up (idle but listening, as in a real -http run). Comparing
+// its ns/op against BenchmarkTuneSerialVsParallel/parallel-8 measures
+// the instrumentation overhead; the nil-hook (disabled) path is covered
+// by the obs package's zero-allocation benchmarks.
 func BenchmarkTuneObserved(b *testing.B) {
 	ws := benchTraces(b)
 	var grade float64
@@ -110,6 +113,16 @@ func BenchmarkTuneObserved(b *testing.B) {
 		v, ref := coldValidator(ws, 8)
 		v.Obs = obs.NewRegistry()
 		obs.SetTracer(obs.NewTracer(io.Discard))
+		obs.SetFlightRecorder(obs.NewFlightRecorder(1024))
+		st := obs.NewTuneStatus()
+		st.SetSims(v.Obs.Counter(core.MetricSimRuns))
+		st.Begin(string(workload.Database), 6)
+		srv, err := httpobs.Start("127.0.0.1:0", httpobs.Options{
+			Registry: v.Obs, Tune: st, Flight: obs.Recorder(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.StartTimer()
 		g, err := core.NewGrader(context.Background(), v, ref, core.DefaultAlpha, core.DefaultBeta)
 		if err != nil {
@@ -117,6 +130,7 @@ func BenchmarkTuneObserved(b *testing.B) {
 		}
 		tuner, err := core.NewTuner(v.Space, v, g, core.TunerOptions{
 			Seed: 5, MaxIterations: 6, SGDSteps: 3,
+			OnIteration: st.Update,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -127,7 +141,10 @@ func BenchmarkTuneObserved(b *testing.B) {
 		}
 		grade = res.BestGrade
 		b.StopTimer()
+		st.Done()
+		srv.Close()
 		obs.SetTracer(nil)
+		obs.SetFlightRecorder(nil)
 		b.StartTimer()
 	}
 	b.ReportMetric(grade, "best_grade")
