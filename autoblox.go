@@ -37,7 +37,7 @@ type (
 	// Constraints is the set_cons(capacity, interface, flash_type,
 	// power_budget) tuple of §3.5.
 	Constraints = ssdconf.Constraints
-	// Config is a point in the 48-parameter configuration space.
+	// Config is a point in the 52-parameter configuration space.
 	Config = ssdconf.Config
 	// Space is the tunable parameter space under constraints.
 	Space = ssdconf.Space

@@ -145,8 +145,8 @@ func TestFrameworkPrune(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 35 numeric + 3 tunable categorical policy dimensions.
-	if len(coarse.Sweeps) != 38 || len(fine.Order) == 0 {
+	// 38 numeric + 4 tunable categorical dimensions.
+	if len(coarse.Sweeps) != 42 || len(fine.Order) == 0 {
 		t.Fatalf("prune outputs: %d sweeps, %d order", len(coarse.Sweeps), len(fine.Order))
 	}
 	if _, _, err := fw.Prune("nope", PruneOptions{}); err == nil {

@@ -44,6 +44,12 @@ func main() {
 	gcPolicy := flag.String("gc", "", "override GC victim policy: "+ssd.DescribeGCPolicies())
 	cachePolicy := flag.String("cachepolicy", "", "override cache replacement policy: "+ssd.DescribeCachePolicies())
 	alloc := flag.String("alloc", "", "override plane allocation scheme: "+strings.Join(ssd.AllocSchemeNames(), ", "))
+	iface := flag.String("iface", "", "override host interface model: "+ssd.DescribeHostIfcs())
+	zoneMB := flag.Int("zones", 0, "override ZNS zone size (MB)")
+	openZones := flag.Int("openzones", 0, "override ZNS max open zones")
+	streams := flag.Int("streams", 0, "override multi-stream write stream count")
+	trimRatio := flag.Float64("trim", 0, "fraction of generated writes emitted as TRIMs (with -workload)")
+	genStreams := flag.Int("tagstreams", 0, "stamp generated requests with stream tags 1..N (with -workload)")
 	faultRate := flag.Float64("faultrate", 0, "per-operation fault probability for program/erase/read (0 = no injection)")
 	faultSeed := flag.Int64("faultseed", 1, "seed of the private fault RNG stream")
 	faultDies := flag.Int("faultdies", 0, "fail this many whole dies at initialization")
@@ -111,6 +117,23 @@ func main() {
 		}
 		dev.PlaneAllocScheme = scheme
 	}
+	if *iface != "" {
+		m, err := ssd.ParseHostIfc(*iface)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssdsim:", err)
+			os.Exit(2)
+		}
+		dev.HostIfcModel = m
+	}
+	if *zoneMB > 0 {
+		dev.ZoneSizeMB = *zoneMB
+	}
+	if *openZones > 0 {
+		dev.MaxOpenZones = *openZones
+	}
+	if *streams > 0 {
+		dev.WriteStreams = *streams
+	}
 	if *faultRate > 0 || *faultDies > 0 {
 		dev.Faults = ssd.FaultProfile{Rate: *faultRate, Seed: *faultSeed, DieFailures: *faultDies}
 	}
@@ -120,7 +143,9 @@ func main() {
 	cleanup := func() {}
 	switch {
 	case *cat != "":
-		src, err = workload.NewSource(workload.Category(*cat), workload.Options{Requests: *requests, Seed: *seed})
+		src, err = workload.NewSource(workload.Category(*cat), workload.Options{
+			Requests: *requests, Seed: *seed, TrimRatio: *trimRatio, Streams: *genStreams,
+		})
 	case *tracePath != "":
 		src, cleanup, err = openTraceSource(*tracePath, *format, *materialize)
 	default:
@@ -155,8 +180,8 @@ func main() {
 	fmt.Printf("device:   %s, %dch x %dchip x %ddie x %dplane, %s page %dB, cache %dMB, CMT %dMB, QD %d\n",
 		dev.HostInterface, dev.Channels, dev.ChipsPerChannel, dev.DiesPerChip, dev.PlanesPerDie,
 		dev.FlashType, dev.PageSizeBytes, dev.DataCacheBytes>>20, dev.CMTBytes>>20, dev.QueueDepth)
-	fmt.Printf("policies: gc %s, cache %s, alloc %s\n",
-		dev.GCPolicy, dev.CachePolicy, dev.PlaneAllocScheme)
+	fmt.Printf("policies: gc %s, cache %s, alloc %s, iface %s\n",
+		dev.GCPolicy, dev.CachePolicy, dev.PlaneAllocScheme, dev.HostIfcModel)
 	fmt.Printf("capacity: %.1f GB raw / %.1f GB usable\n",
 		float64(dev.CapacityBytes())/1e9, float64(dev.UsableBytes())/1e9)
 	fmt.Printf("requests: %d over %v\n", res.Requests, res.Makespan.Round(time.Millisecond))
@@ -171,6 +196,10 @@ func main() {
 	fmt.Printf("caches:   data %.1f%% hit, CMT %.1f%% hit\n",
 		hitPct(res.CacheHits, res.CacheMisses), hitPct(res.CMTHits, res.CMTMisses))
 	fmt.Printf("channels: %.1f%% utilized\n", res.ChannelUtilization*100)
+	if res.UserTrims > 0 || dev.HostIfcModel != ssd.IfcConventional {
+		fmt.Printf("hostifc:  %d trims (%d pages invalidated), %d WP violations, %d zone resets\n",
+			res.UserTrims, res.TrimmedPages, res.WPViolations, res.ZoneResets)
+	}
 	if dev.Faults.Enabled() {
 		fmt.Printf("faults:   %d program / %d erase failures, %d read retries (%d ECC soft decodes), %d blocks retired (%d factory-bad)\n",
 			res.ProgramFailures, res.EraseFailures, res.ReadRetries, res.ECCSoftDecodes,

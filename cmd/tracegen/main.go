@@ -21,6 +21,8 @@ func main() {
 	cat := flag.String("workload", "", "workload category (see -list)")
 	requests := flag.Int("requests", 30000, "number of requests to generate")
 	seed := flag.Int64("seed", 42, "generator seed")
+	trimRatio := flag.Float64("trim", 0, "fraction of would-be writes emitted as TRIM (D) records")
+	streams := flag.Int("streams", 0, "stamp requests with multi-stream tags 1..N (0 = untagged)")
 	out := flag.String("o", "", "output file (default stdout)")
 	list := flag.Bool("list", false, "list workload categories and exit")
 	stats := flag.Bool("stats", false, "print trace statistics to stderr")
@@ -39,7 +41,7 @@ func main() {
 	// A streaming source keeps memory constant regardless of -requests:
 	// each sweep below (stats, write) re-derives the trace from the seed.
 	src, err := workload.NewSource(workload.Category(*cat), workload.Options{
-		Requests: *requests, Seed: *seed,
+		Requests: *requests, Seed: *seed, TrimRatio: *trimRatio, Streams: *streams,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)

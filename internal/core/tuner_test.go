@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"math/rand"
 	"testing"
+	"time"
 
 	"autoblox/internal/ssd"
 	"autoblox/internal/ssdconf"
@@ -16,11 +18,11 @@ func TestCoarsePrune(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Sweeps) != 38 {
-		t.Fatalf("swept %d parameters, want 38 (Fig. 4's 35 numeric + 3 tunable categoricals)", len(res.Sweeps))
+	if len(res.Sweeps) != 42 {
+		t.Fatalf("swept %d parameters, want 42 (Fig. 4's 35 numeric + 3 host-interface numerics + 4 tunable categoricals)", len(res.Sweeps))
 	}
 	// Tunable categoricals are swept across their whole domain.
-	for name, n := range map[string]int{"PlaneAllocationScheme": 16, "CachePolicy": 4, "GCPolicy": 3} {
+	for name, n := range map[string]int{"PlaneAllocationScheme": 16, "CachePolicy": 4, "GCPolicy": 3, "HostInterfaceModel": 3} {
 		if got := len(res.Sweeps[name]); got != n {
 			t.Fatalf("%s sweep has %d points, want %d (full domain)", name, got, n)
 		}
@@ -265,6 +267,159 @@ func TestTunerSelectsClockCache(t *testing.T) {
 	}
 	if res.BestGrade <= 0 {
 		t.Fatalf("selecting CLOCK should improve on the LRU baseline, grade = %g", res.BestGrade)
+	}
+}
+
+// hotColdTenants builds three single-tenant traces over disjoint LBA
+// regions of a small device: a hot tenant rewriting a small region, a
+// cold tenant streaming sequentially over a large one, and a reader
+// scanning the whole space (whose flash reads observe GC pauses).
+// MergeSourcesTagged interleaves them by arrival and stamps per-tenant
+// stream tags — the multi-tenant shape where per-stream write lanes pay
+// off: hot blocks die together instead of dragging cold survivors
+// through every collection.
+func hotColdTenants(n int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	const spp = 4 // 2048-byte pages = 4 sectors
+	var hot, cold, scan []trace.Request
+	coldLP := int64(750)
+	for i := 0; i < n; i++ {
+		arrival := time.Duration(i) * 150 * time.Nanosecond
+		switch draw := rng.Float64(); {
+		case draw < 0.55:
+			hot = append(hot, trace.Request{Arrival: arrival,
+				LBA: uint64(rng.Intn(750)) * spp, Sectors: spp, Op: trace.Write})
+		case draw < 0.85:
+			cold = append(cold, trace.Request{Arrival: arrival,
+				LBA: uint64(coldLP) * spp, Sectors: spp, Op: trace.Write})
+			coldLP++
+			if coldLP >= 7000 {
+				coldLP = 750
+			}
+		default:
+			scan = append(scan, trace.Request{Arrival: arrival,
+				LBA: uint64(rng.Intn(7000)) * spp, Sectors: spp, Op: trace.Read})
+		}
+	}
+	src := trace.MergeSourcesTagged("multi-tenant",
+		(&trace.Trace{Name: "hot", Requests: hot}).Source(),
+		(&trace.Trace{Name: "cold", Requests: cold}).Source(),
+		(&trace.Trace{Name: "scan", Requests: scan}).Source())
+	tr, err := trace.Materialize(src)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+func TestTunerSelectsMultiStream(t *testing.T) {
+	// Small capacity + copyback off keeps GC on the shared channel, so
+	// the write-amplification gap between mixed-lifetime blocks
+	// (conventional) and per-stream lanes (multi-stream) reaches the
+	// latency the grader sees.
+	cons := ssdconf.DefaultConstraints()
+	cons.CapacityBytes = 16 << 20
+	space := ssdconf.NewSpace(cons)
+	tiny := ssd.DefaultParams()
+	tiny.Channels, tiny.ChipsPerChannel, tiny.DiesPerChip, tiny.PlanesPerDie = 1, 1, 1, 1
+	tiny.BlocksPerPlane, tiny.PagesPerBlock, tiny.PageSizeBytes = 128, 64, 2048
+	tiny.CopybackEnabled = false
+	base := space.FromDevice(tiny)
+	if err := space.CheckConstraints(base); err != nil {
+		t.Fatalf("base violates constraints: %v", err)
+	}
+	target := "MultiTenant"
+	v := NewValidator(space, map[string]*trace.Trace{target: hotColdTenants(24000, 1)})
+	g, err := NewGrader(context.Background(), v, base, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(space, v, g, TunerOptions{
+		Seed: 5, MaxIterations: 6, SGDSteps: 3,
+		UseTuningOrder: true, Order: []string{"HostInterfaceModel"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune(context.Background(), target, []ssdconf.Config{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := space.ToDevice(res.Best); d.HostIfcModel != ssd.IfcMultiStream {
+		t.Fatalf("tuner selected interface %s (grade %g), want multistream", d.HostIfcModel, res.BestGrade)
+	}
+	if res.BestGrade <= 0 {
+		t.Fatalf("stream isolation should improve on the conventional baseline, grade = %g", res.BestGrade)
+	}
+}
+
+// seqScanTrace is a sequential write stream with a uniform random-read
+// scan whose mapping footprint exceeds the conventional CMT, so every
+// scan read pays a flash mapping lookup. The zone-granular mapping of
+// the ZNS model covers the same footprint with three orders of
+// magnitude fewer entries.
+func seqScanTrace(n int, seed int64, logicalBytes int64, pageBytes int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	spp := uint64(pageBytes / 512)
+	pages := uint64(logicalBytes) / uint64(pageBytes)
+	reqs := make([]trace.Request, 0, n)
+	w := uint64(0)
+	for i := 0; i < n; i++ {
+		r := trace.Request{Arrival: time.Duration(i) * time.Microsecond,
+			Sectors: uint32(spp), Op: trace.Write, LBA: w * spp}
+		if i%3 == 0 {
+			r.Op = trace.Read
+			r.LBA = (rng.Uint64() % pages) * spp
+		} else {
+			w = (w + 1) % pages
+		}
+		reqs = append(reqs, r)
+	}
+	return &trace.Trace{Name: "seq-scan", Requests: reqs}
+}
+
+func TestTunerSelectsZNS(t *testing.T) {
+	// A large device at the minimum grid CMT: the simulator's capacity
+	// folding leaves a per-page CMT covering only a sliver of the
+	// logical space, while the ZNS zone-granular table covers all of it.
+	cons := ssdconf.DefaultConstraints()
+	cons.CapacityBytes = 4 << 40
+	space := ssdconf.NewSpace(cons)
+	dev := ssd.DefaultParams()
+	dev.BlocksPerPlane, dev.PagesPerBlock = 2048, 1024
+	dev.CMTBytes = 32 << 20
+	dev.CMTEntryBytes = 16
+	dev.DataCacheBytes = 64 << 20
+	dev.ZoneSizeMB = 64
+	base := space.FromDevice(dev)
+	if err := space.CheckConstraints(base); err != nil {
+		t.Fatalf("base violates constraints: %v", err)
+	}
+	logical := int64(float64(dev.CapacityBytes()) * (1 - dev.OverprovisionRatio))
+	target := "SeqScan"
+	v := NewValidator(space, map[string]*trace.Trace{
+		target: seqScanTrace(45000, 4, logical, dev.PageSizeBytes),
+	})
+	g, err := NewGrader(context.Background(), v, base, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(space, v, g, TunerOptions{
+		Seed: 5, MaxIterations: 6, SGDSteps: 3,
+		UseTuningOrder: true, Order: []string{"HostInterfaceModel"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune(context.Background(), target, []ssdconf.Config{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := space.ToDevice(res.Best); d.HostIfcModel != ssd.IfcZNS {
+		t.Fatalf("tuner selected interface %s (grade %g), want zns", d.HostIfcModel, res.BestGrade)
+	}
+	if res.BestGrade <= 0 {
+		t.Fatalf("zone-granular mapping should improve on the conventional baseline, grade = %g", res.BestGrade)
 	}
 }
 

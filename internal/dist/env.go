@@ -20,6 +20,19 @@ type WorkloadSpec struct {
 	Category string `json:"category"`
 	Requests int    `json:"requests"`
 	Seed     int64  `json:"seed"`
+	// TrimRatio and Streams mirror workload.Options: omitted (zero)
+	// values reproduce the pre-host-interface request streams, so specs
+	// serialized by older coordinators keep their meaning.
+	TrimRatio float64 `json:"trim_ratio,omitempty"`
+	Streams   int     `json:"streams,omitempty"`
+}
+
+// options converts the spec to generator options.
+func (sp WorkloadSpec) options() workload.Options {
+	return workload.Options{
+		Requests: sp.Requests, Seed: sp.Seed,
+		TrimRatio: sp.TrimRatio, Streams: sp.Streams,
+	}
 }
 
 // Env is the portable measurement environment a coordinator ships to
@@ -69,8 +82,7 @@ func (e *Env) Sources() (map[string][]trace.SourceFactory, error) {
 	for cl, specs := range e.Workloads {
 		fs := make([]trace.SourceFactory, len(specs))
 		for i, sp := range specs {
-			f, err := workload.Factory(workload.Category(sp.Category),
-				workload.Options{Requests: sp.Requests, Seed: sp.Seed})
+			f, err := workload.Factory(workload.Category(sp.Category), sp.options())
 			if err != nil {
 				return nil, fmt.Errorf("dist: cluster %q: %w", cl, err)
 			}
@@ -112,8 +124,7 @@ func (e *Env) FactoryFor(name string) (trace.SourceFactory, error) {
 		return nil, fmt.Errorf("dist: cluster %q has no trace %d", cl, idx)
 	}
 	sp := specs[idx]
-	return workload.Factory(workload.Category(sp.Category),
-		workload.Options{Requests: sp.Requests, Seed: sp.Seed})
+	return workload.Factory(workload.Category(sp.Category), sp.options())
 }
 
 // Covers reports whether a fleet built from this env can serve a

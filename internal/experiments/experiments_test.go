@@ -59,10 +59,11 @@ func TestFig45(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 35 numeric sweeps + the 3 tunable categorical policy dimensions
-	// (PlaneAllocationScheme, CachePolicy, GCPolicy).
-	if len(r.Coarse.Sweeps) != 38 {
-		t.Fatalf("coarse sweeps = %d, want 38", len(r.Coarse.Sweeps))
+	// 38 numeric sweeps (incl. ZoneSize/MaxOpenZones/WriteStreams) + the
+	// 4 tunable categorical dimensions (PlaneAllocationScheme,
+	// CachePolicy, GCPolicy, HostInterfaceModel).
+	if len(r.Coarse.Sweeps) != 42 {
+		t.Fatalf("coarse sweeps = %d, want 42", len(r.Coarse.Sweeps))
 	}
 	if len(r.Fine.Order) == 0 {
 		t.Fatal("fine pruning produced no order")

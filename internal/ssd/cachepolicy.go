@@ -142,6 +142,20 @@ func (d *dataCache) insert(lp int64, dirty bool) (evictedLP int64, dirtyEvict bo
 }
 
 // dirtyFraction reports the share of cache lines holding unwritten data.
+// invalidate drops lp from the cache without writing it back: a TRIM
+// declares the data dead, so a dirty copy is discarded, not flushed.
+func (d *dataCache) invalidate(lp int64) {
+	el, ok := d.entries[lp]
+	if !ok {
+		return
+	}
+	if el.Value.(*cacheEntry).dirty {
+		d.dirty--
+	}
+	delete(d.entries, lp)
+	d.ll.Remove(el)
+}
+
 func (d *dataCache) dirtyFraction() float64 {
 	if d.ll.Len() == 0 {
 		return 0

@@ -172,7 +172,7 @@ func TestOutOfSpaceIsTypedError(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5_000_000 && f.fatal == nil; i++ {
-		f.placePage(int64(i) % f.logicalPages)
+		f.placePage(int64(i)%f.logicalPages, 0)
 	}
 	if !errors.Is(f.fatal, ErrOutOfSpace) {
 		t.Fatalf("fatal = %v, want ErrOutOfSpace", f.fatal)
@@ -181,5 +181,5 @@ func TestOutOfSpaceIsTypedError(t *testing.T) {
 		t.Fatal("out-of-space without retired blocks")
 	}
 	// The wedged FTL keeps answering placePage without panicking.
-	f.placePage(0)
+	f.placePage(0, 0)
 }

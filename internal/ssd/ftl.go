@@ -34,6 +34,7 @@ type flashBlock struct {
 	writePtr   int32
 	eraseCount int32
 	allocSeq   int64 // allocation order, for FIFO GC
+	lane       int32 // write lane the block was activated on
 	failCount  int32 // cumulative program failures (fault injection)
 	retired    bool  // bad block: factory-marked or grown defect
 }
@@ -42,9 +43,14 @@ func (b *flashBlock) full(pagesPerBlock int32) bool { return b.writePtr >= pages
 
 // flashPlane is the unit of operation parallelism in the model.
 type flashPlane struct {
-	blocks    []flashBlock
+	blocks []flashBlock
+	// actives holds one open (being-written) block per write lane; -1
+	// marks a lane that has not been activated yet. Conventional devices
+	// have exactly one lane, so actives[0] plays the role the old scalar
+	// active field did; multi-stream and ZNS devices fan host writes out
+	// over several lanes (see hostifc.go).
+	actives   []int32
 	freeList  []int32
-	active    int32
 	nextFree  int64 // ns timestamp when the plane is idle again
 	allocSeq  int64
 	minErase  int32
@@ -52,6 +58,16 @@ type flashPlane struct {
 	gcRuns    int
 	wlSwaps   int
 	moveCount int64
+}
+
+// isActive reports whether block b is an open write block on any lane.
+func (fp *flashPlane) isActive(b int32) bool {
+	for _, a := range fp.actives {
+		if a == b {
+			return true
+		}
+	}
+	return false
 }
 
 // ftl holds the page-mapped flash translation layer state. The three
@@ -79,6 +95,15 @@ type ftl struct {
 	stripe  uint64  // write-striping counter
 
 	gcMinFree int32
+
+	// Host-interface model state (hostifc.go). lanes is the per-plane
+	// write-lane count (1 for conventional); streamOf records the last
+	// host stream tag per logical page (multi-stream only); zns holds the
+	// zone write pointers (ZNS only).
+	lanes        int
+	streamOf     []uint8
+	zns          *znsState
+	trimmedPages int64 // mapped pages invalidated by host TRIM
 
 	// faults is the seeded fault-injection state (faults.go); nil when
 	// the device's FaultProfile is disabled, so fault-free runs take no
@@ -127,6 +152,14 @@ func newFTL(p *DeviceParams) (*ftl, error) {
 		f.gcMinFree = bpp - 2
 	}
 
+	f.lanes = laneCount(p, bpp)
+	switch p.HostIfcModel {
+	case IfcMultiStream:
+		f.streamOf = make([]uint8, f.logicalPages)
+	case IfcZNS:
+		f.zns = newZNSState(p, f.logicalPages, f.capScale, ppb, f.lanes)
+	}
+
 	f.planes = make([]flashPlane, planes)
 	for i := range f.planes {
 		pl := &f.planes[i]
@@ -135,7 +168,13 @@ func newFTL(p *DeviceParams) (*ftl, error) {
 		for b := int32(bpp - 1); b >= 1; b-- {
 			pl.freeList = append(pl.freeList, b)
 		}
-		pl.active = 0
+		// Lane 0 opens block 0 immediately (matching the historical single
+		// active block); further lanes activate lazily on first use so
+		// unused lanes never consume free blocks.
+		pl.actives = make([]int32, f.lanes)
+		for l := 1; l < f.lanes; l++ {
+			pl.actives[l] = -1
+		}
 		pl.blocks[0].pages = make([]int32, ppb)
 		fillStale(pl.blocks[0].pages)
 	}
@@ -279,7 +318,7 @@ func (f *ftl) pageSpan(lba uint64, sectors uint32) (firstLP, nPages int64) {
 func (f *ftl) prefill(frac float64) {
 	n := int64(float64(f.logicalPages) * frac)
 	for lp := int64(0); lp < n; lp++ {
-		f.placePage(lp)
+		f.placePage(lp, 0)
 	}
 	// Reset op counters: warm-up traffic is not part of the measurement.
 	f.userPrograms, f.gcPrograms, f.gcReads, f.erases = 0, 0, 0, 0
@@ -289,11 +328,12 @@ func (f *ftl) prefill(frac float64) {
 	}
 }
 
-// placePage allocates a physical slot for lp, updates mapping and valid
-// counters, and returns the plane it landed on together with the number
-// of GC page-moves and erases that the allocation triggered (zero when no
-// GC ran). Timing is the caller's job.
-func (f *ftl) placePage(lp int64) (pl planeID, gcMoves, gcErases int32) {
+// placePage allocates a physical slot for lp on the given write lane,
+// updates mapping and valid counters, and returns the plane it landed on
+// together with the number of GC page-moves and erases that the
+// allocation triggered (zero when no GC ran). Timing is the caller's
+// job; lane selection (hostLane) is too.
+func (f *ftl) placePage(lp int64, lane int32) (pl planeID, gcMoves, gcErases int32) {
 	if f.fatal != nil {
 		return 0, 0, 0 // device wedged; engine surfaces f.fatal
 	}
@@ -312,15 +352,16 @@ func (f *ftl) placePage(lp int64) (pl planeID, gcMoves, gcErases int32) {
 		}
 	}
 
-	blk := &fp.blocks[fp.active]
-	if blk.full(f.pagesPerBlock) {
-		f.advanceActive(fp)
+	ab := fp.actives[lane]
+	if ab < 0 || fp.blocks[ab].full(f.pagesPerBlock) {
+		f.advanceActive(fp, lane)
 		if f.fatal != nil {
 			f.mapping[lp] = unmapped
 			return pl, 0, 0
 		}
-		blk = &fp.blocks[fp.active]
+		ab = fp.actives[lane]
 	}
+	blk := &fp.blocks[ab]
 	if f.faults != nil {
 		// Program failures: a failed program leaves its slot unusable
 		// until the block is erased (counted against the block's grown-
@@ -331,12 +372,12 @@ func (f *ftl) placePage(lp int64) (pl planeID, gcMoves, gcErases int32) {
 			blk.failCount++
 			f.faults.programFailures++
 			if blk.full(f.pagesPerBlock) {
-				f.advanceActive(fp)
+				f.advanceActive(fp, lane)
 				if f.fatal != nil {
 					f.mapping[lp] = unmapped
 					return pl, 0, 0
 				}
-				blk = &fp.blocks[fp.active]
+				blk = &fp.blocks[fp.actives[lane]]
 			}
 		}
 	}
@@ -344,7 +385,7 @@ func (f *ftl) placePage(lp int64) (pl planeID, gcMoves, gcErases int32) {
 	blk.writePtr++
 	blk.pages[slot] = int32(lp)
 	blk.valid++
-	f.mapping[lp] = packPPA(pl, fp.active, slot)
+	f.mapping[lp] = packPPA(pl, fp.actives[lane], slot)
 
 	if int32(len(fp.freeList)) < f.gcMinFree {
 		gcMoves, gcErases = f.collect(fp, pl)
@@ -352,8 +393,8 @@ func (f *ftl) placePage(lp int64) (pl planeID, gcMoves, gcErases int32) {
 	return pl, gcMoves, gcErases
 }
 
-// advanceActive rotates the plane's active block to a fresh free block.
-func (f *ftl) advanceActive(fp *flashPlane) {
+// advanceActive opens a fresh free block as the lane's active block.
+func (f *ftl) advanceActive(fp *flashPlane, lane int32) {
 	if len(fp.freeList) == 0 {
 		// Emergency GC: free at least one block synchronously.
 		f.collect(fp, f.planeIDOf(fp))
@@ -367,7 +408,7 @@ func (f *ftl) advanceActive(fp *flashPlane) {
 	}
 	nb := fp.freeList[len(fp.freeList)-1]
 	fp.freeList = fp.freeList[:len(fp.freeList)-1]
-	fp.active = nb
+	fp.actives[lane] = nb
 	blk := &fp.blocks[nb]
 	if blk.pages == nil {
 		blk.pages = make([]int32, f.pagesPerBlock)
@@ -375,6 +416,7 @@ func (f *ftl) advanceActive(fp *flashPlane) {
 	fillStale(blk.pages)
 	blk.writePtr = 0
 	blk.valid = 0
+	blk.lane = lane
 	fp.allocSeq++
 	blk.allocSeq = fp.allocSeq
 }
@@ -402,7 +444,11 @@ func (f *ftl) collect(fp *flashPlane, pl planeID) (moves, erasesDone int32) {
 			break
 		}
 		blk := &fp.blocks[victim]
-		// Move surviving pages into the active block.
+		// Move surviving pages into the victim lane's active block:
+		// evacuating onto the same lane keeps stream/zone isolation (GC
+		// never mixes lanes in one block), and with a single lane it is
+		// exactly the historical behavior.
+		lane := blk.lane
 		for slot := int32(0); slot < blk.writePtr; slot++ {
 			lp := blk.pages[slot]
 			if lp < 0 {
@@ -411,7 +457,7 @@ func (f *ftl) collect(fp *flashPlane, pl planeID) (moves, erasesDone int32) {
 			if f.mapping[lp] != packPPA(pl, victim, slot) {
 				continue // stale
 			}
-			dst := &fp.blocks[fp.active]
+			dst := &fp.blocks[fp.actives[lane]]
 			if dst.full(f.pagesPerBlock) {
 				// The active block filled during GC; grab a free block
 				// directly (one is guaranteed: we only erase after moving).
@@ -419,14 +465,14 @@ func (f *ftl) collect(fp *flashPlane, pl planeID) (moves, erasesDone int32) {
 					// Cannot make progress; leave remaining pages.
 					break
 				}
-				f.advanceActive(fp)
-				dst = &fp.blocks[fp.active]
+				f.advanceActive(fp, lane)
+				dst = &fp.blocks[fp.actives[lane]]
 			}
 			s := dst.writePtr
 			dst.writePtr++
 			dst.pages[s] = lp
 			dst.valid++
-			f.mapping[lp] = packPPA(pl, fp.active, s)
+			f.mapping[lp] = packPPA(pl, fp.actives[lane], s)
 			blk.pages[slot] = -1
 			blk.valid--
 			moves++
@@ -477,6 +523,49 @@ func (f *ftl) collect(fp *flashPlane, pl planeID) (moves, erasesDone int32) {
 		f.erases++
 	}
 	return moves, erasesDone
+}
+
+// noteStream records the host stream tag of a written logical page
+// (multi-stream model only; a no-op elsewhere). The tag is remembered
+// because the actual flash program may happen much later, at cache
+// eviction, and must still land on the stream's lane.
+func (f *ftl) noteStream(lp int64, stream uint32) {
+	if f.streamOf != nil {
+		f.streamOf[lp] = uint8(stream)
+	}
+}
+
+// laneFor maps a logical page to its per-plane write lane under the
+// configured host-interface model. Conventional devices have a single
+// lane; multi-stream routes by the page's recorded stream tag; ZNS
+// routes by the page's open-zone slot.
+func (f *ftl) laneFor(lp int64) int32 {
+	switch f.p.HostIfcModel {
+	case IfcMultiStream:
+		return int32(int(f.streamOf[lp]) % f.lanes)
+	case IfcZNS:
+		return f.zns.slotFor(f.zns.zoneOf(lp))
+	}
+	return 0
+}
+
+// trimPage drops lp's mapping and stales its physical slot — the GC
+// credit of a TRIM: the page no longer needs to be moved at collection
+// time. Reports whether lp was actually mapped.
+func (f *ftl) trimPage(lp int64) bool {
+	v := f.mapping[lp]
+	if v == unmapped {
+		return false
+	}
+	opl, ob, oslot := unpackPPA(v)
+	blk := &f.planes[opl].blocks[ob]
+	if blk.pages[oslot] == int32(lp) {
+		blk.pages[oslot] = -1
+		blk.valid--
+	}
+	f.mapping[lp] = unmapped
+	f.trimmedPages++
+	return true
 }
 
 // pickVictim selects a GC victim block index via the configured policy,

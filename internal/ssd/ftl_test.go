@@ -35,7 +35,7 @@ func TestPPARoundTrip(t *testing.T) {
 
 func TestPlacePageInvalidatesOldCopy(t *testing.T) {
 	f := newTestFTL(t, nil)
-	pl1, _, _ := f.placePage(42)
+	pl1, _, _ := f.placePage(42, 0)
 	old := f.mapping[42]
 	opl, ob, oslot := unpackPPA(old)
 	if opl != pl1 {
@@ -43,7 +43,7 @@ func TestPlacePageInvalidatesOldCopy(t *testing.T) {
 	}
 	// Overwrite: old slot becomes stale, valid count drops.
 	before := f.planes[opl].blocks[ob].valid
-	f.placePage(42)
+	f.placePage(42, 0)
 	after := f.planes[opl].blocks[ob].valid
 	if f.planes[opl].blocks[ob].pages[oslot] != -1 {
 		t.Fatal("old slot not invalidated")
@@ -69,7 +69,7 @@ func TestValidCountsConsistentUnderChurn(t *testing.T) {
 	// Hammer a small working set so GC churns, then audit invariants.
 	ws := f.logicalPages / 2
 	for i := int64(0); i < ws*6; i++ {
-		f.placePage(i % ws)
+		f.placePage(i%ws, 0)
 	}
 	var totalValid int64
 	for pi := range f.planes {

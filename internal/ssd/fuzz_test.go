@@ -25,7 +25,20 @@ func FuzzParamsJSON(f *testing.F) {
 	if b, err := MarshalJSONParams(faulted); err == nil {
 		f.Add(b)
 	}
+	zoned := DefaultParams()
+	zoned.HostIfcModel = IfcZNS
+	zoned.ZoneSizeMB, zoned.MaxOpenZones = 128, 16
+	if b, err := MarshalJSONParams(zoned); err == nil {
+		f.Add(b)
+	}
+	streamed := DefaultParams()
+	streamed.HostIfcModel = IfcMultiStream
+	streamed.WriteStreams = 8
+	if b, err := MarshalJSONParams(streamed); err == nil {
+		f.Add(b)
+	}
 	f.Add([]byte(`{"gc_policy":"bogus"}`))
+	f.Add([]byte(`{"host_ifc":"open-channel"}`))
 	f.Add([]byte(`{"read_latency_us":0.0030000000000000001}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -60,6 +73,7 @@ func TestUnknownPolicyNamesError(t *testing.T) {
 		`{"plane_alloc_scheme":"XYZW"}`,
 		`{"flash_type":"QLC9000"}`,
 		`{"interface":"SCSI"}`,
+		`{"host_ifc":"open-channel"}`,
 	}
 	for _, c := range cases {
 		if _, err := UnmarshalJSONParams([]byte(c)); err == nil {

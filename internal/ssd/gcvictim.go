@@ -65,7 +65,7 @@ func (greedyVictim) pickVictim(f *ftl, fp *flashPlane) int32 {
 	var minValid int32 = 1<<31 - 1
 	for i := range fp.blocks {
 		b := &fp.blocks[i]
-		if int32(i) == fp.active || b.retired || !b.full(f.pagesPerBlock) {
+		if fp.isActive(int32(i)) || b.retired || !b.full(f.pagesPerBlock) {
 			continue
 		}
 		better := b.valid < minValid
@@ -95,7 +95,7 @@ func (fifoVictim) pickVictim(f *ftl, fp *flashPlane) int32 {
 	var oldest int64 = 1<<63 - 1
 	for i := range fp.blocks {
 		b := &fp.blocks[i]
-		if int32(i) == fp.active || b.retired || !b.full(f.pagesPerBlock) {
+		if fp.isActive(int32(i)) || b.retired || !b.full(f.pagesPerBlock) {
 			continue
 		}
 		if b.valid >= f.pagesPerBlock {
@@ -126,7 +126,7 @@ func (costBenefitVictim) pickVictim(f *ftl, fp *flashPlane) int32 {
 	bestScore := 0.0
 	for i := range fp.blocks {
 		b := &fp.blocks[i]
-		if int32(i) == fp.active || b.retired || !b.full(f.pagesPerBlock) {
+		if fp.isActive(int32(i)) || b.retired || !b.full(f.pagesPerBlock) {
 			continue
 		}
 		if b.valid >= f.pagesPerBlock {

@@ -80,11 +80,13 @@ const (
 )
 
 // canMerge reports whether the block layer would coalesce r into the
-// accumulating request cur: contiguous, same direction, within the plug
-// window of the accumulator's arrival, and under the merged-size cap.
+// accumulating request cur: contiguous, same direction (and same
+// multi-stream tag — merging across streams would destroy the placement
+// hint), within the plug window of the accumulator's arrival, and under
+// the merged-size cap.
 func canMerge(cur, r trace.Request) bool {
 	contiguous := cur.LBA+uint64(cur.Sectors) == r.LBA
-	sameOp := cur.Op == r.Op
+	sameOp := cur.Op == r.Op && cur.Stream == r.Stream
 	inWindow := r.Arrival.Nanoseconds()-cur.Arrival.Nanoseconds() <= mergeWindowNS
 	smallEnough := (uint64(cur.Sectors)+uint64(r.Sectors))*512 <= maxMergedBytes
 	return contiguous && sameOp && inWindow && smallEnough

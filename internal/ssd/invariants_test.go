@@ -73,53 +73,64 @@ func eraseCounts(f *ftl) [][]int32 {
 	return out
 }
 
-// sweepPolicyMatrix replays a mixed read/write trace on a GC-pressured
-// device under every (GC policy × cache policy × alloc scheme)
-// combination, audits that no logical page was lost or duplicated and
-// that erase counts only ever grew, and — with faults enabled — that
-// retired blocks stay off the free lists.
+// sweepPolicyMatrix replays a mixed read/write/trim trace (with stream
+// tags) on a GC-pressured device under every (host interface × GC
+// policy × cache policy × alloc scheme) combination, audits that no
+// logical page was lost or duplicated and that erase counts only ever
+// grew, and — with faults enabled — that retired blocks stay off the
+// free lists. Model-specific audits ride along: zone write-pointer
+// bounds for ZNS, per-lane stream isolation for multi-stream.
 func sweepPolicyMatrix(t *testing.T, faults FaultProfile, tweak func(*DeviceParams)) {
-	tr := workload.MustGenerate(workload.FIU, workload.Options{Requests: 2500, Seed: 11})
+	tr := workload.MustGenerate(workload.FIU,
+		workload.Options{Requests: 2500, Seed: 11, TrimRatio: 0.08, Streams: 3})
 	schemes := AllocSchemeNames()
 	if testing.Short() {
-		schemes = schemes[:4] // 48 combinations instead of 192
+		schemes = schemes[:4] // 144 combinations instead of 576
 	}
-	for gi := range GCPolicyNames() {
-		for ci := range CachePolicyNames() {
-			for si := range schemes {
-				p := smallDevice()
-				p.GCPolicy = GCPolicy(gi)
-				p.CachePolicy = CachePolicy(ci)
-				p.PlaneAllocScheme = AllocScheme(si)
-				p.Faults = faults
-				if tweak != nil {
-					tweak(&p)
-				}
-				label := p.GCPolicy.String() + "/" + p.CachePolicy.String() + "/" + p.PlaneAllocScheme.String()
-				eng, err := newEngine(&p)
-				if err != nil {
-					t.Fatalf("%s: %v", label, err)
-				}
-				src := tr.Source()
-				if _, err := eng.warmup(context.Background(), src); err != nil {
-					t.Fatalf("%s: %v", label, err)
-				}
-				auditFTL(t, label+"/warm", eng.ftl)
-				before := eraseCounts(eng.ftl)
-				src.Reset()
-				if _, err := eng.run(context.Background(), src); err != nil {
-					t.Fatalf("%s: %v", label, err)
-				}
-				auditFTL(t, label, eng.ftl)
-				after := eraseCounts(eng.ftl)
-				for pi := range after {
-					for bi := range after[pi] {
-						if after[pi][bi] < before[pi][bi] {
-							t.Fatalf("%s: plane %d block %d erase count went %d -> %d", label, pi, bi, before[pi][bi], after[pi][bi])
+	for ii := range HostIfcNames() {
+		for gi := range GCPolicyNames() {
+			for ci := range CachePolicyNames() {
+				for si := range schemes {
+					p := smallDevice()
+					p.HostIfcModel = HostIfc(ii)
+					p.ZoneSizeMB = 1 // many zones on the small test device
+					p.MaxOpenZones = 4
+					p.WriteStreams = 3
+					p.GCPolicy = GCPolicy(gi)
+					p.CachePolicy = CachePolicy(ci)
+					p.PlaneAllocScheme = AllocScheme(si)
+					p.Faults = faults
+					if tweak != nil {
+						tweak(&p)
+					}
+					label := p.HostIfcModel.String() + "/" + p.GCPolicy.String() + "/" + p.CachePolicy.String() + "/" + p.PlaneAllocScheme.String()
+					eng, err := newEngine(&p)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					src := tr.Source()
+					if _, err := eng.warmup(context.Background(), src); err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					auditFTL(t, label+"/warm", eng.ftl)
+					before := eraseCounts(eng.ftl)
+					src.Reset()
+					if _, err := eng.run(context.Background(), src); err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					auditFTL(t, label, eng.ftl)
+					after := eraseCounts(eng.ftl)
+					for pi := range after {
+						for bi := range after[pi] {
+							if after[pi][bi] < before[pi][bi] {
+								t.Fatalf("%s: plane %d block %d erase count went %d -> %d", label, pi, bi, before[pi][bi], after[pi][bi])
+							}
 						}
 					}
+					auditRetired(t, label, eng.ftl)
+					auditZones(t, label, eng.ftl)
+					auditStreamIsolation(t, label, eng)
 				}
-				auditRetired(t, label, eng.ftl)
 			}
 		}
 	}
@@ -131,8 +142,10 @@ func auditRetired(t *testing.T, label string, f *ftl) {
 	t.Helper()
 	for pi := range f.planes {
 		fp := &f.planes[pi]
-		if fp.blocks[fp.active].retired {
-			t.Fatalf("%s: plane %d active block %d is retired", label, pi, fp.active)
+		for _, a := range fp.actives {
+			if a >= 0 && fp.blocks[a].retired {
+				t.Fatalf("%s: plane %d active block %d is retired", label, pi, a)
+			}
 		}
 		for _, b := range fp.freeList {
 			if fp.blocks[b].retired {

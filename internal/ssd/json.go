@@ -47,6 +47,10 @@ type deviceJSON struct {
 	FirmwareUS         float64 `json:"firmware_overhead_us"`
 
 	Interface    string  `json:"interface"`
+	HostIfcModel string  `json:"host_ifc,omitempty"`
+	ZoneSizeMB   int     `json:"zone_size_mb,omitempty"`
+	MaxOpenZones int     `json:"max_open_zones,omitempty"`
+	WriteStreams int     `json:"write_streams,omitempty"`
 	QueueDepth   int     `json:"queue_depth"`
 	QueueCount   int     `json:"queue_count"`
 	PCIeLanes    int     `json:"pcie_lanes"`
@@ -105,7 +109,9 @@ func MarshalJSONParams(p DeviceParams) ([]byte, error) {
 		ECCUS:      float64(p.ECCLatency) / float64(time.Microsecond),
 		FirmwareUS: float64(p.FirmwareOverhead) / float64(time.Microsecond),
 
-		Interface: p.HostInterface.String(), QueueDepth: p.QueueDepth,
+		Interface: p.HostInterface.String(), HostIfcModel: p.HostIfcModel.String(),
+		ZoneSizeMB: p.ZoneSizeMB, MaxOpenZones: p.MaxOpenZones, WriteStreams: p.WriteStreams,
+		QueueDepth: p.QueueDepth,
 		QueueCount: p.QueueCount, PCIeLanes: p.PCIeLanes, PCIeLaneMBps: p.PCIeLaneMBps,
 
 		OverprovisionRatio: p.OverprovisionRatio, GCThresholdPct: p.GCThresholdPct,
@@ -146,7 +152,9 @@ func UnmarshalJSONParams(data []byte) (DeviceParams, error) {
 		ControllerMHz: j.ControllerMHz, DRAMMHz: j.DRAMMHz, DRAMBusBits: j.DRAMBusBits,
 		ECCLatency: us(j.ECCUS), FirmwareOverhead: us(j.FirmwareUS),
 
-		QueueDepth: j.QueueDepth, QueueCount: j.QueueCount,
+		ZoneSizeMB: j.ZoneSizeMB, MaxOpenZones: j.MaxOpenZones,
+		WriteStreams: j.WriteStreams,
+		QueueDepth:   j.QueueDepth, QueueCount: j.QueueCount,
 		PCIeLanes: j.PCIeLanes, PCIeLaneMBps: j.PCIeLaneMBps,
 
 		OverprovisionRatio: j.OverprovisionRatio, GCThresholdPct: j.GCThresholdPct,
@@ -160,10 +168,22 @@ func UnmarshalJSONParams(data []byte) (DeviceParams, error) {
 		Faults: FaultProfile{Rate: j.FaultRate, Seed: j.FaultSeed, DieFailures: j.FaultDieFailures},
 	}
 	// Enum fields resolve through the policy registry: empty strings keep
-	// the lenient defaults (MLC, NVMe, LRU, greedy, CWDP) and unknown
-	// names error instead of silently defaulting.
+	// the lenient defaults (MLC, NVMe, LRU, greedy, CWDP, conventional)
+	// and unknown names error instead of silently defaulting. The
+	// host-interface model numerics default likewise, so pre-existing
+	// device files that omit them keep parsing.
 	p.FlashType, p.HostInterface = MLC, NVMe
 	p.CachePolicy, p.GCPolicy = CacheLRU, GCGreedy
+	p.HostIfcModel = IfcConventional
+	if p.ZoneSizeMB == 0 {
+		p.ZoneSizeMB = 256
+	}
+	if p.MaxOpenZones == 0 {
+		p.MaxOpenZones = 8
+	}
+	if p.WriteStreams == 0 {
+		p.WriteStreams = 4
+	}
 	var err error
 	if j.FlashType != "" {
 		if p.FlashType, err = ParseFlashType(j.FlashType); err != nil {
@@ -187,6 +207,11 @@ func UnmarshalJSONParams(data []byte) (DeviceParams, error) {
 	}
 	if j.PlaneAllocScheme != "" {
 		if p.PlaneAllocScheme, err = ParseAllocScheme(j.PlaneAllocScheme); err != nil {
+			return DeviceParams{}, err
+		}
+	}
+	if j.HostIfcModel != "" {
+		if p.HostIfcModel, err = ParseHostIfc(j.HostIfcModel); err != nil {
 			return DeviceParams{}, err
 		}
 	}

@@ -124,6 +124,10 @@ type DeviceParams struct {
 
 	// --- Host interface.
 	HostInterface Interface
+	HostIfcModel  HostIfc // command-set model: conventional, ZNS, multi-stream
+	ZoneSizeMB    int     // ZNS zone size (ignored by other models)
+	MaxOpenZones  int     // ZNS open-zone limit = per-plane write lanes
+	WriteStreams  int     // multi-stream lane count (ignored by other models)
 	QueueDepth    int
 	QueueCount    int
 	PCIeLanes     int
@@ -204,6 +208,9 @@ func (p *DeviceParams) Validate() error {
 		{p.ChannelMTps > 0, "ChannelMTps must be positive"},
 		{p.ChannelWidthBit > 0, "ChannelWidthBit must be positive"},
 		{p.QueueDepth >= 1, "QueueDepth must be >= 1"},
+		{p.ZoneSizeMB >= 1 && p.ZoneSizeMB <= 1<<20, "ZoneSizeMB out of range"},
+		{p.MaxOpenZones >= 1 && p.MaxOpenZones <= 1024, "MaxOpenZones out of range"},
+		{p.WriteStreams >= 1 && p.WriteStreams <= 256, "WriteStreams out of range"},
 		{p.OverprovisionRatio >= 0 && p.OverprovisionRatio < 0.9, "OverprovisionRatio out of range"},
 		{p.GCThresholdPct > 0 && p.GCThresholdPct < 100, "GCThresholdPct out of range"},
 		{p.HostInterface != NVMe || p.PCIeLanes >= 1, "NVMe requires PCIeLanes >= 1"},
@@ -256,6 +263,9 @@ func (p *DeviceParams) Validate() error {
 	}
 	if !p.HostInterface.valid() {
 		return fmt.Errorf("ssd: invalid host interface %d", p.HostInterface)
+	}
+	if !p.HostIfcModel.valid() {
+		return fmt.Errorf("ssd: invalid host interface model %d", p.HostIfcModel)
 	}
 	if !p.FlashType.valid() {
 		return fmt.Errorf("ssd: invalid flash type %d", p.FlashType)
@@ -312,6 +322,10 @@ func DefaultParams() DeviceParams {
 		FirmwareOverhead:   3 * time.Microsecond,
 
 		HostInterface: NVMe,
+		HostIfcModel:  IfcConventional,
+		ZoneSizeMB:    256,
+		MaxOpenZones:  8,
+		WriteStreams:  4,
 		QueueDepth:    32,
 		QueueCount:    8,
 		PCIeLanes:     4,

@@ -220,7 +220,7 @@ func BenchmarkGCVictimPolicy(b *testing.B) {
 			ws := f.logicalPages / 4
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				f.placePage(int64(i) % ws)
+				f.placePage(int64(i)%ws, 0)
 			}
 		})
 	}

@@ -62,6 +62,14 @@ type Result struct {
 	ECCSoftDecodes   int64
 	RetiredBlocks    int64
 	FactoryBadBlocks int64
+	// Host-interface model counters (hostifc.go). UserTrims counts TRIM
+	// requests in the measured phase; TrimmedPages counts the mapped
+	// logical pages they invalidated. WPViolations and ZoneResets are
+	// zero unless the device runs the ZNS model.
+	UserTrims    int64
+	TrimmedPages int64
+	WPViolations int64
+	ZoneResets   int64
 	// ChannelUtilization is the mean fraction of the makespan each
 	// channel bus spent transferring data.
 	ChannelUtilization float64
@@ -195,10 +203,13 @@ func (e *engine) warmup(ctx context.Context, src trace.Source) (int, error) {
 		firstLP, nPages := e.ftl.pageSpan(req.LBA, req.Sectors)
 		for k := int64(0); k < nPages; k++ {
 			lp := (firstLP + k) % e.ftl.logicalPages
-			if req.Op == trace.Read {
+			switch req.Op {
+			case trace.Read:
 				e.readPage(lp, 0)
-			} else {
-				e.writePage(lp, 0)
+			case trace.Trim:
+				e.trimPage(lp, 0)
+			default:
+				e.writePage(lp, 0, req.Stream)
 			}
 		}
 	}
@@ -227,6 +238,17 @@ func (e *engine) warmup(ctx context.Context, src trace.Source) (int, error) {
 	e.hostFree = 0
 	e.cacheHits, e.cacheMisses, e.cmtHits, e.cmtMisses = 0, 0, 0, 0
 	e.channelBusyNS, e.dramAccesses = 0, 0
+	f.trimmedPages = 0
+	if f.zns != nil {
+		// The measured pass replays the same trace; stale warm-up write
+		// pointers would turn every measured write into a violation, so
+		// pointer state resets while block occupancy (the point of warming
+		// up) is kept.
+		f.zns.reset()
+		for i := range e.zoneFree {
+			e.zoneFree[i] = 0
+		}
+	}
 	return n, nil
 }
 
@@ -239,6 +261,7 @@ type engine struct {
 
 	channelFree []int64 // per-channel bus timeline (ns)
 	hostFree    int64   // shared host-link timeline (ns)
+	zoneFree    []int64 // per-zone append-serialization timeline (ZNS only)
 	warming     bool    // warm-up pass: FTL/CMT state only, no data cache
 
 	// Derived per-op costs (ns).
@@ -256,6 +279,7 @@ type engine struct {
 	dramAccesses           int64
 	mergedRequests         int64
 	proactiveFlushes       int64
+	userTrims              int64
 
 	// latHist is the per-run request-latency histogram Result quantiles
 	// are computed from (always allocated).
@@ -277,6 +301,13 @@ func newEngine(p *DeviceParams) (*engine, error) {
 		cache:       newDataCache(p, f.capScale),
 		channelFree: make([]int64, p.Channels),
 		latHist:     obs.NewHistogram(),
+	}
+	if f.zns != nil {
+		// Zone-granular mapping: a ZNS device only tracks one write
+		// pointer per zone, so a CMT entry covers a whole zone — the
+		// model's metadata advantage over page-mapped conventional FTLs.
+		e.cmt.gran = f.zns.zonePages
+		e.zoneFree = make([]int64, len(f.zns.wp))
 	}
 	e.readNS = p.ReadLatency.Nanoseconds()
 	e.progNS = p.ProgramLatency.Nanoseconds()
@@ -360,20 +391,34 @@ func (e *engine) run(ctx context.Context, src trace.Source) (*Result, error) {
 		dispatch, slot := queues.admit(arrival)
 		start := dispatch + e.hostCmdNS + e.fwNS
 
-		hostXfer := int64(float64(req.Bytes()) / e.hostBps * 1e9)
-		totalBytes += req.Bytes()
+		// TRIMs carry no payload: nothing crosses the host link and the
+		// request contributes no throughput bytes.
+		var hostXfer int64
+		if req.Op != trace.Trim {
+			hostXfer = int64(float64(req.Bytes()) / e.hostBps * 1e9)
+			totalBytes += req.Bytes()
+		}
 
 		// Split into logical pages.
 		firstLP, nPages := e.ftl.pageSpan(req.LBA, req.Sectors)
+		if req.Op == trace.Trim {
+			e.userTrims++
+			if z := e.ftl.zns; z != nil {
+				z.noteTrim(firstLP, nPages)
+			}
+		}
 
 		done := start
 		for k := int64(0); k < nPages; k++ {
 			lp := (firstLP + k) % e.ftl.logicalPages
 			var t int64
-			if req.Op == trace.Read {
+			switch req.Op {
+			case trace.Read:
 				t = e.readPage(lp, start)
-			} else {
-				t = e.writePage(lp, start)
+			case trace.Trim:
+				t = e.trimPage(lp, start)
+			default:
+				t = e.writePage(lp, start, req.Stream)
 			}
 			if t > done {
 				done = t
@@ -443,14 +488,33 @@ func (e *engine) readPage(lp, t int64) int64 {
 }
 
 // writePage returns the completion time of a logical-page write started
-// at t (ns).
-func (e *engine) writePage(lp, t int64) int64 {
+// at t (ns). stream is the host's multi-stream tag (ignored by other
+// interface models).
+func (e *engine) writePage(lp, t int64, stream uint32) int64 {
+	e.ftl.noteStream(lp, stream)
 	if e.warming {
 		e.mappingAccess(lp, t, true)
-		e.ftl.placePage(lp)
+		if z := e.ftl.zns; z != nil {
+			z.noteWrite(lp)
+		}
+		e.ftl.placePage(lp, e.ftl.laneFor(lp))
 		return t
 	}
 	t = e.mappingAccess(lp, t, true)
+	if z := e.ftl.zns; z != nil {
+		// Zone-append serialization: writes to one zone are ordered
+		// through its append point (one DRAM pass each), and a write below
+		// the zone write pointer pays a read-modify-reclaim penalty — the
+		// cost a ZNS host incurs for violating the sequential-write rule.
+		zi := z.zoneOf(lp)
+		if e.zoneFree[zi] > t {
+			t = e.zoneFree[zi]
+		}
+		e.zoneFree[zi] = t + e.dramNS
+		if z.noteWrite(lp) {
+			t += e.progNS
+		}
+	}
 	e.dramAccesses++
 	victim, dirtyEvict := e.cache.insert(lp, true)
 	done := t + e.dramNS
@@ -479,11 +543,28 @@ func (e *engine) writePage(lp, t int64) int64 {
 	return done
 }
 
+// trimPage applies a TRIM to one logical page: the mapping update is a
+// CMT write (a genuinely dirty mapping entry), any cached copy is
+// dropped without write-back, and the physical slot is staled so GC
+// gets the reclaim credit. No flash data moves — the only time charged
+// is the mapping access itself.
+func (e *engine) trimPage(lp, t int64) int64 {
+	if e.warming {
+		e.mappingAccess(lp, t, true)
+		e.ftl.trimPage(lp)
+		return t
+	}
+	t = e.mappingAccess(lp, t, true)
+	e.cache.invalidate(lp)
+	e.ftl.trimPage(lp)
+	return t
+}
+
 // flushDirty programs one dirty cache page to flash, charging GC if the
 // allocation triggers it. It returns the time the page left DRAM (the
 // channel-transfer start), which is when its cache slot is reusable.
 func (e *engine) flushDirty(lp, t int64) (busStart int64) {
-	pl, gcMoves, gcErases := e.ftl.placePage(lp)
+	pl, gcMoves, gcErases := e.ftl.placePage(lp, e.ftl.laneFor(lp))
 	e.ftl.userPrograms++
 	busStart = e.flashProgram(pl, t)
 	e.chargeGC(pl, gcMoves, gcErases, t)
@@ -651,6 +732,12 @@ func (e *engine) buildResult(count, latSum int64, totalBytes uint64, firstArriva
 	}
 	r.MergedRequests = e.mergedRequests
 	r.ProactiveFlushes = e.proactiveFlushes
+	r.UserTrims = e.userTrims
+	r.TrimmedPages = f.trimmedPages
+	if f.zns != nil {
+		r.WPViolations = f.zns.violations
+		r.ZoneResets = f.zns.resets
+	}
 	if fa := f.faults; fa != nil {
 		r.ProgramFailures = fa.programFailures
 		r.EraseFailures = fa.eraseFailures

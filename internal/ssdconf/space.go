@@ -1,5 +1,5 @@
 // Package ssdconf defines the tunable SSD configuration space AutoBlox
-// searches: 48 device parameters (§3.2's continuous, discrete, boolean
+// searches: 52 device parameters (§3.2's continuous, discrete, boolean
 // and categorical kinds), their commodity and what-if value grids, the
 // user-visible constraints (capacity, host interface, flash type, power
 // budget — the paper's set_cons interface), vectorization for the ML
@@ -102,7 +102,7 @@ type Space struct {
 	Cons   Constraints
 	// Faults, when enabled, is stamped onto every device the space
 	// materializes. It is environmental state, not a tunable dimension:
-	// the 48 search parameters are unchanged, and the same seeded fault
+	// the 52 search parameters are unchanged, and the same seeded fault
 	// stream applies to every candidate so measurements stay comparable.
 	Faults ssd.FaultProfile
 	index  map[string]int
@@ -261,6 +261,15 @@ func newSpace(cons Constraints, whatIf bool) *Space {
 		{Name: "PageMetadataCapacity", Kind: Discrete, Unit: "B", Tunable: true, Values: []float64{128, 224, 448, 896},
 			apply: func(d *ssd.DeviceParams, v float64) { d.PageMetadataBytes = int(v) },
 			get:   func(d *ssd.DeviceParams) float64 { return float64(d.PageMetadataBytes) }},
+		{Name: "ZoneSize", Kind: Discrete, Unit: "MB", Tunable: true, Values: []float64{64, 128, 256, 512, 1024},
+			apply: func(d *ssd.DeviceParams, v float64) { d.ZoneSizeMB = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.ZoneSizeMB) }},
+		{Name: "MaxOpenZones", Kind: Discrete, Tunable: true, Values: []float64{2, 4, 8, 16, 32},
+			apply: func(d *ssd.DeviceParams, v float64) { d.MaxOpenZones = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.MaxOpenZones) }},
+		{Name: "WriteStreams", Kind: Discrete, Tunable: true, Values: []float64{2, 4, 8, 16},
+			apply: func(d *ssd.DeviceParams, v float64) { d.WriteStreams = int(v) },
+			get:   func(d *ssd.DeviceParams) float64 { return float64(d.WriteStreams) }},
 		{Name: "BadBlockRatio", Kind: Continuous, Unit: "%", Tunable: true, Values: []float64{0.1, 0.5, 1, 2},
 			apply: func(d *ssd.DeviceParams, v float64) { d.BadBlockPct = v },
 			get:   func(d *ssd.DeviceParams) float64 { return d.BadBlockPct }},
@@ -325,6 +334,9 @@ func newSpace(cons Constraints, whatIf bool) *Space {
 		catParam("GCPolicy", ssd.GCPolicyNames(), true,
 			func(d *ssd.DeviceParams, v int) { d.GCPolicy = ssd.GCPolicy(v) },
 			func(d *ssd.DeviceParams) int { return int(d.GCPolicy) }),
+		catParam("HostInterfaceModel", ssd.HostIfcNames(), true,
+			func(d *ssd.DeviceParams, v int) { d.HostIfcModel = ssd.HostIfc(v) },
+			func(d *ssd.DeviceParams) int { return int(d.HostIfcModel) }),
 
 		// --- Constrained (non-tunable) categoricals.
 		catParam("Interface", ssd.InterfaceNames(), false,
@@ -369,7 +381,7 @@ func catParam(name string, labels []string, tunable bool, set func(*ssd.DevicePa
 	}
 }
 
-// NumParams returns the parameter count (48).
+// NumParams returns the parameter count (52).
 func (s *Space) NumParams() int { return len(s.Params) }
 
 // ParamIndex returns the index of a named parameter.

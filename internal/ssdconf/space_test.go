@@ -10,10 +10,10 @@ import (
 
 func defaultSpace() *Space { return NewSpace(DefaultConstraints()) }
 
-func TestSpaceHas48Params(t *testing.T) {
+func TestSpaceHas52Params(t *testing.T) {
 	s := defaultSpace()
-	if s.NumParams() != 48 {
-		t.Fatalf("NumParams = %d, want 48 (the paper's parameter count)", s.NumParams())
+	if s.NumParams() != 52 {
+		t.Fatalf("NumParams = %d, want 52 (the paper's 48 plus the host-interface model params)", s.NumParams())
 	}
 	var numeric, boolean, categorical int
 	for _, p := range s.Params {
@@ -26,11 +26,11 @@ func TestSpaceHas48Params(t *testing.T) {
 			numeric++
 		}
 	}
-	if numeric != 35 {
-		t.Fatalf("numeric params = %d, want 35 (Fig. 4 sweeps 35)", numeric)
+	if numeric != 38 {
+		t.Fatalf("numeric params = %d, want 38 (Fig. 4's 35 plus zone size, open-zone and stream counts)", numeric)
 	}
-	if boolean != 8 || categorical != 5 {
-		t.Fatalf("boolean=%d categorical=%d, want 8/5 (GCPolicy is categorical now)", boolean, categorical)
+	if boolean != 8 || categorical != 6 {
+		t.Fatalf("boolean=%d categorical=%d, want 8/6 (HostInterfaceModel is categorical too)", boolean, categorical)
 	}
 }
 
@@ -42,6 +42,7 @@ func TestCategoricalLabelsMatchRegistry(t *testing.T) {
 		"PlaneAllocationScheme": ssd.AllocSchemeNames(),
 		"CachePolicy":           ssd.CachePolicyNames(),
 		"GCPolicy":              ssd.GCPolicyNames(),
+		"HostInterfaceModel":    ssd.HostIfcNames(),
 		"Interface":             ssd.InterfaceNames(),
 		"FlashType":             ssd.FlashTypeNames(),
 	}

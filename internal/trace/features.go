@@ -12,7 +12,7 @@ const DefaultWindowSize = 3000
 
 // NumWindowFeatures is the dimensionality of the per-window feature
 // vector produced by WindowFeatures.
-const NumWindowFeatures = 18
+const NumWindowFeatures = 19
 
 // Windows partitions the trace into consecutive windows of size entries;
 // a trailing partial window is kept when it has at least size/2 entries.
@@ -40,10 +40,11 @@ func Windows(t *Trace, size int) []*Trace {
 // The paper normalizes each window's timestamp, size, address and op
 // fields against the window's starting entry and feeds the normalized
 // window through PCA. A raw 3,000×4 window is 12,000 dimensions; we apply
-// the same normalization and summarize each window with 18 statistics of
+// the same normalization and summarize each window with 19 statistics of
 // exactly the fields the paper names (relative timestamps → intensity and
 // burstiness, relative addresses → sequentiality, jump magnitudes and
-// locality, sizes, and op mix), then PCA reduces those to 5 dimensions.
+// locality, sizes, and op mix including trim/discard), then PCA reduces
+// those to 5 dimensions.
 // Monotonic addresses and small time gaps remain separable exactly as in
 // §3.1's examples.
 func WindowFeatures(w *Trace) []float64 {
@@ -55,12 +56,12 @@ func WindowFeatures(w *Trace) []float64 {
 	first := w.Requests[0]
 
 	var (
-		reads, seq, nearSeq, increasing int
-		readBytes, writeBytes           float64
-		sizes                           = make([]float64, 0, n)
-		gaps                            = make([]float64, 0, n-1)
-		jumps                           = make([]float64, 0, n-1)
-		minLBA, maxLBA                  = w.Requests[0].LBA, w.Requests[0].LBA
+		reads, trims, seq, nearSeq, increasing int
+		readBytes, writeBytes                  float64
+		sizes                                  = make([]float64, 0, n)
+		gaps                                   = make([]float64, 0, n-1)
+		jumps                                  = make([]float64, 0, n-1)
+		minLBA, maxLBA                         = w.Requests[0].LBA, w.Requests[0].LBA
 	)
 	// Histogram over the window's relative address span for entropy.
 	const bins = 16
@@ -70,10 +71,13 @@ func WindowFeatures(w *Trace) []float64 {
 	prevArrival := first.Arrival
 	prevLBA := first.LBA
 	for i, r := range w.Requests {
-		if r.Op == Read {
+		switch r.Op {
+		case Read:
 			reads++
 			readBytes += float64(r.Bytes())
-		} else {
+		case Trim:
+			trims++ // no data transfer: excluded from byte totals
+		default:
 			writeBytes += float64(r.Bytes())
 		}
 		sizes = append(sizes, float64(r.Sectors))
@@ -148,6 +152,7 @@ func WindowFeatures(w *Trace) []float64 {
 	if reads > 0 {
 		f[17] = math.Log1p(f[17])
 	}
+	f[18] = float64(trims) / float64(n) // trim/discard fraction
 	return f
 }
 

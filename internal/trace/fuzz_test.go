@@ -19,7 +19,10 @@ func FuzzParseBlktrace(f *testing.F) {
 	f.Add("2.0 5 4 R\n1.0 9 2 W\n") // unsorted: Parse sorts, streaming errors
 	f.Add("")
 	f.Add("-3.25 18446744073709551615 4294967295 WRITE\n")
-	f.Add("1e300 1 1 R\n") // timestamp out of range: must be rejected
+	f.Add("0.000000 100 8 D\n0.5 200 64 discard\n1.0 300 8 TRIM\n")
+	f.Add("0.1 100 8 W 3\n0.2 200 8 R 2\n0.3 300 16 D 1\n") // 5-field stream tags
+	f.Add("0.1 1 1 W 4294967296\n")                         // stream tag out of uint32 range
+	f.Add("1e300 1 1 R\n")                                  // timestamp out of range: must be rejected
 	f.Add("nan 1 1 R\n")
 	f.Add("0.1 1 1 R")
 

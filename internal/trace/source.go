@@ -214,11 +214,12 @@ func (n *normalizeStream) Next() (Request, bool) {
 
 // mergeSources is a k-way arrival-order merge of sorted sources.
 type mergeSources struct {
-	name string
-	srcs []Source
-	head []Request
-	have []bool
-	done []bool
+	name   string
+	srcs   []Source
+	head   []Request
+	have   []bool
+	done   []bool
+	tagged bool
 }
 
 // MergeSources interleaves several arrival-sorted sources into one
@@ -232,6 +233,16 @@ func MergeSources(name string, srcs ...Source) Source {
 		have: make([]bool, len(srcs)),
 		done: make([]bool, len(srcs)),
 	}
+}
+
+// MergeSourcesTagged is MergeSources with per-tenant stream tagging:
+// every request from srcs[i] carries Stream = i+1, so a multi-stream
+// host interface can route each tenant's writes to disjoint flash
+// blocks. Tags start at 1 because 0 means "untagged".
+func MergeSourcesTagged(name string, srcs ...Source) Source {
+	m := MergeSources(name, srcs...).(*mergeSources)
+	m.tagged = true
+	return m
 }
 
 func (m *mergeSources) Name() string { return m.name }
@@ -271,7 +282,11 @@ func (m *mergeSources) Next() (Request, bool) {
 		return Request{}, false
 	}
 	m.have[best] = false
-	return m.head[best], true
+	r := m.head[best]
+	if m.tagged {
+		r.Stream = uint32(best) + 1
+	}
+	return r, true
 }
 
 // maxTraceSeconds bounds parsed timestamps so the seconds→nanoseconds
@@ -286,8 +301,8 @@ func parseBlktraceLine(lineNo int, line string) (req Request, skip bool, err err
 		return Request{}, true, nil
 	}
 	fields := strings.Fields(line)
-	if len(fields) != 4 {
-		return Request{}, false, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+	if len(fields) != 4 && len(fields) != 5 {
+		return Request{}, false, fmt.Errorf("trace: line %d: want 4 or 5 fields, got %d", lineNo, len(fields))
 	}
 	ts, err := strconv.ParseFloat(fields[0], 64)
 	if err != nil {
@@ -310,14 +325,24 @@ func parseBlktraceLine(lineNo int, line string) (req Request, skip bool, err err
 		op = Read
 	case "W", "WRITE":
 		op = Write
+	case "D", "T", "DISCARD", "TRIM":
+		op = Trim
 	default:
 		return Request{}, false, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[3])
+	}
+	var stream uint64
+	if len(fields) == 5 {
+		stream, err = strconv.ParseUint(fields[4], 10, 32)
+		if err != nil {
+			return Request{}, false, fmt.Errorf("trace: line %d: bad stream %q: %w", lineNo, fields[4], err)
+		}
 	}
 	return Request{
 		Arrival: time.Duration(ts * float64(time.Second)),
 		LBA:     lba,
 		Sectors: uint32(sectors),
 		Op:      op,
+		Stream:  uint32(stream),
 	}, false, nil
 }
 
@@ -404,8 +429,7 @@ func WriteBlktraceSource(w io.Writer, src Source) error {
 		if !ok {
 			break
 		}
-		if _, err := fmt.Fprintf(bw, "%.6f %d %d %s\n",
-			r.Arrival.Seconds(), r.LBA, r.Sectors, r.Op); err != nil {
+		if err := writeBlktraceLine(bw, r); err != nil {
 			return err
 		}
 	}

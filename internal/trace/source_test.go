@@ -323,3 +323,54 @@ func TestWriteBlktraceSourceMatchesWriteBlktrace(t *testing.T) {
 		t.Fatal("WriteBlktraceSource output differs from WriteBlktrace")
 	}
 }
+
+// TestBlktraceDiscardAndStreamRecords pins the host-interface trace
+// extensions: every discard spelling parses to Trim, the optional fifth
+// field carries the multi-stream tag, and the streaming reader agrees
+// with the buffered parser on such input. The written form (`D`, tag
+// only when nonzero) must be a round-trip fixed point.
+func TestBlktraceDiscardAndStreamRecords(t *testing.T) {
+	in := "0.000000 100 8 D\n" +
+		"0.000001 200 16 T\n" +
+		"0.000002 300 8 discard\n" +
+		"0.000003 400 8 TRIM\n" +
+		"0.000004 500 8 W 3\n" +
+		"0.000005 600 8 R 2\n" +
+		"0.000006 700 64 D 1\n"
+	want, err := ParseBlktrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if want.Requests[i].Op != Trim {
+			t.Fatalf("request %d: op = %v, want Trim", i, want.Requests[i].Op)
+		}
+	}
+	for i, tag := range map[int]uint32{4: 3, 5: 2, 6: 1, 0: 0} {
+		if want.Requests[i].Stream != tag {
+			t.Fatalf("request %d: stream = %d, want %d", i, want.Requests[i].Stream, tag)
+		}
+	}
+	got, err := Materialize(NewBlktraceSource(strings.NewReader(in), want.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Requests, want.Requests) {
+		t.Fatal("streaming reader differs from buffered parser on discard/stream input")
+	}
+
+	var first, second bytes.Buffer
+	if err := WriteBlktrace(&first, want); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ParseBlktrace(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBlktrace(&second, rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("discard/stream records are not a write->parse->write fixed point")
+	}
+}

@@ -137,11 +137,24 @@ func (g *genSource) Next() (trace.Request, bool) {
 	op := trace.Write
 	if isRead {
 		op = trace.Read
+	} else if g.opt.TrimRatio > 0 && g.rng.Float64() < g.opt.TrimRatio {
+		// A trim replaces a write of the same span: hosts discard what
+		// they previously wrote. The draw is gated on TrimRatio so the
+		// default (no-trim) request stream is bit-identical to before the
+		// knob existed.
+		op = trace.Trim
+	}
+	var tag uint32
+	if g.opt.Streams > 0 {
+		// Reuse the already-drawn stream cursor index, so tagging adds no
+		// RNG draws and untagged output stays bit-identical.
+		tag = uint32(stream%g.opt.Streams) + 1
 	}
 	return trace.Request{
 		Arrival: time.Duration(g.now * float64(time.Microsecond)),
 		LBA:     lba,
 		Sectors: sectors,
 		Op:      op,
+		Stream:  tag,
 	}, true
 }

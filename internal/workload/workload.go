@@ -263,11 +263,27 @@ type Options struct {
 	Requests int
 	// Seed drives the generator; equal seeds give identical traces.
 	Seed int64
+	// TrimRatio is the probability that a would-be write is emitted as a
+	// TRIM instead (0 = no trims, the historical behavior). The trimmed
+	// span follows the phase's write placement, modeling hosts that
+	// discard what they previously wrote.
+	TrimRatio float64
+	// Streams, when positive, stamps each request with a multi-stream
+	// tag in [1, Streams], derived from the generator's internal
+	// sequential-stream cursor so one logical stream keeps one tag.
+	// Zero leaves requests untagged (the historical behavior).
+	Streams int
 }
 
 func (o *Options) defaults() {
 	if o.Requests <= 0 {
 		o.Requests = 30000
+	}
+	if o.TrimRatio < 0 {
+		o.TrimRatio = 0
+	}
+	if o.TrimRatio > 1 {
+		o.TrimRatio = 1
 	}
 }
 
