@@ -61,6 +61,11 @@ type (
 	WhatIfGoal = core.WhatIfGoal
 	// WhatIfResult reports a what-if exploration.
 	WhatIfResult = core.WhatIfResult
+	// ObjectiveSpec declares the tuning objective axes (scalar grade, or
+	// a Pareto vector over perf/power/lifetime).
+	ObjectiveSpec = ssdconf.ObjectiveSpec
+	// FrontPoint is one non-dominated configuration on a Pareto front.
+	FrontPoint = core.FrontPoint
 	// Assignment is a workload-clustering verdict.
 	Assignment = core.Assignment
 	// PruneOptions controls §3.3 parameter pruning.
@@ -72,6 +77,11 @@ type (
 
 // DefaultConstraints returns the paper's §4.2 setting: 512GB, NVMe, MLC.
 func DefaultConstraints() Constraints { return ssdconf.DefaultConstraints() }
+
+// ParseObjectives parses a comma-separated objective axis list such as
+// "perf,power,lifetime" into an ObjectiveSpec. The empty string yields
+// the scalar (single-grade) spec.
+func ParseObjectives(s string) (ObjectiveSpec, error) { return ssdconf.ParseObjectiveSpec(s) }
 
 // Baseline commodity configurations used as references in the paper.
 var (
@@ -121,6 +131,13 @@ type Options struct {
 	Backend Backend
 	// WhatIfSpace switches the expanded §4.5 bounds on.
 	WhatIfSpace bool
+	// Objectives selects the tuning objective axes. The zero spec is
+	// scalar mode — byte-identical to the historical single-grade
+	// tuner. A multi-axis spec (e.g. perf,power,lifetime) switches
+	// every tuning run to Pareto-front search; the spec is folded into
+	// the space signature, so checkpoints and distributed fleets from a
+	// different spec are rejected.
+	Objectives ObjectiveSpec
 	// Metrics, when set, receives counters and latency histograms from
 	// the validator and every simulation it runs. nil disables metric
 	// collection at zero cost. Instrumentation never perturbs results:
@@ -179,6 +196,7 @@ func New(cons Constraints, opts Options) (*Framework, error) {
 	} else {
 		space = ssdconf.NewSpace(cons)
 	}
+	space.Objectives = opts.Objectives
 	db, err := autodb.Open(opts.DBPath)
 	if err != nil {
 		return nil, err
@@ -219,6 +237,13 @@ func (f *Framework) SetProgress(fn func(iteration int, bestGrade float64)) {
 // checkpoint write with the checkpoint path (live freshness reporting).
 func (f *Framework) SetCheckpointHook(fn func(path string)) {
 	f.opts.Tuner.OnCheckpoint = fn
+}
+
+// SetFrontProgress installs a per-iteration Pareto-front callback
+// (front size + normalized hypervolume) for subsequent tuning runs.
+// Scalar-mode runs never invoke it.
+func (f *Framework) SetFrontProgress(fn func(size int, hypervolume float64)) {
+	f.opts.Tuner.OnFront = fn
 }
 
 // LearnWorkloads trains the §3.1 clustering model on one representative

@@ -10,6 +10,11 @@
 //	autoblox whatif  -target WebSearch -latency 3
 //	autoblox tune    -db autoblox.db -target Database
 //
+// With -objectives perf,power,lifetime the tuning subcommands switch
+// from the scalar grade to a Pareto-front search over the listed axes
+// and print the resulting non-dominated front as a table; -front-json
+// additionally writes it as JSON ('-' = stdout).
+//
 // Every subcommand also accepts the observability flags -metrics <file>,
 // -trace <file> (Chrome trace_event JSONL), -pprof <addr>, -progress and
 // -http <addr> (live introspection: /metrics, /statusz, /tunez, /eventz,
@@ -20,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,20 +75,23 @@ func usage() {
 
 // commonFlags registers the flags shared by every subcommand.
 type commonFlags struct {
-	db       string
-	capacity int
-	iface    string
-	flash    string
-	power    float64
-	requests int
-	iters    int
-	seed     int64
-	parallel int
-	workers  int
-	listen   string
-	obs      *cliobs.Flags
-	res      *cliobs.Resilience
-	fleet    *dist.Fleet
+	db         string
+	capacity   int
+	iface      string
+	flash      string
+	power      float64
+	requests   int
+	iters      int
+	seed       int64
+	parallel   int
+	workers    int
+	listen     string
+	objectives string
+	frontJSON  string
+	obs        *cliobs.Flags
+	res        *cliobs.Resilience
+	fleet      *dist.Fleet
+	spec       autoblox.ObjectiveSpec
 }
 
 func registerCommon(fs *flag.FlagSet) *commonFlags {
@@ -98,6 +107,8 @@ func registerCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.parallel, "parallel", runtime.GOMAXPROCS(0), "max concurrent validation simulations")
 	fs.IntVar(&c.workers, "workers", 0, "in-process fleet: spawn N loopback sim workers (0 = local pool)")
 	fs.StringVar(&c.listen, "listen", "", "accept remote autobloxd-worker connections on this address")
+	fs.StringVar(&c.objectives, "objectives", "", "objective axes, comma-separated from perf,power,lifetime (empty = scalar grade)")
+	fs.StringVar(&c.frontJSON, "front-json", "", "write the Pareto front as JSON to this file ('-' = stdout)")
 	return c
 }
 
@@ -136,12 +147,18 @@ func (c *commonFlags) setupObs() func() {
 // or -listen set it also starts the validation fleet and routes every
 // simulation through it.
 func (c *commonFlags) framework(whatIf bool) *autoblox.Framework {
+	spec, err := autoblox.ParseObjectives(c.objectives)
+	if err != nil {
+		fatal(fmt.Errorf("-objectives: %w", err))
+	}
+	c.spec = spec
 	opts := autoblox.Options{
 		DBPath: c.db, Seed: c.seed, WhatIfSpace: whatIf, Parallel: c.parallel,
 		Metrics:    c.obs.Reg,
 		Tuner:      autoblox.TunerOptions{MaxIterations: c.iters},
 		SimTimeout: c.res.SimTimeout, SimRetries: c.res.SimRetries,
 		Checkpoint: c.res.Checkpoint, Resume: c.res.Resume,
+		Objectives: spec,
 	}
 	if c.workers > 0 || c.listen != "" {
 		c.startFleet(whatIf)
@@ -169,6 +186,11 @@ func (c *commonFlags) startFleet(whatIf bool) {
 	env, err := dist.NewEnv(c.constraints(), whatIf, ssd.FaultProfile{}, specs)
 	if err != nil {
 		fatal(err)
+	}
+	if !c.spec.Scalar() {
+		// Ship the objective spec with the env so workers whose binaries
+		// reconstruct a different axis set are rejected at handshake.
+		env.SetObjectives(c.spec)
 	}
 	c.fleet, err = dist.StartFleet(env, dist.FleetOptions{
 		Workers: c.workers, Listen: c.listen,
@@ -236,6 +258,7 @@ func runRecommend(args []string) {
 	defer c.closeFleet()
 	learnStudied(fw, c)
 	fw.SetProgress(c.obs.Tune.Update)
+	fw.SetFrontProgress(c.obs.Tune.UpdateFront)
 	fw.SetCheckpointHook(c.obs.Tune.MarkCheckpoint)
 
 	var tr *autoblox.Trace
@@ -273,6 +296,7 @@ func runRecommend(args []string) {
 			time.Since(t0).Round(time.Millisecond), rec.Tune.Iterations, rec.Tune.SimRuns)
 	}
 	fmt.Printf("grade: %.4f\nconfig: %s\n", rec.Grade, fw.DescribeConfig(rec.Config))
+	printFront(c, fw, rec.Tune.Front, rec.Tune.Hypervolume)
 }
 
 func runTune(args []string) {
@@ -289,6 +313,7 @@ func runTune(args []string) {
 	learnStudied(fw, c)
 	c.obs.Tune.Begin(*target, c.iters)
 	fw.SetCheckpointHook(c.obs.Tune.MarkCheckpoint)
+	fw.SetFrontProgress(c.obs.Tune.UpdateFront)
 	fw.SetProgress(func(iter int, best float64) {
 		c.obs.Tune.Update(iter, best)
 		if *verbose {
@@ -309,6 +334,7 @@ func runTune(args []string) {
 		*target, res.BestGrade, res.Iterations, res.SimRuns,
 		res.Elapsed.Round(time.Millisecond), res.Converged)
 	fmt.Println("config:", fw.DescribeConfig(res.Best))
+	printFront(c, fw, res.Front, res.Hypervolume)
 }
 
 func runPrune(args []string) {
@@ -349,6 +375,7 @@ func runWhatIf(args []string) {
 	learnStudied(fw, c)
 	c.obs.Tune.Begin(*target, c.iters)
 	fw.SetProgress(c.obs.Tune.Update)
+	fw.SetFrontProgress(c.obs.Tune.UpdateFront)
 	fw.SetCheckpointHook(c.obs.Tune.MarkCheckpoint)
 	ctx, stop := cliobs.SignalContext()
 	defer stop()
@@ -362,6 +389,59 @@ func runWhatIf(args []string) {
 		res.Achieved, res.LatencySpeedup, res.ThroughputSpeedup, res.Iterations)
 	for name, v := range res.CriticalParams {
 		fmt.Printf("  %-22s %g\n", name, v)
+	}
+	printFront(c, fw, res.Front, res.Hypervolume)
+}
+
+// printFront renders a Pareto front as a table (one row per
+// non-dominated configuration, trade-off axes first, then the full
+// config description) and, when requested, as JSON.
+func printFront(c *commonFlags, fw *autoblox.Framework, front []autoblox.FrontPoint, hv float64) {
+	if len(front) == 0 {
+		return
+	}
+	fmt.Printf("pareto front (%s): %d configurations, hypervolume %.3f\n",
+		c.spec, len(front), hv)
+	fmt.Printf("  %3s  %8s  %9s  %12s  %7s  %7s\n", "#", "grade", "power(W)", "lifetime", "lat", "tput")
+	for i, p := range front {
+		fmt.Printf("  %3d  %8.4f  %9.3f  %12s  %6.2fx  %6.2fx\n",
+			i+1, p.Grade, p.PowerWatts, lifetimeString(p.LifetimeNS),
+			p.LatencySpeedup, p.ThroughputSpeedup)
+		fmt.Printf("       %s\n", fw.DescribeConfig(p.Cfg))
+	}
+	if c.frontJSON != "" {
+		writeFrontJSON(c.frontJSON, c.spec, front, hv)
+	}
+}
+
+// lifetimeString renders the lifetime axis for humans; 0 means the run
+// observed no wear at all.
+func lifetimeString(ns int64) string {
+	if ns <= 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%.1fd", float64(ns)/float64(24*time.Hour))
+}
+
+// writeFrontJSON emits the front in machine-readable form ('-' =
+// stdout).
+func writeFrontJSON(path string, spec autoblox.ObjectiveSpec, front []autoblox.FrontPoint, hv float64) {
+	report := struct {
+		Objectives  string                `json:"objectives"`
+		Hypervolume float64               `json:"hypervolume"`
+		Front       []autoblox.FrontPoint `json:"front"`
+	}{spec.String(), hv, front}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fatal(err)
 	}
 }
 

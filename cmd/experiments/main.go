@@ -38,6 +38,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent validation simulations")
 	workers := flag.Int("workers", 0, "in-process fleet: spawn N loopback sim workers (0 = local pool)")
 	listen := flag.String("listen", "", "accept remote autobloxd-worker connections on this address")
+	objectives := flag.String("objectives", "", "objective axes, comma-separated from perf,power,lifetime (empty = scalar grade)")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	csvDir := flag.String("csv", "", "also export artifact data as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -63,6 +64,12 @@ func main() {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
+	spec, err := ssdconf.ParseObjectiveSpec(*objectives)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -objectives:", err)
+		os.Exit(1)
+	}
+	scale.Objectives = spec
 	scale.Parallel = *parallel
 	scale.SimTimeout = resFlags.SimTimeout
 	scale.SimRetries = resFlags.SimRetries
@@ -92,6 +99,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
+		}
+		if !spec.Scalar() {
+			env.SetObjectives(spec)
 		}
 		fleet, err := dist.StartFleet(env, dist.FleetOptions{
 			Workers: *workers, Listen: *listen,

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +54,7 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "per-operation fault probability for program/erase/read (0 = no injection)")
 	faultSeed := flag.Int64("faultseed", 1, "seed of the private fault RNG stream")
 	faultDies := flag.Int("faultdies", 0, "fail this many whole dies at initialization")
+	jsonOut := flag.Bool("json", false, "print the report as JSON instead of text")
 	metrics := flag.String("metrics", "", "write simulator metrics to this file (.json = JSON snapshot, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	materialize := flag.Bool("materialize", false, "buffer the whole trace in memory and sort arrivals (needed for unsorted blktrace files)")
@@ -176,6 +178,10 @@ func main() {
 	if reg != nil {
 		cliobs.WriteMetrics(reg, *metrics)
 	}
+	if *jsonOut {
+		printJSONReport(dev, res)
+		return
+	}
 
 	fmt.Printf("device:   %s, %dch x %dchip x %ddie x %dplane, %s page %dB, cache %dMB, CMT %dMB, QD %d\n",
 		dev.HostInterface, dev.Channels, dev.ChipsPerChannel, dev.DiesPerChip, dev.PlanesPerDie,
@@ -205,11 +211,84 @@ func main() {
 			res.ProgramFailures, res.EraseFailures, res.ReadRetries, res.ECCSoftDecodes,
 			res.RetiredBlocks, res.FactoryBadBlocks)
 	}
+	lifetime := "unbounded"
 	if res.Wear.MaxEraseCount > 0 {
-		fmt.Printf("wear:     max %d / mean %.1f erases (imbalance %.2f), P/E limit %d, projected lifetime %v\n",
-			res.Wear.MaxEraseCount, res.Wear.MeanEraseCount, res.Wear.Imbalance,
-			res.Wear.PECycleLimit, res.Wear.ProjectedLifetime.Round(time.Hour))
+		lifetime = res.Wear.ProjectedLifetime.Round(time.Hour).String()
 	}
+	fmt.Printf("wear:     max %d / mean %.1f erases (imbalance %.2f), P/E limit %d, projected lifetime %s\n",
+		res.Wear.MaxEraseCount, res.Wear.MeanEraseCount, res.Wear.Imbalance,
+		res.Wear.PECycleLimit, lifetime)
+}
+
+// jsonReport is the machine-readable ssdsim report: the fields tuning
+// and fleet tooling consume, including the power and wear axes the
+// multi-objective tuner optimizes.
+type jsonReport struct {
+	Device struct {
+		Interface string  `json:"interface"`
+		Flash     string  `json:"flash"`
+		Channels  int     `json:"channels"`
+		RawGB     float64 `json:"raw_gb"`
+		UsableGB  float64 `json:"usable_gb"`
+	} `json:"device"`
+	Requests           int     `json:"requests"`
+	MakespanNS         int64   `json:"makespan_ns"`
+	AvgLatencyNS       int64   `json:"avg_latency_ns"`
+	P50LatencyNS       int64   `json:"p50_latency_ns"`
+	P95LatencyNS       int64   `json:"p95_latency_ns"`
+	P99LatencyNS       int64   `json:"p99_latency_ns"`
+	P999LatencyNS      int64   `json:"p999_latency_ns"`
+	ThroughputBps      float64 `json:"throughput_bps"`
+	IOPS               float64 `json:"iops"`
+	EnergyJoules       float64 `json:"energy_joules"`
+	AvgPowerWatts      float64 `json:"avg_power_watts"`
+	WriteAmplification float64 `json:"write_amplification"`
+	GCRuns             int     `json:"gc_runs"`
+	Erases             int64   `json:"erases"`
+	MaxEraseCount      int64   `json:"max_erase_count"`
+	MeanEraseCount     float64 `json:"mean_erase_count"`
+	WearImbalance      float64 `json:"wear_imbalance"`
+	PECycleLimit       int64   `json:"pe_cycle_limit"`
+	// ProjectedLifetimeNS is 0 when the run erased nothing (the
+	// endurance model projects no wear-out: unbounded lifetime).
+	ProjectedLifetimeNS int64 `json:"projected_lifetime_ns"`
+}
+
+// printJSONReport emits the selected-fields JSON report on stdout.
+func printJSONReport(dev ssd.DeviceParams, res *ssd.Result) {
+	var rep jsonReport
+	rep.Device.Interface = dev.HostInterface.String()
+	rep.Device.Flash = dev.FlashType.String()
+	rep.Device.Channels = dev.Channels
+	rep.Device.RawGB = float64(dev.CapacityBytes()) / 1e9
+	rep.Device.UsableGB = float64(dev.UsableBytes()) / 1e9
+	rep.Requests = res.Requests
+	rep.MakespanNS = res.Makespan.Nanoseconds()
+	rep.AvgLatencyNS = res.AvgLatency.Nanoseconds()
+	rep.P50LatencyNS = res.P50Latency.Nanoseconds()
+	rep.P95LatencyNS = res.P95Latency.Nanoseconds()
+	rep.P99LatencyNS = res.P99Latency.Nanoseconds()
+	rep.P999LatencyNS = res.P999Latency.Nanoseconds()
+	rep.ThroughputBps = res.ThroughputBps
+	rep.IOPS = res.IOPS
+	rep.EnergyJoules = res.EnergyJoules
+	rep.AvgPowerWatts = res.AvgPowerWatts
+	rep.WriteAmplification = res.WriteAmplification
+	rep.GCRuns = res.GCRuns
+	rep.Erases = res.Erases
+	rep.MaxEraseCount = res.Wear.MaxEraseCount
+	rep.MeanEraseCount = res.Wear.MeanEraseCount
+	rep.WearImbalance = res.Wear.Imbalance
+	rep.PECycleLimit = res.Wear.PECycleLimit
+	if res.Wear.MaxEraseCount > 0 {
+		rep.ProjectedLifetimeNS = res.Wear.ProjectedLifetime.Nanoseconds()
+	}
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(b, '\n'))
 }
 
 // openTraceSource opens a trace file as a rewindable Source. Blktrace

@@ -22,6 +22,13 @@ type Perf struct {
 	ThroughputBps float64 `json:"throughput_bps"`
 	EnergyJoules  float64 `json:"energy_joules"`
 	PowerWatts    float64 `json:"power_watts"`
+	// Wear outputs back the lifetime objective axis. MaxEraseCount and
+	// WearImbalance summarize the erase-count distribution;
+	// ProjectedLifetimeNS extrapolates time to the P/E-cycle limit at
+	// the observed wear rate (0 = no erases observed, i.e. unbounded).
+	MaxEraseCount       int64   `json:"max_erase_count,omitempty"`
+	WearImbalance       float64 `json:"wear_imbalance,omitempty"`
+	ProjectedLifetimeNS int64   `json:"projected_lifetime_ns,omitempty"`
 }
 
 // StoredConfig is one learned configuration with its grade and the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,7 +19,20 @@ import (
 
 // checkpointVersion guards the on-disk schema; bump it when the layout
 // changes so stale files fail loudly instead of resuming garbage.
-const checkpointVersion = 1
+// Version history:
+//
+//	1 — scalar-grade schema (through the objective-vector refactor)
+//	2 — objective vectors: per-entry power/lifetime, the objective
+//	    spec, and the Pareto front. Version-1 files are scalar by
+//	    definition and upgrade cleanly into a scalar run (their
+//	    entries simply carry no wear data); resuming a Pareto tune
+//	    from one fails with ErrCheckpointIncompatible.
+const checkpointVersion = 2
+
+// ErrCheckpointIncompatible marks a checkpoint whose schema or
+// objective spec cannot drive this run. It is always an error value,
+// never a panic, whatever bytes the file holds.
+var ErrCheckpointIncompatible = errors.New("core: incompatible checkpoint")
 
 // checkpointEntry is one validated configuration in portable form (the
 // feature vector is recomputed from the space on resume).
@@ -29,6 +43,8 @@ type checkpointEntry struct {
 	LatSp      float64 `json:"lat_speedup"`
 	TputSp     float64 `json:"tput_speedup"`
 	Full       bool    `json:"full"`
+	Power      float64 `json:"power_watts,omitempty"`
+	LifetimeNS int64   `json:"lifetime_ns,omitempty"`
 }
 
 // checkpointFile is the on-disk snapshot of a tuning run between
@@ -53,9 +69,40 @@ type checkpointFile struct {
 	PrunedValidations int       `json:"pruned_validations"`
 	RejectedByPower   int       `json:"rejected_by_power"`
 
+	// Objectives is the axis list of the run's objective spec (absent
+	// for scalar runs, keeping their files identical in shape to v1
+	// plus the version bump). Front is the non-dominated set at the
+	// snapshot boundary, in the deterministic report order.
+	Objectives []string     `json:"objectives,omitempty"`
+	Front      []FrontPoint `json:"front,omitempty"`
+
 	Validated []checkpointEntry `json:"validated"`
 	Seen      []string          `json:"seen"`
 	Cache     []CachedPerf      `json:"cache"`
+}
+
+// upgradeCheckpoint validates the snapshot's schema version and
+// migrates legacy layouts in place. It must never panic: checkpoint
+// bytes come from disk and may be arbitrarily old or corrupt (the
+// JSON layer has already vetted syntax, this layer vets semantics).
+func upgradeCheckpoint(ck *checkpointFile, pareto bool) error {
+	switch ck.Version {
+	case 1:
+		// The scalar-grade era: no objective spec, no wear data. A
+		// scalar run continues cleanly — its entries re-enter with zero
+		// power/lifetime, which scalar search never reads. A Pareto run
+		// must refuse: dominance would silently treat every restored
+		// entry as wear-free.
+		if pareto {
+			return fmt.Errorf("%w: version 1 checkpoint predates objective vectors and cannot resume a Pareto tune", ErrCheckpointIncompatible)
+		}
+		ck.Version = checkpointVersion
+		return nil
+	case checkpointVersion:
+		return nil
+	default:
+		return fmt.Errorf("%w: version %d, want %d", ErrCheckpointIncompatible, ck.Version, checkpointVersion)
+	}
 }
 
 // writeCheckpoint atomically replaces path with the snapshot: the JSON

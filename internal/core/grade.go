@@ -437,11 +437,14 @@ func (v *Validator) simulateOnce(ctx context.Context, cfg ssdconf.Config, f trac
 	v.Obs.Counter(MetricSimRuns).Inc()
 	v.Obs.Histogram(MetricSimTime).Record(t1.Sub(t0).Nanoseconds())
 	return autodb.Perf{
-		LatencyNS:     res.AvgLatency.Nanoseconds(),
-		P99LatencyNS:  res.P99Latency.Nanoseconds(),
-		ThroughputBps: res.ThroughputBps,
-		EnergyJoules:  res.EnergyJoules,
-		PowerWatts:    res.AvgPowerWatts,
+		LatencyNS:           res.AvgLatency.Nanoseconds(),
+		P99LatencyNS:        res.P99Latency.Nanoseconds(),
+		ThroughputBps:       res.ThroughputBps,
+		EnergyJoules:        res.EnergyJoules,
+		PowerWatts:          res.AvgPowerWatts,
+		MaxEraseCount:       res.Wear.MaxEraseCount,
+		WearImbalance:       res.Wear.Imbalance,
+		ProjectedLifetimeNS: res.Wear.ProjectedLifetime.Nanoseconds(),
 	}, t1.Sub(t0), nil
 }
 

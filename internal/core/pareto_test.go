@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/trace"
+	"autoblox/internal/workload"
+)
+
+// wearEnv builds a deliberately wear-heavy tuning environment: a tiny
+// device under a write-heavy workload, so GC erases blocks fast enough
+// that the endurance model projects a finite lifetime and the grade-vs-
+// lifetime trade-off is real.
+func wearEnv(t *testing.T, spec ssdconf.ObjectiveSpec) (*ssdconf.Space, *Validator, *Grader, ssdconf.Config, string) {
+	// 1500 requests sits on the GC boundary for the tiny device: eager
+	// write-buffer flushing keeps the drive just wear-bound, while
+	// higher overprovisioning plus a lazy GC trigger avoids erases
+	// entirely — a real grade-vs-lifetime trade-off.
+	return wearEnvN(t, spec, 1500)
+}
+
+func wearEnvN(t *testing.T, spec ssdconf.ObjectiveSpec, requests int) (*ssdconf.Space, *Validator, *Grader, ssdconf.Config, string) {
+	t.Helper()
+	cons := ssdconf.DefaultConstraints()
+	cons.CapacityBytes = 16 << 20
+	space := ssdconf.NewSpace(cons)
+	space.Objectives = spec
+	tiny := ssd.DefaultParams()
+	tiny.Channels, tiny.ChipsPerChannel, tiny.DiesPerChip, tiny.PlanesPerDie = 1, 1, 1, 1
+	tiny.BlocksPerPlane, tiny.PagesPerBlock, tiny.PageSizeBytes = 128, 64, 2048
+	base := space.FromDevice(tiny)
+	if err := space.CheckConstraints(base); err != nil {
+		t.Fatalf("base violates constraints: %v", err)
+	}
+	target := string(workload.RadiusAuth)
+	v := NewValidator(space, map[string]*trace.Trace{
+		target: workload.MustGenerate(workload.RadiusAuth, workload.Options{Requests: requests, Seed: 21}),
+	})
+	g, err := NewGrader(context.Background(), v, base, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space, v, g, base, target
+}
+
+// wearInitialConfigs seeds the search with the reference plus layout
+// variants so both search modes see structurally diverse wear behavior
+// from iteration zero.
+func wearInitialConfigs(t *testing.T, space *ssdconf.Space, base ssdconf.Config) []ssdconf.Config {
+	t.Helper()
+	out := []ssdconf.Config{base}
+	for _, mutate := range []map[string]float64{
+		// Grade-leaning: eager flushing with modest overprovisioning
+		// performs best but keeps the garbage collector busy.
+		{"OverprovisioningRatio": 0.07, "WriteBufferFlushThreshold": 90},
+		// Durability-leaning: more spare blocks and a lazy GC trigger
+		// avoid erases at a small throughput cost.
+		{"OverprovisioningRatio": 0.21, "WriteBufferFlushThreshold": 90, "GCThreshold": 2},
+	} {
+		cfg := base.Clone()
+		ok := true
+		for name, v := range mutate {
+			if err := space.SetByName(cfg, name, v); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok || !space.RepairCapacity(cfg) || space.CheckConstraints(cfg) != nil {
+			continue
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// TestParetoDominatesScalar is the multi-objective value regression: on
+// a wear-heavy environment, the Pareto front must expose a
+// configuration with at least 2x the scalar optimum's projected
+// lifetime while giving up no more than 10% of its grade headroom. A
+// scalar tune cannot see that trade-off at all — it returns exactly one
+// point.
+func TestParetoDominatesScalar(t *testing.T) {
+	opts := TunerOptions{Seed: 5, MaxIterations: 32, SGDSteps: 3}
+
+	// Scalar optimum first.
+	scalarSpace, sv, sg, sbase, target := wearEnv(t, ssdconf.ObjectiveSpec{})
+	st, err := NewTuner(scalarSpace, sv, sg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := st.Tune(context.Background(), target, wearInitialConfigs(t, scalarSpace, sbase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scalar.Front) != 0 {
+		t.Fatalf("scalar tune reported a front of %d points", len(scalar.Front))
+	}
+	scalarLife := minLifetimeNS(scalar.BestPerf[target])
+	if scalarLife <= 0 {
+		t.Fatalf("environment not wear-heavy: scalar optimum projects unbounded lifetime (perf %+v)",
+			scalar.BestPerf[target])
+	}
+	t.Logf("scalar optimum: grade %.4f, lifetime %d ns", scalar.BestGrade, scalarLife)
+
+	// Pareto tune over perf+lifetime on the same environment and budget.
+	spec, err := ssdconf.ParseObjectiveSpec("perf,lifetime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSpace, pv, pg, pbase, _ := wearEnv(t, spec)
+	pt, err := NewTuner(pSpace, pv, pg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pareto, err := pt.Tune(context.Background(), target, wearInitialConfigs(t, pSpace, pbase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pareto.Front) == 0 {
+		t.Fatal("Pareto tune returned an empty front")
+	}
+	if pareto.Hypervolume <= 0 {
+		t.Fatalf("hypervolume = %g, want positive", pareto.Hypervolume)
+	}
+
+	// Grade floor: within 10% of the scalar optimum's headroom over the
+	// reference (grade 0 = reference performance).
+	floor := scalar.BestGrade - 0.1*abs(scalar.BestGrade)
+	found := false
+	for _, p := range pareto.Front {
+		life := p.LifetimeNS
+		unbounded := life <= 0
+		t.Logf("front point: grade %.4f, lifetime %d ns (unbounded=%v), power %.2f W",
+			p.Grade, p.LifetimeNS, unbounded, p.PowerWatts)
+		if (unbounded || life >= 2*scalarLife) && p.Grade >= floor {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no front point with >=2x scalar lifetime (%d ns) at grade >= %.4f; scalar grade %.4f",
+			scalarLife, floor, scalar.BestGrade)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestWhatIfExploresFront: with a multi-objective space, WhatIf accepts
+// a goal-less exploration request and returns the full trade-off curve
+// instead of a single achieved/not-achieved verdict.
+func TestWhatIfExploresFront(t *testing.T) {
+	cons := ssdconf.DefaultConstraints()
+	cons.CapacityBytes = 16 << 20
+	space := ssdconf.NewWhatIfSpace(cons)
+	spec, err := ssdconf.ParseObjectiveSpec("perf,power,lifetime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space.Objectives = spec
+	tiny := ssd.DefaultParams()
+	tiny.Channels, tiny.ChipsPerChannel, tiny.DiesPerChip, tiny.PlanesPerDie = 1, 1, 1, 1
+	tiny.BlocksPerPlane, tiny.PagesPerBlock, tiny.PageSizeBytes = 128, 64, 2048
+	base := space.FromDevice(tiny)
+	if err := space.CheckConstraints(base); err != nil {
+		t.Fatalf("base violates constraints: %v", err)
+	}
+	target := string(workload.RadiusAuth)
+	v := NewValidator(space, map[string]*trace.Trace{
+		target: workload.MustGenerate(workload.RadiusAuth, workload.Options{Requests: 2000, Seed: 21}),
+	})
+	g, err := NewGrader(context.Background(), v, base, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No latency/throughput goal: pure front exploration.
+	res, err := WhatIf(context.Background(), space, v, g, WhatIfGoal{Target: target},
+		[]ssdconf.Config{base}, TunerOptions{Seed: 6, MaxIterations: 5, SGDSteps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("goal-less what-if exploration returned no trade-off curve")
+	}
+	if res.Achieved {
+		t.Fatal("goal-less exploration cannot report Achieved")
+	}
+	if len(res.CriticalParams) != len(Table7Params) {
+		t.Fatalf("critical params %d, want %d", len(res.CriticalParams), len(Table7Params))
+	}
+	// A goal-less scalar what-if must still be rejected.
+	scalarSpace := ssdconf.NewWhatIfSpace(cons)
+	sv := NewValidator(scalarSpace, map[string]*trace.Trace{
+		target: workload.MustGenerate(workload.RadiusAuth, workload.Options{Requests: 2000, Seed: 21}),
+	})
+	sref := scalarSpace.FromDevice(tiny)
+	sgr, err := NewGrader(context.Background(), sv, sref, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WhatIf(context.Background(), scalarSpace, sv, sgr, WhatIfGoal{Target: target},
+		[]ssdconf.Config{sref}, TunerOptions{Seed: 6, MaxIterations: 2}); err == nil {
+		t.Fatal("scalar goal-less what-if should fail validation")
+	}
+}

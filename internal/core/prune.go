@@ -50,6 +50,11 @@ type SweepPoint struct {
 	Value       float64 // the parameter's concrete value
 	Multiplier  float64 // value / baseline value
 	Performance float64 // Formula 1 vs the baseline configuration
+	// PowerWatts and LifetimeNS carry the point's power/lifetime axes
+	// (filled on every sweep; they back the dominance-contribution
+	// ranking on multi-objective spaces).
+	PowerWatts float64
+	LifetimeNS int64
 }
 
 // CoarseResult is the outcome of coarse-grained pruning.
@@ -60,7 +65,17 @@ type CoarseResult struct {
 	// Sensitivity is the peak |performance| across each sweep.
 	Sensitivity map[string]float64
 	// Insensitive lists parameters below the threshold, in name order.
+	// On a multi-objective space a parameter with any dominance
+	// contribution is never insensitive: it moves the trade-off surface
+	// even when Formula 1 alone is flat.
 	Insensitive []string
+	// DominanceContribution (multi-objective spaces only) counts, per
+	// swept parameter, how many of its non-baseline sweep points are
+	// non-dominated across the union of all sweeps — the sweeps' rank
+	// under the objective vector. Ranked orders parameters by that
+	// count, descending (sensitivity breaking ties).
+	DominanceContribution map[string]int
+	Ranked                []string
 }
 
 // sweepIndices enumerates the grid indices a coarse sweep visits for one
@@ -155,6 +170,8 @@ func CoarsePrune(ctx context.Context, v *Validator, g *Grader, target string, ba
 				Value:       p.Values[idx],
 				Multiplier:  mult,
 				Performance: score,
+				PowerWatts:  perf.PowerWatts,
+				LifetimeNS:  perf.ProjectedLifetimeNS,
 			})
 			if a := math.Abs(score); a > maxAbs {
 				maxAbs = a
@@ -166,8 +183,64 @@ func CoarsePrune(ctx context.Context, v *Validator, g *Grader, target string, ba
 			res.Insensitive = append(res.Insensitive, p.Name)
 		}
 	}
+	if !v.Space.Objectives.Scalar() {
+		rankSweepsByDominance(v.Space, res)
+	}
 	sort.Strings(res.Insensitive)
 	return res, nil
+}
+
+// rankSweepsByDominance scores each swept parameter by how many of its
+// non-baseline points survive a non-dominated sort over the union of
+// all sweeps under the space's objective vector, then rebuilds the
+// insensitive list so a parameter that shapes the trade-off surface is
+// kept even when its Formula 1 sweep is flat.
+func rankSweepsByDominance(space *ssdconf.Space, res *CoarseResult) {
+	var owners []string
+	var vecs []Objectives
+	for i := range space.Params {
+		p := &space.Params[i]
+		sweep, ok := res.Sweeps[p.Name]
+		if !ok {
+			continue
+		}
+		for _, pt := range sweep[1:] { // the shared baseline point credits nobody
+			owners = append(owners, p.Name)
+			vecs = append(vecs, objectiveVec(space.Objectives, pt.Performance, pt.PowerWatts, pt.LifetimeNS))
+		}
+	}
+	res.DominanceContribution = map[string]int{}
+	for name := range res.Sweeps {
+		res.DominanceContribution[name] = 0
+	}
+	fronts := nondominatedSort(vecs)
+	if len(fronts) > 0 {
+		for _, i := range fronts[0] {
+			res.DominanceContribution[owners[i]]++
+		}
+	}
+	names := make([]string, 0, len(res.Sweeps))
+	for name := range res.Sweeps {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(a, b int) bool {
+		ca, cb := res.DominanceContribution[names[a]], res.DominanceContribution[names[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		if sa, sb := res.Sensitivity[names[a]], res.Sensitivity[names[b]]; sa != sb {
+			return sa > sb
+		}
+		return names[a] < names[b]
+	})
+	res.Ranked = names
+	var insensitive []string
+	for _, name := range res.Insensitive {
+		if res.DominanceContribution[name] == 0 {
+			insensitive = append(insensitive, name)
+		}
+	}
+	res.Insensitive = insensitive
 }
 
 func nonZero(v float64) float64 {

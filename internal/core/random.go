@@ -82,6 +82,9 @@ func RandomSearch(ctx context.Context, space *ssdconf.Space, v *Validator, g *Gr
 		}
 		res.BestPerf[cl] = ps
 	}
+	if !space.Objectives.Scalar() {
+		res.Front, res.Hypervolume = buildFront(space.Objectives, validated)
+	}
 	res.SimRuns = v.SimRuns() - simStart
 	res.Elapsed = time.Since(start)
 	return res, nil

@@ -72,6 +72,11 @@ type TunerOptions struct {
 	// reporting in CLIs).
 	OnIteration func(iter int, bestGrade float64)
 
+	// OnFront, when set, is invoked after every Pareto-mode iteration
+	// with the current non-dominated front size and its normalized
+	// hypervolume (progress reporting; scalar runs never call it).
+	OnFront func(size int, hypervolume float64)
+
 	// OnCheckpoint, when set, is invoked after every successful
 	// checkpoint write with the checkpoint path (freshness reporting:
 	// /tunez serves the checkpoint age from it).
@@ -170,6 +175,11 @@ type entry struct {
 	latSp      float64 // target-cluster latency speedup vs reference
 	tputSp     float64 // target-cluster throughput speedup vs reference
 	full       bool    // true when non-target workloads were validated too
+	// power and lifetimeNS back the power/lifetime objective axes: mean
+	// target-cluster power draw, and the worst (smallest positive)
+	// projected lifetime across the target traces (0 = no wear).
+	power      float64
+	lifetimeNS int64
 }
 
 // TuneResult reports a finished tuning run.
@@ -189,6 +199,11 @@ type TuneResult struct {
 	PrunedValidations int
 	// RejectedByPower counts candidates dropped by the power budget.
 	RejectedByPower int
+	// Front is the non-dominated set over the validated configurations
+	// (Pareto mode only), best grade first; Hypervolume is its
+	// normalized dominated volume. Scalar runs leave both zero.
+	Front       []FrontPoint
+	Hypervolume float64
 }
 
 // NewTuner wires a tuner; grader and validator must share the space.
@@ -328,13 +343,62 @@ func (t *Tuner) Tune(ctx context.Context, target string, initial []ssdconf.Confi
 			sp := obs.StartSpan("iteration").ArgInt("iter", int64(iter))
 			defer sp.End()
 
-			// ② pick a search root among the top-K grades (random within
-			// the top three prevents premature convergence, §3.4).
-			root := t.pickRoot(validated)
-
-			// ③/④ SGD + GPR search for the next candidate.
-			cand := t.sgdSearch(root, validated, seen, iter)
-			if cand == nil {
+			// ②–⑤ pick search roots, run the SGD + GPR search from each,
+			// and validate the proposals. Scalar mode keeps the historical
+			// single-root walk: a random root among the top-K grades
+			// (random within the top three prevents premature convergence,
+			// §3.4). Pareto mode advances EVERY retained front lineage
+			// each iteration — NSGA-style population advance, ordered by
+			// crowding distance so the extremes go first — because a
+			// single random root starves minority trade-off regions (a
+			// durable-but-slower lineage never picks up the wear-neutral
+			// performance knobs the grade-leading lineage found).
+			advanced := false
+			if t.pareto() {
+				roots := frontIndices(t.Space.Objectives, validated)
+				if len(roots) > t.Opts.TopK {
+					roots = roots[:t.Opts.TopK]
+				}
+				for _, rootIdx := range roots {
+					// The surrogate targets are recomputed per root: each
+					// validation extends the set the GPR fits on.
+					ys := t.searchScores(validated, iter)
+					cand := t.sgdSearch(validated[rootIdx], ys[rootIdx], ys, validated, seen, iter)
+					if cand == nil {
+						continue
+					}
+					worst := worstRetainedGrade(validated, t.Opts.TopK)
+					e, rejected, err := t.evaluate(ctx, target, cand, worst, res)
+					if err != nil {
+						return true, err
+					}
+					seen[cand.Key()] = true
+					if !rejected {
+						validated = append(validated, e)
+					}
+					advanced = true
+				}
+				sp.ArgInt("roots", int64(len(roots)))
+			} else {
+				rootIdx := t.pickRoot(validated)
+				root := validated[rootIdx]
+				ys := t.searchScores(validated, iter)
+				cand := t.sgdSearch(root, ys[rootIdx], ys, validated, seen, iter)
+				if cand != nil {
+					sp.Arg("config", cand.Key())
+					worst := worstRetainedGrade(validated, t.Opts.TopK)
+					e, rejected, err := t.evaluate(ctx, target, cand, worst, res)
+					if err != nil {
+						return true, err
+					}
+					seen[cand.Key()] = true
+					if !rejected {
+						validated = append(validated, e)
+					}
+					advanced = true
+				}
+			}
+			if !advanced {
 				noProgress++
 				res.Trajectory = append(res.Trajectory, bestGrade(validated))
 				if noProgress >= 3 {
@@ -344,22 +408,18 @@ func (t *Tuner) Tune(ctx context.Context, target string, initial []ssdconf.Confi
 				return false, nil
 			}
 			noProgress = 0
-			sp.Arg("config", cand.Key())
-
-			// ⑤ efficiency validation.
-			worst := worstRetainedGrade(validated, t.Opts.TopK)
-			e, rejected, err := t.evaluate(ctx, target, cand, worst, res)
-			if err != nil {
-				return true, err
-			}
-			seen[cand.Key()] = true
-			if !rejected {
-				validated = append(validated, e)
-			}
 
 			res.Trajectory = append(res.Trajectory, bestGrade(validated))
 			if t.Opts.OnIteration != nil {
 				t.Opts.OnIteration(iter, bestGrade(validated))
+			}
+			if t.pareto() {
+				front, hv := buildFront(t.Space.Objectives, validated)
+				t.Validator.Obs.Gauge(MetricFrontSize).Set(float64(len(front)))
+				t.Validator.Obs.Gauge(MetricFrontHypervolume).Set(hv)
+				if t.Opts.OnFront != nil {
+					t.Opts.OnFront(len(front), hv)
+				}
 			}
 			if t.Opts.StopCondition != nil {
 				b := bestEntry(validated)
@@ -411,10 +471,18 @@ func (t *Tuner) Tune(ctx context.Context, target string, initial []ssdconf.Confi
 		res.BestPerf[cl] = ps
 	}
 	msp.End()
+	if t.pareto() {
+		res.Front, res.Hypervolume = buildFront(t.Space.Objectives, validated)
+	}
 	res.SimRuns = freshMeasurements(t.Validator) - simStart
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
+
+// pareto reports whether this tuner searches the objective vector
+// rather than the scalar grade. Scalar mode must execute the exact
+// historical code path — every pareto() branch below is a no-op then.
+func (t *Tuner) pareto() bool { return !t.Space.Objectives.Scalar() }
 
 // saveCheckpoint snapshots the run if checkpointing is enabled. iter is
 // the next iteration to run on resume; the RNG draw count is read at
@@ -434,14 +502,19 @@ func (t *Tuner) saveCheckpoint(target string, iter, noProgress int, res *TuneRes
 		Trajectory:        res.Trajectory,
 		PrunedValidations: res.PrunedValidations,
 		RejectedByPower:   res.RejectedByPower,
+		Objectives:        t.Space.Objectives.Names(),
 		Validated:         make([]checkpointEntry, len(validated)),
 		Seen:              make([]string, 0, len(seen)),
 		Cache:             t.Validator.SnapshotCache(),
+	}
+	if t.pareto() {
+		ck.Front, _ = buildFront(t.Space.Objectives, validated)
 	}
 	for i, e := range validated {
 		ck.Validated[i] = checkpointEntry{
 			Cfg: e.cfg, Grade: e.grade, TargetPerf: e.targetPerf,
 			LatSp: e.latSp, TputSp: e.tputSp, Full: e.full,
+			Power: e.power, LifetimeNS: e.lifetimeNS,
 		}
 	}
 	for k := range seen {
@@ -462,8 +535,13 @@ func (t *Tuner) saveCheckpoint(target string, iter, noProgress int, res *TuneRes
 // snapshot, after validating that it belongs to this (target, seed,
 // space) run.
 func (t *Tuner) restoreCheckpoint(ck *checkpointFile, target string, res *TuneResult, validated *[]entry, seen map[string]bool, startIter, noProgress *int) error {
-	if ck.Version != checkpointVersion {
-		return fmt.Errorf("core: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	if err := upgradeCheckpoint(ck, t.pareto()); err != nil {
+		return err
+	}
+	if spec, err := ssdconf.ObjectiveSpecFromNames(ck.Objectives); err != nil {
+		return fmt.Errorf("%w: bad objective axes: %v", ErrCheckpointIncompatible, err)
+	} else if spec.String() != t.Space.Objectives.String() {
+		return fmt.Errorf("%w: checkpoint optimizes %q, this run optimizes %q", ErrCheckpointIncompatible, spec, t.Space.Objectives)
 	}
 	if ck.Target != target {
 		return fmt.Errorf("core: checkpoint targets %q, this run targets %q", ck.Target, target)
@@ -492,6 +570,7 @@ func (t *Tuner) restoreCheckpoint(ck *checkpointFile, target string, res *TuneRe
 		*validated = append(*validated, entry{
 			cfg: cfg, vec: t.Space.Vector(cfg), grade: ve.Grade,
 			targetPerf: ve.TargetPerf, latSp: ve.LatSp, tputSp: ve.TputSp, full: ve.Full,
+			power: ve.Power, lifetimeNS: ve.LifetimeNS,
 		})
 	}
 	for _, k := range ck.Seen {
@@ -528,12 +607,16 @@ func (t *Tuner) evaluate(ctx context.Context, target string, cfg ssdconf.Config,
 	}
 	e.targetPerf = t.Grader.ClusterPerformance(target, perfs)
 	e.latSp, e.tputSp = clusterSpeedups(t.Grader, target, perfs)
+	e.power = meanPower(perfs)
+	e.lifetimeNS = minLifetimeNS(perfs)
 
 	// Validation-pruning shortcut: if even the target-only share of the
 	// grade loses to the worst retained configuration, skip the
 	// non-target runs — the grade can only get more expensive to confirm
-	// as a loser.
-	if !t.Opts.DisableValidationPruning && t.Grader.TargetHalf(e.targetPerf) < worst && !math.IsInf(worst, -1) {
+	// as a loser. Pareto mode never takes it: a grade-losing candidate
+	// may still be non-dominated on power or lifetime, and dominance
+	// needs every axis fully measured.
+	if !t.Opts.DisableValidationPruning && !t.pareto() && t.Grader.TargetHalf(e.targetPerf) < worst && !math.IsInf(worst, -1) {
 		e.grade = t.Grader.TargetHalf(e.targetPerf)
 		e.full = false
 		res.PrunedValidations++
@@ -574,10 +657,31 @@ func (t *Tuner) overPowerBudget(perfs []autodb.Perf) bool {
 	return false
 }
 
-// pickRoot selects a random entry among the top-K grades.
-func (t *Tuner) pickRoot(validated []entry) entry {
+// pickRoot selects a random search root and returns its index into the
+// validated set: among the top-K grades in scalar mode, among the up-to-K
+// least-crowded members of the non-dominated front in Pareto mode. Both
+// modes spend exactly one RNG draw, keeping the shared stream aligned.
+// pickRoot selects the scalar-mode search root: a random member of the
+// top-K grades. Pareto mode does not use it — every front lineage is
+// advanced per iteration instead (see the iteration body).
+func (t *Tuner) pickRoot(validated []entry) int {
 	idx := topKIndices(validated, t.Opts.TopK)
-	return validated[idx[t.rng.Intn(len(idx))]]
+	return idx[t.rng.Intn(len(idx))]
+}
+
+// searchScores maps the validated set onto the surrogate's regression
+// targets: the grades themselves in scalar mode, a per-iteration
+// weighted scalarization of the normalized objective vectors in Pareto
+// mode (so successive iterations pull toward different front regions).
+func (t *Tuner) searchScores(validated []entry, iter int) []float64 {
+	if t.pareto() {
+		return scalarizedScores(t.Space.Objectives, validated, iter)
+	}
+	ys := make([]float64, len(validated))
+	for i, e := range validated {
+		ys[i] = e.grade
+	}
+	return ys
 }
 
 // sgdSearch walks the discrete configuration grid from root, using the
@@ -585,11 +689,11 @@ func (t *Tuner) pickRoot(validated []entry) entry {
 // Manhattan exploration bound is hit. It returns an unvalidated
 // configuration to validate next, or nil when the neighborhood is
 // exhausted.
-func (t *Tuner) sgdSearch(root entry, validated []entry, seen map[string]bool, iter int) ssdconf.Config {
-	gp := t.fitGPR(validated)
+func (t *Tuner) sgdSearch(root entry, rootScore float64, ys []float64, validated []entry, seen map[string]bool, iter int) ssdconf.Config {
+	gp := t.fitGPR(validated, ys)
 
 	cur := root.cfg
-	curScore := root.grade
+	curScore := rootScore
 	var fallback ssdconf.Config
 	fallbackScore := math.Inf(-1)
 
@@ -657,9 +761,10 @@ func (t *Tuner) minManhattan(c ssdconf.Config, validated []entry) int {
 	return min
 }
 
-// fitGPR fits the surrogate on the validated set; nil when there are too
-// few points (prediction then falls back to optimism-free exploration).
-func (t *Tuner) fitGPR(validated []entry) *gpr.GP {
+// fitGPR fits the surrogate on the validated set against the given
+// regression targets; nil when there are too few points (prediction then
+// falls back to optimism-free exploration).
+func (t *Tuner) fitGPR(validated []entry, ys []float64) *gpr.GP {
 	if len(validated) < 2 {
 		return nil
 	}
@@ -667,7 +772,7 @@ func (t *Tuner) fitGPR(validated []entry) *gpr.GP {
 	y := make([]float64, len(validated))
 	for i, e := range validated {
 		x[i] = e.vec
-		y[i] = e.grade
+		y[i] = ys[i]
 	}
 	gp := gpr.New(nil)
 	gp.OptimizeHyperparams = len(validated) >= 6 && len(validated)%4 == 0

@@ -31,7 +31,10 @@ func (g WhatIfGoal) validate() error {
 	return nil
 }
 
-// WhatIfResult reports a what-if exploration.
+// WhatIfResult reports a what-if exploration. On a multi-objective
+// space the embedded TuneResult.Front is the perf/power/lifetime
+// trade-off curve: every non-dominated configuration the exploration
+// found, best grade first.
 type WhatIfResult struct {
 	TuneResult
 	Goal     WhatIfGoal
@@ -56,12 +59,21 @@ var Table7Params = []string{
 // stops as soon as the goal's speedups are met. The space should come
 // from ssdconf.NewWhatIfSpace; the validator/grader must be built on it.
 func WhatIf(ctx context.Context, space *ssdconf.Space, v *Validator, g *Grader, goal WhatIfGoal, initial []ssdconf.Config, opts TunerOptions) (*WhatIfResult, error) {
-	if err := goal.validate(); err != nil {
+	// A multi-objective space turns WhatIf into a front explorer: the
+	// speedup goal becomes optional (the deliverable is the trade-off
+	// curve, not a single target), and when present it still stops the
+	// search early.
+	explore := !space.Objectives.Scalar()
+	hasGoal := goal.LatencyReduction > 0 || goal.ThroughputGain > 0
+	if err := goal.validate(); err != nil && !explore {
 		return nil, err
+	}
+	if explore && goal.Target == "" {
+		return nil, errors.New("core: what-if needs a target workload")
 	}
 	// Bias Formula 1 toward the constrained metric so the search climbs
 	// the right hill.
-	if opts.Alpha == 0 {
+	if opts.Alpha == 0 && hasGoal {
 		switch {
 		case goal.LatencyReduction > 0 && goal.ThroughputGain > 0:
 			opts.Alpha = 0.5
@@ -71,14 +83,16 @@ func WhatIf(ctx context.Context, space *ssdconf.Space, v *Validator, g *Grader, 
 			opts.Alpha = 0.85
 		}
 	}
-	opts.StopCondition = func(lat, tput float64) bool {
-		if goal.LatencyReduction > 0 && lat < goal.LatencyReduction {
-			return false
+	if hasGoal {
+		opts.StopCondition = func(lat, tput float64) bool {
+			if goal.LatencyReduction > 0 && lat < goal.LatencyReduction {
+				return false
+			}
+			if goal.ThroughputGain > 0 && tput < goal.ThroughputGain {
+				return false
+			}
+			return true
 		}
-		if goal.ThroughputGain > 0 && tput < goal.ThroughputGain {
-			return false
-		}
-		return true
 	}
 	// What-if runs explore further from the commodity region.
 	if opts.ManhattanLimit == 0 {
@@ -127,6 +141,9 @@ func WhatIf(ctx context.Context, space *ssdconf.Space, v *Validator, g *Grader, 
 		g = ng
 	}
 
+	if opts.Alpha == 0 {
+		opts.Alpha = g.Alpha // goal-less exploration keeps the caller's balance
+	}
 	grader := *g
 	grader.Alpha = opts.Alpha
 
@@ -154,7 +171,9 @@ func WhatIf(ctx context.Context, space *ssdconf.Space, v *Validator, g *Grader, 
 	res := &WhatIfResult{TuneResult: *tr, Goal: goal, CriticalParams: map[string]float64{}}
 	perfs := tr.BestPerf[goal.Target]
 	res.LatencySpeedup, res.ThroughputSpeedup = clusterSpeedups(&grader, goal.Target, perfs)
-	res.Achieved = opts.StopCondition(res.LatencySpeedup, res.ThroughputSpeedup)
+	if opts.StopCondition != nil {
+		res.Achieved = opts.StopCondition(res.LatencySpeedup, res.ThroughputSpeedup)
+	}
 	for _, name := range Table7Params {
 		if val, err := space.ValueByName(tr.Best, name); err == nil {
 			res.CriticalParams[name] = val

@@ -42,11 +42,17 @@ func (sp WorkloadSpec) options() workload.Options {
 // ssdconf.Space fingerprint; workers recompute it from their own
 // reconstruction and the handshake refuses on disagreement.
 type Env struct {
-	Cons      ssdconf.Constraints       `json:"constraints"`
-	WhatIf    bool                      `json:"what_if,omitempty"`
-	Faults    ssd.FaultProfile          `json:"faults"`
-	Workloads map[string][]WorkloadSpec `json:"workloads"`
-	SpaceSig  string                    `json:"space_sig"`
+	Cons   ssdconf.Constraints `json:"constraints"`
+	WhatIf bool                `json:"what_if,omitempty"`
+	Faults ssd.FaultProfile    `json:"faults"`
+	// Objectives is the tuning objective spec's axis list (absent =
+	// scalar). It ships with the env because the spec is folded into
+	// the space signature: a worker whose binary reconstructs a
+	// different objective set is rejected at handshake, exactly like a
+	// grid or fault-profile mismatch.
+	Objectives []string                  `json:"objectives,omitempty"`
+	Workloads  map[string][]WorkloadSpec `json:"workloads"`
+	SpaceSig   string                    `json:"space_sig"`
 }
 
 // NewEnv builds and fingerprints an environment, validating that every
@@ -63,8 +69,17 @@ func NewEnv(cons ssdconf.Constraints, whatIf bool, faults ssd.FaultProfile, work
 	return e, nil
 }
 
+// SetObjectives declares the fleet's objective axes and
+// re-fingerprints the env. Scalar callers never touch it, keeping
+// their envs (and handshake signatures) byte-identical to pre-Pareto
+// coordinators.
+func (e *Env) SetObjectives(spec ssdconf.ObjectiveSpec) {
+	e.Objectives = spec.Names()
+	e.SpaceSig = e.Space().Signature()
+}
+
 // Space reconstructs the parameter space the env describes, fault
-// profile stamped.
+// profile and objective spec stamped.
 func (e *Env) Space() *ssdconf.Space {
 	var s *ssdconf.Space
 	if e.WhatIf {
@@ -73,6 +88,12 @@ func (e *Env) Space() *ssdconf.Space {
 		s = ssdconf.NewSpace(e.Cons)
 	}
 	s.Faults = e.Faults
+	// Unknown axis names (an env from a newer coordinator) leave the
+	// spec zero; the resulting signature mismatch rejects the pairing
+	// at handshake instead of silently measuring the wrong objective.
+	if spec, err := ssdconf.ObjectiveSpecFromNames(e.Objectives); err == nil {
+		s.Objectives = spec
+	}
 	return s
 }
 

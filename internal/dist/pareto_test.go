@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"autoblox/internal/core"
+	"autoblox/internal/ssd"
+	"autoblox/internal/ssdconf"
+	"autoblox/internal/workload"
+)
+
+// TestParetoFrontDeterminism is the multi-objective acceptance test:
+// one Pareto tune (perf,power,lifetime) executed serially, in-process
+// parallel, on a 1-worker fleet, and on a 4-worker fleet must write
+// byte-identical final checkpoints — including the serialized front —
+// with fault injection enabled.
+func TestParetoFrontDeterminism(t *testing.T) {
+	env := testEnv(t, 1500, ssd.FaultProfile{Rate: 0.02, Seed: 9},
+		workload.Database, workload.WebSearch, workload.CloudStorage)
+	spec, err := ssdconf.ParseObjectiveSpec("perf,power,lifetime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.SetObjectives(spec)
+
+	tune := func(label string, parallel int, backend core.Backend) []byte {
+		t.Helper()
+		v, err := NewValidator(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Parallel = parallel
+		v.Backend = backend
+		if v.Space.Objectives.Scalar() {
+			t.Fatal("env did not propagate the objective spec into the space")
+		}
+		ref := v.Space.FromDevice(ssd.Intel750())
+		g, err := core.NewGrader(context.Background(), v, ref, core.DefaultAlpha, core.DefaultBeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt := filepath.Join(t.TempDir(), label+".json")
+		tuner, err := core.NewTuner(v.Space, v, g, core.TunerOptions{
+			Seed: 5, MaxIterations: 5, SGDSteps: 3, Checkpoint: ckpt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tuner.Tune(context.Background(), string(workload.WebSearch), []ssdconf.Config{ref})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Front) == 0 {
+			t.Fatalf("%s: Pareto tune returned an empty front", label)
+		}
+		data, err := os.ReadFile(ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	serial := tune("serial", 1, nil)
+	parallel := tune("parallel", 8, nil)
+
+	distTune := func(label string, workers int) []byte {
+		t.Helper()
+		fleet, err := StartFleet(env, FleetOptions{
+			Workers:        workers,
+			WorkerParallel: 2,
+			PollInterval:   25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fleet.Close()
+		return tune(label, 0, fleet.Backend())
+	}
+	dist1 := distTune("dist-1", 1)
+	dist4 := distTune("dist-4", 4)
+
+	for _, cmp := range []struct {
+		label string
+		got   []byte
+	}{{"in-process-parallel", parallel}, {"1-worker fleet", dist1}, {"4-worker fleet", dist4}} {
+		if !bytes.Equal(serial, cmp.got) {
+			t.Errorf("%s Pareto checkpoint differs from serial (%d vs %d bytes)",
+				cmp.label, len(cmp.got), len(serial))
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("distribution is observable in Pareto checkpoint bytes; serial checkpoint:\n%.2000s", serial)
+	}
+
+	// The checkpoint must carry the objective spec and a non-empty front.
+	var ck struct {
+		Version    int               `json:"version"`
+		Objectives []string          `json:"objectives"`
+		Front      []json.RawMessage `json:"front"`
+	}
+	if err := json.Unmarshal(serial, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Version != 2 {
+		t.Fatalf("checkpoint version = %d, want 2", ck.Version)
+	}
+	if len(ck.Objectives) != 3 || len(ck.Front) == 0 {
+		t.Fatalf("checkpoint objectives %v / front size %d", ck.Objectives, len(ck.Front))
+	}
+}
+
+// TestParetoObjectiveHandshakeReject verifies that a worker whose env
+// lacks the coordinator's objective spec is refused at handshake, the
+// same way grid or fault-profile mismatches are.
+func TestParetoObjectiveHandshakeReject(t *testing.T) {
+	env := testEnv(t, 300, ssd.FaultProfile{}, workload.Database)
+	spec, err := ssdconf.ParseObjectiveSpec("perf,power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.SetObjectives(spec)
+
+	scalarEnv := testEnv(t, 300, ssd.FaultProfile{}, workload.Database)
+	if env.SpaceSig == scalarEnv.SpaceSig {
+		t.Fatal("objective spec not folded into the env fingerprint")
+	}
+}

@@ -52,6 +52,11 @@ type Scale struct {
 	// Ctx, when set, cancels every measurement the suite issues (nil =
 	// context.Background()); it is copied onto each Env the suite builds.
 	Ctx context.Context
+	// Objectives selects the tuning objective axes for every tuning run
+	// the suite issues. The zero spec is scalar mode, byte-identical to
+	// the historical single-grade experiments; a multi-axis spec
+	// switches the matrix/tuning experiments to Pareto-front search.
+	Objectives ssdconf.ObjectiveSpec
 	// Backend, when set together with BackendEnv, routes validation
 	// simulations through a distributed fleet. Each Env adopts the
 	// backend only when BackendEnv covers its configuration (same space
@@ -111,6 +116,7 @@ func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []
 	} else {
 		space = ssdconf.NewSpace(cons)
 	}
+	space.Objectives = scale.Objectives
 	e := &Env{Scale: scale, Ctx: scale.Ctx, Cons: cons, Space: space, Ref: ref, Cats: cats,
 		Sources: map[string]trace.SourceFactory{}}
 	for _, c := range cats {

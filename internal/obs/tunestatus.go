@@ -19,13 +19,15 @@ type TuneStatus struct {
 	target   string
 	ckptPath string
 
-	startNS atomic.Int64 // unix ns of Begin; 0 = no run yet
-	total   atomic.Int64
-	iter    atomic.Int64
-	best    atomic.Uint64 // float64 bits
-	sims    atomic.Pointer[Counter]
-	ckptNS  atomic.Int64 // unix ns of the last checkpoint write
-	running atomic.Bool
+	startNS   atomic.Int64 // unix ns of Begin; 0 = no run yet
+	total     atomic.Int64
+	iter      atomic.Int64
+	best      atomic.Uint64 // float64 bits
+	sims      atomic.Pointer[Counter]
+	ckptNS    atomic.Int64 // unix ns of the last checkpoint write
+	running   atomic.Bool
+	frontSize atomic.Int64  // Pareto mode: current non-dominated set size
+	frontHV   atomic.Uint64 // Pareto mode: hypervolume float64 bits
 }
 
 // NewTuneStatus returns an empty status.
@@ -74,6 +76,17 @@ func (s *TuneStatus) Update(iter int, best float64) {
 	s.best.Store(math.Float64bits(best))
 }
 
+// UpdateFront records the Pareto front's size and normalized
+// hypervolume; its signature matches the tuner's OnFront hook. Scalar
+// runs never call it, so the snapshot's front fields stay zero/absent.
+func (s *TuneStatus) UpdateFront(size int, hypervolume float64) {
+	if s == nil {
+		return
+	}
+	s.frontSize.Store(int64(size))
+	s.frontHV.Store(math.Float64bits(hypervolume))
+}
+
 // MarkCheckpoint records a successful checkpoint write; its signature
 // matches the tuner's OnCheckpoint hook.
 func (s *TuneStatus) MarkCheckpoint(path string) {
@@ -107,6 +120,10 @@ type TuneSnapshot struct {
 	// CheckpointAgeNS is time since the last checkpoint write; -1 when
 	// no checkpoint was written yet.
 	CheckpointAgeNS int64 `json:"checkpoint_age_ns"`
+	// FrontSize / Hypervolume describe the current Pareto front
+	// (multi-objective runs only; both absent on scalar runs).
+	FrontSize   int     `json:"front_size,omitempty"`
+	Hypervolume float64 `json:"hypervolume,omitempty"`
 }
 
 // Snapshot captures the current state (zero snapshot on nil).
@@ -128,6 +145,10 @@ func (s *TuneStatus) Snapshot() TuneSnapshot {
 	}
 	if b := math.Float64frombits(s.best.Load()); !math.IsNaN(b) {
 		snap.BestGrade = b
+	}
+	if n := s.frontSize.Load(); n > 0 {
+		snap.FrontSize = int(n)
+		snap.Hypervolume = math.Float64frombits(s.frontHV.Load())
 	}
 	if start := s.startNS.Load(); start != 0 {
 		snap.ElapsedNS = time.Now().UnixNano() - start
@@ -151,6 +172,9 @@ func (s TuneSnapshot) Line(rate float64) string {
 			out += fmt.Sprintf("/%d", s.TotalIterations)
 		}
 		out += fmt.Sprintf(" best %.4f", s.BestGrade)
+		if s.FrontSize > 0 {
+			out += fmt.Sprintf(" front %d hv %.3f", s.FrontSize, s.Hypervolume)
+		}
 		if s.TotalIterations > s.Iteration && s.ElapsedNS > 0 {
 			eta := time.Duration(float64(s.ElapsedNS) / float64(s.Iteration) * float64(s.TotalIterations-s.Iteration))
 			out += fmt.Sprintf(" eta %v", eta.Round(time.Second))

@@ -36,24 +36,20 @@ type WearReport struct {
 	ProjectedLifetime time.Duration
 }
 
-// Wear computes the wear report for a finished engine.
-func (e *engine) wear(makespanNS int64) WearReport {
-	r := WearReport{PECycleLimit: peCycleLimit(e.p.FlashType)}
+// computeWear derives a WearReport from per-block erase counts, the
+// flash type's P/E rating and the run's makespan — the pure core of the
+// endurance model, shared by the engine and its tests.
+func computeWear(counts []int64, limit, makespanNS int64) WearReport {
+	r := WearReport{PECycleLimit: limit}
 	var total int64
-	var blocks int64
-	for i := range e.ftl.planes {
-		fp := &e.ftl.planes[i]
-		for b := range fp.blocks {
-			ec := int64(fp.blocks[b].eraseCount)
-			total += ec
-			blocks++
-			if ec > r.MaxEraseCount {
-				r.MaxEraseCount = ec
-			}
+	for _, ec := range counts {
+		total += ec
+		if ec > r.MaxEraseCount {
+			r.MaxEraseCount = ec
 		}
 	}
-	if blocks > 0 {
-		r.MeanEraseCount = float64(total) / float64(blocks)
+	if len(counts) > 0 {
+		r.MeanEraseCount = float64(total) / float64(len(counts))
 	}
 	if r.MeanEraseCount > 0 {
 		r.Imbalance = float64(r.MaxEraseCount) / r.MeanEraseCount
@@ -72,4 +68,16 @@ func (e *engine) wear(makespanNS int64) WearReport {
 		}
 	}
 	return r
+}
+
+// Wear computes the wear report for a finished engine.
+func (e *engine) wear(makespanNS int64) WearReport {
+	var counts []int64
+	for i := range e.ftl.planes {
+		fp := &e.ftl.planes[i]
+		for b := range fp.blocks {
+			counts = append(counts, int64(fp.blocks[b].eraseCount))
+		}
+	}
+	return computeWear(counts, peCycleLimit(e.p.FlashType), makespanNS)
 }

@@ -1,0 +1,94 @@
+package ssdconf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ObjectiveAxis names one axis of the tuning objective vector.
+type ObjectiveAxis string
+
+const (
+	// AxisPerf is the paper's scalar grade (Formulas 1–2): higher is
+	// better.
+	AxisPerf ObjectiveAxis = "perf"
+	// AxisPower is the mean device power draw over the target traces in
+	// watts: lower is better.
+	AxisPower ObjectiveAxis = "power"
+	// AxisLifetime is the projected device lifetime extrapolated from
+	// the erase-count distribution: higher is better. A run that erased
+	// nothing projects an unbounded lifetime, which dominates any finite
+	// projection.
+	AxisLifetime ObjectiveAxis = "lifetime"
+)
+
+// ObjectiveSpec declares which axes a tune optimizes. The zero value
+// (no axes) is scalar mode: the tuner behaves byte-identically to the
+// historical single-grade search. Any spec with an axis beyond perf
+// switches the tuner to Pareto-front search over the listed axes.
+type ObjectiveSpec struct {
+	Axes []ObjectiveAxis
+}
+
+// ParseObjectiveSpec parses a comma-separated axis list such as
+// "perf,power,lifetime". An empty string yields the scalar spec.
+func ParseObjectiveSpec(s string) (ObjectiveSpec, error) {
+	var spec ObjectiveSpec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	seen := map[ObjectiveAxis]bool{}
+	for _, part := range strings.Split(s, ",") {
+		ax := ObjectiveAxis(strings.TrimSpace(part))
+		switch ax {
+		case AxisPerf, AxisPower, AxisLifetime:
+		default:
+			return ObjectiveSpec{}, fmt.Errorf("unknown objective axis %q (want perf, power or lifetime)", ax)
+		}
+		if seen[ax] {
+			return ObjectiveSpec{}, fmt.Errorf("duplicate objective axis %q", ax)
+		}
+		seen[ax] = true
+		spec.Axes = append(spec.Axes, ax)
+	}
+	return spec, nil
+}
+
+// Scalar reports whether the spec degenerates to the historical
+// single-grade objective.
+func (s ObjectiveSpec) Scalar() bool {
+	return len(s.Axes) == 0 || (len(s.Axes) == 1 && s.Axes[0] == AxisPerf)
+}
+
+// String renders the spec as the comma-separated form ParseObjectiveSpec
+// accepts. The scalar spec renders as "perf".
+func (s ObjectiveSpec) String() string {
+	if len(s.Axes) == 0 {
+		return string(AxisPerf)
+	}
+	parts := make([]string, len(s.Axes))
+	for i, ax := range s.Axes {
+		parts[i] = string(ax)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Names returns the axis names as plain strings, nil for the zero spec
+// (used to ship the spec across process boundaries).
+func (s ObjectiveSpec) Names() []string {
+	if len(s.Axes) == 0 {
+		return nil
+	}
+	out := make([]string, len(s.Axes))
+	for i, ax := range s.Axes {
+		out[i] = string(ax)
+	}
+	return out
+}
+
+// ObjectiveSpecFromNames rebuilds a spec from Names output, validating
+// each axis.
+func ObjectiveSpecFromNames(names []string) (ObjectiveSpec, error) {
+	return ParseObjectiveSpec(strings.Join(names, ","))
+}

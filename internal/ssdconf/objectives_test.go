@@ -1,0 +1,89 @@
+package ssdconf
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseObjectiveSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		axes    []ObjectiveAxis
+		scalar  bool
+		wantErr bool
+	}{
+		{"", nil, true, false},
+		{"perf", []ObjectiveAxis{AxisPerf}, true, false},
+		{"perf,power", []ObjectiveAxis{AxisPerf, AxisPower}, false, false},
+		{" perf , power , lifetime ", []ObjectiveAxis{AxisPerf, AxisPower, AxisLifetime}, false, false},
+		{"lifetime,perf", []ObjectiveAxis{AxisLifetime, AxisPerf}, false, false},
+		{"perf,perf", nil, false, true},
+		{"latency", nil, false, true},
+		{"perf,", nil, false, true},
+	}
+	for _, c := range cases {
+		spec, err := ParseObjectiveSpec(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("ParseObjectiveSpec(%q): want error, got %v", c.in, spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ParseObjectiveSpec(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(spec.Axes, c.axes) {
+			t.Fatalf("ParseObjectiveSpec(%q) = %v, want %v", c.in, spec.Axes, c.axes)
+		}
+		if spec.Scalar() != c.scalar {
+			t.Fatalf("ParseObjectiveSpec(%q).Scalar() = %v, want %v", c.in, spec.Scalar(), c.scalar)
+		}
+	}
+}
+
+func TestObjectiveSpecRoundTrip(t *testing.T) {
+	spec, err := ParseObjectiveSpec("power,lifetime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ObjectiveSpecFromNames(spec.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != spec.String() {
+		t.Fatalf("round trip %q != %q", back.String(), spec.String())
+	}
+	var zero ObjectiveSpec
+	if zero.Names() != nil {
+		t.Fatalf("zero spec Names() = %v, want nil", zero.Names())
+	}
+	if zero.String() != "perf" {
+		t.Fatalf("zero spec String() = %q, want perf", zero.String())
+	}
+}
+
+func TestSignatureObjectiveFold(t *testing.T) {
+	cons := DefaultConstraints()
+	base := NewSpace(cons).Signature()
+
+	// Scalar specs must not perturb the signature: pre-Pareto
+	// checkpoints and fleet handshakes stay byte-compatible.
+	s := NewSpace(cons)
+	s.Objectives = ObjectiveSpec{Axes: []ObjectiveAxis{AxisPerf}}
+	if got := s.Signature(); got != base {
+		t.Fatalf("perf-only spec changed signature: %s vs %s", got, base)
+	}
+
+	// Multi-axis specs fold in, and different axis sets disagree.
+	multi := NewSpace(cons)
+	multi.Objectives, _ = ParseObjectiveSpec("perf,power,lifetime")
+	sig1 := multi.Signature()
+	if sig1 == base {
+		t.Fatal("multi-objective spec did not change the signature")
+	}
+	other := NewSpace(cons)
+	other.Objectives, _ = ParseObjectiveSpec("perf,power")
+	if sig2 := other.Signature(); sig2 == sig1 || sig2 == base {
+		t.Fatalf("axis sets not distinguished: %s %s %s", base, sig1, sig2)
+	}
+}

@@ -44,6 +44,14 @@ func (s *Space) Signature() string {
 	wu(math.Float64bits(s.Faults.Rate))
 	wu(uint64(s.Faults.Seed))
 	wu(uint64(s.Faults.DieFailures))
+	// The objective spec changes what a measurement means to the search,
+	// so Pareto fleets must not mix with scalar ones. The scalar spec is
+	// deliberately NOT folded in: every pre-Pareto signature (persisted
+	// in checkpoints, pinned by goldens) stays byte-identical.
+	if !s.Objectives.Scalar() {
+		h.Write([]byte("objectives:"))
+		h.Write([]byte(s.Objectives.String()))
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

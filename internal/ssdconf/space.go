@@ -105,7 +105,12 @@ type Space struct {
 	// the 52 search parameters are unchanged, and the same seeded fault
 	// stream applies to every candidate so measurements stay comparable.
 	Faults ssd.FaultProfile
-	index  map[string]int
+	// Objectives declares the tuning objective vector. The zero value is
+	// scalar mode (historical single-grade search); any multi-axis spec
+	// switches the tuner to Pareto-front search and is folded into the
+	// space signature so mismatched fleets are rejected at handshake.
+	Objectives ObjectiveSpec
+	index      map[string]int
 }
 
 // Config assigns one grid index per parameter.

@@ -239,10 +239,88 @@ func MergeSources(name string, srcs ...Source) Source {
 // every request from srcs[i] carries Stream = i+1, so a multi-stream
 // host interface can route each tenant's writes to disjoint flash
 // blocks. Tags start at 1 because 0 means "untagged".
+//
+// Tenant LBA spaces are left untouched, so tenants whose traces address
+// overlapping LBA ranges alias each other's logical blocks — reads from
+// one tenant observe another tenant's writes. Some workloads rely on
+// that (a scan tenant sweeping over data other tenants wrote); tenants
+// that model isolated hosts sharing one device want
+// MergeSourcesPartitioned instead.
 func MergeSourcesTagged(name string, srcs ...Source) Source {
 	m := MergeSources(name, srcs...).(*mergeSources)
 	m.tagged = true
 	return m
+}
+
+// partitionSources is MergeSourcesTagged plus per-tenant LBA
+// partitioning: tenant i's addresses are rebased by the summed spans of
+// tenants 0..i-1, so no two tenants ever touch the same logical block.
+type partitionSources struct {
+	merge   *mergeSources
+	offset  []uint64
+	scanned bool
+}
+
+// MergeSourcesPartitioned interleaves arrival-sorted tenant sources
+// like MergeSourcesTagged (Stream = source index + 1, ties to the lower
+// index) and additionally maps each tenant onto a disjoint slice of the
+// logical address space: tenant i's LBAs are shifted up by the summed
+// address spans (max LBA + request length) of tenants 0..i-1. This
+// models independent hosts multiplexed onto one device — no tenant can
+// alias another's data. The spans are discovered with one extra sweep
+// per source on first use and cached; determinism guarantees later
+// sweeps would find the same values.
+func MergeSourcesPartitioned(name string, srcs ...Source) Source {
+	m := MergeSourcesTagged(name, srcs...).(*mergeSources)
+	return &partitionSources{merge: m, offset: make([]uint64, len(srcs))}
+}
+
+func (p *partitionSources) Name() string { return p.merge.Name() }
+func (p *partitionSources) Err() error   { return p.merge.Err() }
+func (p *partitionSources) Reset()       { p.merge.Reset() }
+
+// scan measures each tenant's address span and derives the cumulative
+// offsets. It leaves every source freshly Reset.
+func (p *partitionSources) scan() bool {
+	var next uint64
+	for i, s := range p.merge.srcs {
+		p.offset[i] = next
+		s.Reset()
+		var span uint64
+		for {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			if end := r.LBA + uint64(r.Sectors); end > span {
+				span = end
+			}
+		}
+		if s.Err() != nil {
+			return false
+		}
+		s.Reset()
+		next += span
+	}
+	p.scanned = true
+	return true
+}
+
+func (p *partitionSources) Next() (Request, bool) {
+	if !p.scanned {
+		if !p.scan() {
+			return Request{}, false
+		}
+		// The span sweep consumed the sources; rewind the merge state so
+		// the first post-scan Next starts from the beginning.
+		p.merge.Reset()
+	}
+	r, ok := p.merge.Next()
+	if !ok {
+		return Request{}, false
+	}
+	r.LBA += p.offset[r.Stream-1]
+	return r, true
 }
 
 func (m *mergeSources) Name() string { return m.name }

@@ -187,6 +187,71 @@ func TestMergeSourcesOrdersByArrival(t *testing.T) {
 	}
 }
 
+func TestMergeSourcesPartitionedDisjoint(t *testing.T) {
+	// Three tenants deliberately addressing the SAME LBA range: under
+	// MergeSourcesTagged they alias; partitioned they must not.
+	mk := func(name string, base time.Duration) *Trace {
+		return &Trace{Name: name, Requests: []Request{
+			{Arrival: base, LBA: 0, Sectors: 8, Op: Write},
+			{Arrival: base + 10*time.Millisecond, LBA: 100, Sectors: 16, Op: Write},
+			{Arrival: base + 20*time.Millisecond, LBA: 50, Sectors: 8, Op: Read},
+		}}
+	}
+	a, b, c := mk("a", 0), mk("b", time.Millisecond), mk("c", 2*time.Millisecond)
+	m := MergeSourcesPartitioned("abc", a.Source(), b.Source(), c.Source())
+	got := drain(t, m)
+	if len(got) != 9 {
+		t.Fatalf("merged %d requests, want 9", len(got))
+	}
+	// Collect each tenant's occupied address interval and check pairwise
+	// disjointness.
+	lo := map[uint32]uint64{}
+	hi := map[uint32]uint64{}
+	for _, r := range got {
+		if r.Stream == 0 {
+			t.Fatal("partitioned merge emitted an untagged request")
+		}
+		end := r.LBA + uint64(r.Sectors)
+		if cur, ok := lo[r.Stream]; !ok || r.LBA < cur {
+			lo[r.Stream] = r.LBA
+		}
+		if end > hi[r.Stream] {
+			hi[r.Stream] = end
+		}
+	}
+	if len(lo) != 3 {
+		t.Fatalf("saw %d tenants, want 3", len(lo))
+	}
+	for s1 := uint32(1); s1 <= 3; s1++ {
+		for s2 := s1 + 1; s2 <= 3; s2++ {
+			if lo[s1] < hi[s2] && lo[s2] < hi[s1] {
+				t.Fatalf("tenants %d and %d overlap: [%d,%d) vs [%d,%d)",
+					s1, s2, lo[s1], hi[s1], lo[s2], hi[s2])
+			}
+		}
+	}
+	// Offsets must be the cumulative spans (span = max LBA+Sectors = 116).
+	for _, r := range got {
+		wantOff := uint64(r.Stream-1) * 116
+		origLBA := r.LBA - wantOff
+		if origLBA != 0 && origLBA != 100 && origLBA != 50 {
+			t.Fatalf("stream %d request at LBA %d not a 116-aligned rebase", r.Stream, r.LBA)
+		}
+	}
+	// Arrival order preserved and sweeps deterministic across Reset.
+	var prev time.Duration
+	for i, r := range got {
+		if r.Arrival < prev {
+			t.Fatalf("partitioned stream unsorted at %d", i)
+		}
+		prev = r.Arrival
+	}
+	m.Reset()
+	if again := drain(t, m); !reflect.DeepEqual(again, got) {
+		t.Fatal("partitioned sweeps differ across Reset")
+	}
+}
+
 func TestScanWindowsMatchesWindows(t *testing.T) {
 	for _, n := range []int{100, 3000, 7000, 8000, 9001} {
 		for _, size := range []int{0, 3000, 1024} {
