@@ -156,6 +156,13 @@ type Options struct {
 	// Resume restores tuner state from Checkpoint (when the file
 	// exists) before tuning, skipping all completed work.
 	Resume bool
+	// CacheDir, when set, enables the crash-safe persistent simulation
+	// cache: every successful (configuration, trace) measurement is
+	// durably recorded under this directory and served on later runs —
+	// across process restarts and kill -9 — without re-simulating. Keys
+	// embed the space signature, so a changed space silently invalidates
+	// old entries instead of serving stale results.
+	CacheDir string
 }
 
 // Framework is the top-level AutoBlox object tying together the
@@ -169,6 +176,7 @@ type Framework struct {
 	opts      Options
 	cons      Constraints
 	validator *core.Validator
+	persist   *core.PersistentCache
 	grader    *core.Grader
 	refCfg    Config
 	sources   map[string]SourceFactory // cluster label -> representative stream
@@ -212,6 +220,16 @@ func New(cons Constraints, opts Options) (*Framework, error) {
 	}
 	f.refCfg = space.FromDevice(opts.Reference)
 
+	if opts.CacheDir != "" {
+		p, err := core.OpenPersistentCache(opts.CacheDir)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("autoblox: open persistent cache: %w", err)
+		}
+		p.Obs = opts.Metrics
+		f.persist = p
+	}
+
 	// Restore a previously learned clustering model, if any.
 	if blob, ok, err := db.LoadModel(); err == nil && ok {
 		if c, err := core.UnmarshalClusterer(blob); err == nil {
@@ -221,8 +239,21 @@ func New(cons Constraints, opts Options) (*Framework, error) {
 	return f, nil
 }
 
-// Close releases the configuration database.
-func (f *Framework) Close() error { return f.DB.Close() }
+// Close releases the configuration database and the persistent
+// simulation cache (when one was opened).
+func (f *Framework) Close() error {
+	perr := f.persist.Close()
+	if err := f.DB.Close(); err != nil {
+		return err
+	}
+	return perr
+}
+
+// PersistentCacheStats reports the persistent simulation cache's
+// hit/miss/corrupt counters; zero values without Options.CacheDir.
+func (f *Framework) PersistentCacheStats() core.PersistentCacheStats {
+	return f.persist.Stats()
+}
 
 // ReferenceConfig returns the grid-snapped commodity reference.
 func (f *Framework) ReferenceConfig() Config { return f.refCfg.Clone() }
@@ -324,6 +355,7 @@ func (f *Framework) ensureEnv(ctx context.Context) error {
 	f.validator.Obs = f.opts.Metrics
 	f.validator.SimTimeout = f.opts.SimTimeout
 	f.validator.MaxRetries = f.opts.SimRetries
+	f.validator.Persist = f.persist
 	g, err := core.NewGrader(ctx, f.validator, f.refCfg, f.opts.Alpha, f.opts.Beta)
 	if err != nil {
 		return err

@@ -159,6 +159,7 @@ func (c *commonFlags) framework(whatIf bool) *autoblox.Framework {
 		SimTimeout: c.res.SimTimeout, SimRetries: c.res.SimRetries,
 		Checkpoint: c.res.Checkpoint, Resume: c.res.Resume,
 		Objectives: spec,
+		CacheDir:   c.res.CacheDir,
 	}
 	if c.workers > 0 || c.listen != "" {
 		c.startFleet(whatIf)

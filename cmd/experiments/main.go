@@ -87,6 +87,16 @@ func main() {
 	defer cleanup()
 	scale.Obs = obsFlags.Reg
 
+	persist, err := resFlags.OpenPersistentCache(obsFlags.Reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if persist != nil {
+		defer persist.Close()
+		scale.Persist = persist
+	}
+
 	if *workers > 0 || *listen != "" {
 		// The fleet environment spans every built-in category under the
 		// default constraints; experiment envs with other constraint sets

@@ -1,0 +1,433 @@
+// Package chaos is a deterministic fault-injecting transport for the
+// dist wire protocol. A Transport wraps net.Conn values and perturbs
+// the outbound frame stream — delaying, dropping, duplicating,
+// reordering, or killing the connection mid-frame — according to a
+// seeded Schedule: the same seed always yields the same action
+// sequence for the same (connection, frame) coordinates, so chaos
+// tests are exactly reproducible and CI can pin "tune under chaos ≡
+// clean tune".
+//
+// The wrapper is frame-aware: it buffers writes and parses the dist
+// protocol's 4-byte big-endian length prefix, so every injected fault
+// lands on a whole-message boundary (except Kill, which deliberately
+// tears a frame in half). Because the protocol runs over a reliable
+// byte stream, a lost frame is unrecoverable in-band; Drop therefore
+// models the only way a frame is really lost on TCP — the connection
+// dying with data unflushed: the frame is swallowed, the write reports
+// success, and the connection is broken underneath the writer. Both
+// sides observe exactly what they would observe in production (EOF,
+// torn frame, stalled peer) and recover through the ordinary paths:
+// lease TTL expiry on the coordinator, reconnect with backoff on the
+// worker.
+//
+// Partition windows are wall-clock intervals (relative to Transport
+// creation) during which every write fails and breaks the connection —
+// including handshakes on freshly dialed conns, so a partitioned
+// worker cannot sneak back early.
+package chaos
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Action is one scheduled fate for an outbound frame.
+type Action uint8
+
+const (
+	// Deliver passes the frame through untouched.
+	Deliver Action = iota
+	// Drop swallows the frame (the write still reports success) and
+	// breaks the connection, as a real network does when a conn dies
+	// with unflushed data.
+	Drop
+	// Dup writes the frame twice.
+	Dup
+	// Reorder holds the frame back and writes it after the next frame
+	// (or after a short hold timeout, whichever comes first).
+	Reorder
+	// Kill writes roughly half the frame, then severs the connection —
+	// the peer decodes a torn frame.
+	Kill
+)
+
+func (a Action) String() string {
+	switch a {
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	case Dup:
+		return "dup"
+	case Reorder:
+		return "reorder"
+	case Kill:
+		return "kill"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Errors surfaced by chaos-injected failures. Callers never match on
+// these (the dist layer treats them like any transport error); they
+// exist so test logs read clearly.
+var (
+	ErrKilled      = errors.New("chaos: connection killed mid-frame")
+	ErrPartitioned = errors.New("chaos: partitioned")
+	ErrBroken      = errors.New("chaos: connection broken by injected fault")
+)
+
+// Window is a half-open wall-clock interval [Start, End) relative to
+// the Transport's creation during which the network is partitioned.
+type Window struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// Schedule is a seeded chaos plan. Rates are per-frame probabilities
+// in [0, 1]; each frame draws a fixed number of variates from a
+// splitmix64 stream keyed by (Seed, connection index), so the action
+// sequence for a given connection is a pure function of the schedule.
+type Schedule struct {
+	// Seed keys every per-connection decision stream.
+	Seed int64
+	// Drop is the probability a frame is lost (connection breaks).
+	Drop float64
+	// Dup is the probability a frame is written twice.
+	Dup float64
+	// Reorder is the probability a frame swaps with its successor.
+	Reorder float64
+	// Kill is the probability the connection is severed mid-frame.
+	Kill float64
+	// Delay is the probability a frame is held for a random duration
+	// up to MaxDelay before its action applies.
+	Delay    float64
+	MaxDelay time.Duration
+	// ReorderHold bounds how long a reordered frame waits for a
+	// successor before being flushed anyway (default 25ms).
+	ReorderHold time.Duration
+	// Partitions are wall-clock windows during which every write
+	// fails and breaks its connection.
+	Partitions []Window
+}
+
+func (s Schedule) reorderHold() time.Duration {
+	if s.ReorderHold > 0 {
+		return s.ReorderHold
+	}
+	return 25 * time.Millisecond
+}
+
+// splitmix64 mirrors internal/ssd's fault RNG: a counter-mode stream
+// with no internal state beyond the counter, so decision k never
+// depends on how decisions were consumed.
+type rng struct{ state uint64 }
+
+func newRNG(seed, conn int64) *rng {
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	s ^= (uint64(conn) + 1) * 0xbf58476d1ce4e5b9
+	return &rng{state: s}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// frameFate is one frame's drawn plan: its action plus an optional
+// pre-action delay. Every frame consumes exactly five variates so the
+// stream position is a pure function of the frame index.
+type frameFate struct {
+	action Action
+	delay  time.Duration
+}
+
+func (s Schedule) fate(r *rng) frameFate {
+	var f frameFate
+	dropR, killR, dupR, reorderR, delayR := r.float64(), r.float64(), r.float64(), r.float64(), r.float64()
+	switch {
+	case dropR < s.Drop:
+		f.action = Drop
+	case killR < s.Kill:
+		f.action = Kill
+	case dupR < s.Dup:
+		f.action = Dup
+	case reorderR < s.Reorder:
+		f.action = Reorder
+	default:
+		f.action = Deliver
+	}
+	if s.Delay > 0 && delayR < s.Delay && s.MaxDelay > 0 {
+		// Reuse delayR's low bits as the magnitude: still deterministic,
+		// still five draws per frame.
+		f.delay = time.Duration((delayR / s.Delay) * float64(s.MaxDelay))
+	}
+	return f
+}
+
+// Actions returns the deterministic action sequence the schedule
+// assigns to the first n frames of connection conn — the reproducibility
+// contract, pinned by tests.
+func (s Schedule) Actions(conn int64, n int) []Action {
+	r := newRNG(s.Seed, conn)
+	out := make([]Action, n)
+	for i := range out {
+		out[i] = s.fate(r).action
+	}
+	return out
+}
+
+// Stats counts injected faults across a Transport's connections, so
+// tests can assert the chaos actually fired.
+type Stats struct {
+	Conns      int64
+	Frames     int64
+	Drops      int64
+	Dups       int64
+	Reorders   int64
+	Delays     int64
+	Kills      int64
+	Partitions int64
+}
+
+// Transport hands out chaos-wrapped connections sharing one schedule.
+// Each wrapped connection gets the next connection index, so a
+// redialed connection draws a fresh decision stream — retries are not
+// doomed to repeat the fault that killed their predecessor.
+type Transport struct {
+	sched Schedule
+	start time.Time
+
+	conns      atomic.Int64
+	frames     atomic.Int64
+	drops      atomic.Int64
+	dups       atomic.Int64
+	reorders   atomic.Int64
+	delays     atomic.Int64
+	kills      atomic.Int64
+	partitions atomic.Int64
+}
+
+// NewTransport starts a transport; partition windows are measured from
+// this call.
+func NewTransport(sched Schedule) *Transport {
+	return &Transport{sched: sched, start: time.Now()}
+}
+
+// Stats snapshots the transport's injected-fault counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Conns:      t.conns.Load(),
+		Frames:     t.frames.Load(),
+		Drops:      t.drops.Load(),
+		Dups:       t.dups.Load(),
+		Reorders:   t.reorders.Load(),
+		Delays:     t.delays.Load(),
+		Kills:      t.kills.Load(),
+		Partitions: t.partitions.Load(),
+	}
+}
+
+// partitioned reports whether the wall clock sits inside a partition
+// window.
+func (t *Transport) partitioned() bool {
+	el := time.Since(t.start)
+	for _, w := range t.sched.Partitions {
+		if el >= w.Start && el < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Wrap returns conn with the transport's chaos schedule applied to its
+// outbound frames. Reads pass through untouched — wrap both endpoints
+// to perturb both directions.
+func (t *Transport) Wrap(conn net.Conn) net.Conn {
+	return &Conn{
+		Conn: conn,
+		t:    t,
+		rng:  newRNG(t.sched.Seed, t.conns.Add(1)),
+	}
+}
+
+// Dial is a TCP dialer with the transport's chaos applied; its
+// signature matches dist.Worker.Dial.
+func (t *Transport) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wrap(conn), nil
+}
+
+// Conn applies a chaos schedule to outbound protocol frames. It is a
+// net.Conn; reads and deadline plumbing delegate to the wrapped conn.
+type Conn struct {
+	net.Conn
+	t   *Transport
+	rng *rng
+
+	mu     sync.Mutex
+	buf    []byte // partial-frame accumulation across Write calls
+	held   []byte // a reordered frame awaiting its successor
+	timer  *time.Timer
+	broken error // sticky failure after an injected break
+}
+
+// Write buffers p, carves complete frames out of the accumulated
+// stream, and applies each frame's scheduled fate. Bytes that do not
+// yet form a complete frame are retained for the next call.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return 0, c.broken
+	}
+	c.buf = append(c.buf, p...)
+	for {
+		if len(c.buf) < 4 {
+			return len(p), nil
+		}
+		n := binary.BigEndian.Uint32(c.buf[:4])
+		total := 4 + int(n)
+		if len(c.buf) < total {
+			return len(p), nil
+		}
+		frame := append([]byte(nil), c.buf[:total]...)
+		c.buf = c.buf[total:]
+		if err := c.applyLocked(frame); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// breakLocked severs the underlying connection and makes every later
+// write fail with err.
+func (c *Conn) breakLocked(err error) {
+	c.broken = err
+	c.held = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	_ = c.Conn.Close()
+}
+
+// applyLocked runs one frame through the schedule. c.mu held.
+func (c *Conn) applyLocked(frame []byte) error {
+	c.t.frames.Add(1)
+	if c.t.partitioned() {
+		c.t.partitions.Add(1)
+		c.breakLocked(ErrPartitioned)
+		return ErrPartitioned
+	}
+	f := c.t.sched.fate(c.rng)
+	if f.delay > 0 {
+		c.t.delays.Add(1)
+		time.Sleep(f.delay)
+	}
+	switch f.action {
+	case Drop:
+		// The frame vanishes and the conn dies under the writer: the
+		// write "succeeds" (kernel-buffered), the peer sees EOF, and the
+		// next local IO fails.
+		c.t.drops.Add(1)
+		c.broken = ErrBroken
+		c.held = nil
+		if c.timer != nil {
+			c.timer.Stop()
+			c.timer = nil
+		}
+		_ = c.Conn.Close()
+		return nil
+	case Kill:
+		c.t.kills.Add(1)
+		_, _ = c.Conn.Write(frame[:len(frame)/2])
+		c.breakLocked(ErrKilled)
+		return ErrKilled
+	case Dup:
+		c.t.dups.Add(1)
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+		return c.flushHeldLocked()
+	case Reorder:
+		c.t.reorders.Add(1)
+		if c.held != nil {
+			// Already holding a frame: swap by sending this one first.
+			if _, err := c.Conn.Write(frame); err != nil {
+				return err
+			}
+			return c.flushHeldLocked()
+		}
+		c.held = frame
+		c.timer = time.AfterFunc(c.t.sched.reorderHold(), c.flushHeldAsync)
+		return nil
+	default:
+		// Writing the current frame before any held one completes a
+		// reorder as an adjacent swap.
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+		return c.flushHeldLocked()
+	}
+}
+
+// flushHeldLocked writes a pending reordered frame, if any. c.mu held.
+func (c *Conn) flushHeldLocked() error {
+	if c.held == nil {
+		return nil
+	}
+	frame := c.held
+	c.held = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	_, err := c.Conn.Write(frame)
+	return err
+}
+
+// flushHeldAsync is the reorder-hold timeout: no successor frame
+// arrived in time, so the held frame goes out alone.
+func (c *Conn) flushHeldAsync() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return
+	}
+	_ = c.flushHeldLocked()
+}
+
+// Close releases any held frame and closes the wrapped conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.held = nil
+	if c.broken == nil {
+		c.broken = net.ErrClosed
+	}
+	c.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// frame builds one length-prefixed wire frame around the payload.
+func frame(payload string) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(payload)))
+	copy(out[4:], payload)
+	return out
+}
+
+// readFrame reads one length-prefixed frame from r.
+func readFrame(t *testing.T, r io.Reader) (string, error) {
+	t.Helper()
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", err
+	}
+	body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// pipePair wraps the client end of a net.Pipe with the schedule and
+// drains the server end into a channel of decoded frames.
+func pipePair(t *testing.T, sched Schedule) (net.Conn, <-chan string, <-chan error) {
+	t.Helper()
+	server, client := net.Pipe()
+	t.Cleanup(func() { server.Close(); client.Close() })
+	tr := NewTransport(sched)
+	wrapped := tr.Wrap(client)
+	frames := make(chan string, 64)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(frames)
+		for {
+			f, err := readFrame(t, server)
+			if err != nil {
+				errc <- err
+				return
+			}
+			frames <- f
+		}
+	}()
+	return wrapped, frames, errc
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	sched := Schedule{Seed: 42, Drop: 0.1, Dup: 0.1, Reorder: 0.1, Kill: 0.05}
+	a := sched.Actions(1, 200)
+	b := sched.Actions(1, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (seed, conn) produced different action sequences")
+	}
+	counts := map[Action]int{}
+	for _, act := range a {
+		counts[act]++
+	}
+	for _, want := range []Action{Deliver, Drop, Dup, Reorder, Kill} {
+		if counts[want] == 0 {
+			t.Fatalf("200 frames at 10%% rates never drew %v: %v", want, counts)
+		}
+	}
+	if reflect.DeepEqual(a, sched.Actions(2, 200)) {
+		t.Fatal("different connections drew identical action sequences")
+	}
+	other := Schedule{Seed: 43, Drop: 0.1, Dup: 0.1, Reorder: 0.1, Kill: 0.05}
+	if reflect.DeepEqual(a, other.Actions(1, 200)) {
+		t.Fatal("different seeds drew identical action sequences")
+	}
+}
+
+func TestConnPassThrough(t *testing.T) {
+	conn, frames, _ := pipePair(t, Schedule{Seed: 1})
+	// Split a frame across two writes to exercise partial-frame
+	// buffering, then two frames in one write.
+	f := frame("hello")
+	if _, err := conn.Write(f[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(f[3:]); err != nil {
+		t.Fatal(err)
+	}
+	double := append(frame("a"), frame("b")...)
+	if _, err := conn.Write(double); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hello", "a", "b"} {
+		if got := <-frames; got != want {
+			t.Fatalf("got frame %q, want %q", got, want)
+		}
+	}
+}
+
+func TestConnDuplicates(t *testing.T) {
+	conn, frames, _ := pipePair(t, Schedule{Seed: 1, Dup: 1})
+	if _, err := conn.Write(frame("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := <-frames; got != "x" {
+			t.Fatalf("copy %d: got %q, want %q", i, got, "x")
+		}
+	}
+}
+
+func TestConnReorderSwapsAdjacent(t *testing.T) {
+	conn, frames, _ := pipePair(t, Schedule{Seed: 1, Reorder: 1, ReorderHold: time.Minute})
+	if _, err := conn.Write(frame("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame("second")); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"second", "first"} {
+		if got := <-frames; got != want {
+			t.Fatalf("got frame %q, want %q", got, want)
+		}
+	}
+}
+
+func TestConnReorderHoldTimeout(t *testing.T) {
+	conn, frames, _ := pipePair(t, Schedule{Seed: 1, Reorder: 1, ReorderHold: 5 * time.Millisecond})
+	if _, err := conn.Write(frame("lonely")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-frames:
+		if got != "lonely" {
+			t.Fatalf("got frame %q, want %q", got, "lonely")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("held frame never flushed without a successor")
+	}
+}
+
+func TestConnDropBreaksConn(t *testing.T) {
+	conn, _, errc := pipePair(t, Schedule{Seed: 1, Drop: 1})
+	// The drop itself reports success (the bytes were "buffered").
+	if _, err := conn.Write(frame("lost")); err != nil {
+		t.Fatalf("dropped write should report success, got %v", err)
+	}
+	// The peer sees the connection die without the frame.
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("reader got a frame that was dropped")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never observed the broken connection")
+	}
+	// Later writes fail: the conn is broken.
+	if _, err := conn.Write(frame("after")); err == nil {
+		t.Fatal("write after drop-break should fail")
+	}
+}
+
+func TestConnKillTearsFrame(t *testing.T) {
+	conn, _, errc := pipePair(t, Schedule{Seed: 1, Kill: 1})
+	if _, err := conn.Write(frame("doomed-payload")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("kill write error = %v, want ErrKilled", err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("peer decoded a torn frame cleanly")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never observed the kill")
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	sched := Schedule{Seed: 1, Partitions: []Window{{Start: 0, End: time.Hour}}}
+	conn, _, _ := pipePair(t, sched)
+	if _, err := conn.Write(frame("blocked")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned write error = %v, want ErrPartitioned", err)
+	}
+}
+
+func TestTransportStats(t *testing.T) {
+	tr := NewTransport(Schedule{Seed: 7, Dup: 1})
+	server, client := net.Pipe()
+	defer server.Close()
+	go io.Copy(io.Discard, server)
+	conn := tr.Wrap(client)
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Write(frame("f")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.Stats()
+	if st.Conns != 1 || st.Frames != 3 || st.Dups != 3 {
+		t.Fatalf("stats = %+v, want 1 conn / 3 frames / 3 dups", st)
+	}
+}

@@ -170,24 +170,31 @@ func watchSIGQUIT(rec *obs.FlightRecorder) (stop func()) {
 // emits, keeping the Prometheus export lint-clean.
 func registerHelp(reg *obs.Registry) {
 	for family, text := range map[string]string{
-		"validator_sim_runs_total":       "fresh simulations executed",
-		"validator_cache_hits_total":     "validations served from the memo cache",
-		"validator_coalesced_total":      "validations that joined an in-flight duplicate",
-		"validator_retries_total":        "transient simulation failures retried",
-		"validator_failures_total":       "simulations exhausting their retry budget",
-		"validator_remote_results_total": "validations measured by remote workers",
-		"validator_sim_ns":               "wall-clock nanoseconds per simulation",
-		"dist_leases_granted_total":      "job leases granted to workers",
-		"dist_leases_expired_total":      "job leases that timed out",
-		"dist_leases_reassigned_total":   "expired jobs handed to another worker",
-		"dist_results_total":             "job results accepted by the coordinator",
-		"dist_duplicate_results_total":   "job results discarded as duplicates",
-		"dist_workers_connected":         "workers currently holding a session",
-		"dist_workers_rejected_total":    "workers rejected during the handshake",
-		"dist_worker_busy_ns":            "per-worker cumulative in-simulation nanoseconds",
-		"dist_stats_pushes_total":        "worker metric snapshots absorbed by the coordinator",
-		"worker_jobs_total":              "jobs executed by this worker process",
-		"worker_busy_ns":                 "cumulative in-simulation nanoseconds on this worker",
+		"validator_sim_runs_total":                  "fresh simulations executed",
+		"validator_cache_hits_total":                "validations served from the memo cache",
+		"validator_coalesced_total":                 "validations that joined an in-flight duplicate",
+		"validator_retries_total":                   "transient simulation failures retried",
+		"validator_failures_total":                  "simulations exhausting their retry budget",
+		"validator_remote_results_total":            "validations measured by remote workers",
+		"validator_sim_ns":                          "wall-clock nanoseconds per simulation",
+		"dist_leases_granted_total":                 "job leases granted to workers",
+		"dist_leases_expired_total":                 "job leases that timed out",
+		"dist_leases_reassigned_total":              "expired jobs handed to another worker",
+		"dist_results_total":                        "job results accepted by the coordinator",
+		"dist_duplicate_results_total":              "job results discarded as duplicates",
+		"dist_workers_connected":                    "workers currently holding a session",
+		"dist_workers_rejected_total":               "workers rejected during the handshake",
+		"dist_worker_busy_ns":                       "per-worker cumulative in-simulation nanoseconds",
+		"dist_stats_pushes_total":                   "worker metric snapshots absorbed by the coordinator",
+		"worker_jobs_total":                         "jobs executed by this worker process",
+		"worker_busy_ns":                            "cumulative in-simulation nanoseconds on this worker",
+		"dist_hedged_leases_total":                  "duplicate leases issued to hedge against stragglers",
+		"dist_workers_quarantined":                  "workers currently quarantined (health or byzantine)",
+		"dist_results_crosschecked_total":           "remote results re-simulated locally for cross-validation",
+		"dist_results_crosschecked_divergent_total": "cross-checked results that diverged from the local referee",
+		"cache_persist_hits_total":                  "validations served from the persistent simulation cache",
+		"cache_persist_misses_total":                "persistent-cache lookups that missed",
+		"cache_persist_corrupt_records_total":       "persistent-cache records dropped as corrupt",
 	} {
 		reg.SetHelp(family, text)
 	}
@@ -201,6 +208,7 @@ type Resilience struct {
 	SimRetries int
 	Checkpoint string
 	Resume     bool
+	CacheDir   string
 }
 
 // RegisterResilience adds the resilience flags to a flag set.
@@ -210,7 +218,22 @@ func RegisterResilience(fs *flag.FlagSet) *Resilience {
 	fs.IntVar(&r.SimRetries, "sim-retries", 0, "retry budget for transient simulation failures")
 	fs.StringVar(&r.Checkpoint, "checkpoint", "", "crash-safe tuning: atomically rewrite this JSON snapshot after every iteration")
 	fs.BoolVar(&r.Resume, "resume", false, "resume tuning from -checkpoint (missing file = fresh run)")
+	fs.StringVar(&r.CacheDir, "cache-dir", "", "persistent simulation cache directory: measured results survive restarts and crashes")
 	return r
+}
+
+// OpenPersistentCache opens the -cache-dir persistent cache (nil when
+// the flag is unset) and attaches the registry.
+func (r *Resilience) OpenPersistentCache(reg *obs.Registry) (*core.PersistentCache, error) {
+	if r.CacheDir == "" {
+		return nil, nil
+	}
+	p, err := core.OpenPersistentCache(r.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	p.Obs = reg
+	return p, nil
 }
 
 // SignalContext returns a context cancelled on SIGINT/SIGTERM, so an

@@ -136,12 +136,19 @@ type Validator struct {
 	// Because backends must be deterministic, results are bit-identical
 	// either way. Set it before the first measurement.
 	Backend Backend
+	// Persist, when non-nil, is consulted before any cold-key
+	// measurement and written after every successful one, carrying the
+	// memo cache across process restarts. A persist hit counts as a
+	// CacheHit, preserving the accounting law. Set it before the first
+	// measurement.
+	Persist *PersistentCache
 
 	mu       sync.Mutex
 	cache    map[simKey]autodb.Perf
 	inflight map[simKey]*inflightSim
 	sem      chan struct{} // validator-wide simulation slots (lazy)
 	local    *localBackend // default backend (lazy)
+	sigCache string        // memoized Space.Signature() (lazy)
 
 	simRuns   atomic.Int64
 	simWall   atomic.Int64 // aggregate per-worker in-simulator ns
@@ -357,6 +364,23 @@ func (v *Validator) MeasureTrace(ctx context.Context, cfg ssdconf.Config, name s
 	v.inflight[key] = fl
 	v.mu.Unlock()
 
+	// The durable cache sits between the memo cache and the backend: a
+	// restart-surviving hit skips the simulation entirely and fills the
+	// memo cache, counting as a CacheHit so the accounting law holds.
+	if p := v.Persist; p != nil {
+		if perf, ok := p.Get(v.persistSig(), key.cfg, key.name); ok {
+			fl.perf = perf
+			v.cacheHits.Add(1)
+			v.Obs.Counter(MetricCacheHits).Inc()
+			v.mu.Lock()
+			v.cache[key] = perf
+			delete(v.inflight, key)
+			v.mu.Unlock()
+			close(fl.done)
+			return perf, nil
+		}
+	}
+
 	be, remote := v.backend()
 	fl.perf, fl.err = be.Measure(ctx, Job{Cfg: cfg, Name: name, Src: f})
 	if remote && fl.err == nil {
@@ -371,7 +395,21 @@ func (v *Validator) MeasureTrace(ctx context.Context, cfg ssdconf.Config, name s
 	delete(v.inflight, key) // errors are not cached; a retry re-simulates
 	v.mu.Unlock()
 	close(fl.done)
+	if fl.err == nil && v.Persist != nil {
+		v.Persist.Put(v.persistSig(), key.cfg, key.name, fl.perf)
+	}
 	return fl.perf, fl.err
+}
+
+// persistSig lazily computes and caches the space signature that scopes
+// every persistent-cache key.
+func (v *Validator) persistSig() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.sigCache == "" {
+		v.sigCache = v.Space.Signature()
+	}
+	return v.sigCache
 }
 
 // simulate runs one simulation inside a worker slot, retrying

@@ -1,0 +1,281 @@
+package dist
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"autoblox/internal/autodb"
+	"autoblox/internal/core"
+	"autoblox/internal/obs"
+	"autoblox/internal/ssd"
+	"autoblox/internal/workload"
+)
+
+// fakeClock is an injectable Clock advanced explicitly by the test.
+// Expiry is evaluated lazily by the coordinator, so no tick delivery
+// is needed: advance, then drive a lease pull.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// clockCoord builds a coordinator on a fake clock over a 1-category env.
+func clockCoord(t *testing.T, clk *fakeClock, ttl time.Duration) (*Coordinator, *Env) {
+	t.Helper()
+	env := testEnv(t, 600, ssd.FaultProfile{}, workload.Database)
+	coord := NewCoordinator(env, CoordinatorOptions{
+		LeaseTTL:     ttl,
+		PollInterval: time.Millisecond,
+		Clock:        clk,
+	})
+	t.Cleanup(coord.Close)
+	return coord, env
+}
+
+// measureOne starts one Measure call in the background.
+func measureOne(coord *Coordinator, cfg []int) chan error {
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Measure(context.Background(),
+			core.Job{Cfg: cfg, Name: "Database#0"})
+		done <- err
+	}()
+	return done
+}
+
+// TestLeaseExpiresExactlyAtTTL pins the expiry boundary: a lease is
+// reclaimed when now == expiry (inclusive), and survives at any instant
+// strictly before it. Both sides of the boundary are exercised on the
+// same frozen clock — impossible with sleep-calibrated tests.
+func TestLeaseExpiresExactlyAtTTL(t *testing.T) {
+	const ttl = 30 * time.Second
+	clk := newFakeClock()
+	coord, env := clockCoord(t, clk, ttl)
+
+	cfgs := distinctConfigs(t, env.Space(), 1)
+	done := measureOne(coord, cfgs[0])
+
+	holder := dialFake(t, coord)
+	holder.mustAccept("holder", env.SpaceSig)
+	leases := holder.leaseAtLeast(1)
+
+	// One nanosecond before the TTL: another worker's pull must find
+	// nothing — the lease is still live.
+	clk.Advance(ttl - time.Nanosecond)
+	probe := dialFake(t, coord)
+	probe.mustAccept("probe", env.SpaceSig)
+	probe.send(&Message{Type: MsgLeaseReq, LeaseReq: &LeaseReq{Max: 1}})
+	if m := probe.recv(); len(m.LeaseGrant.Leases) != 0 {
+		t.Fatalf("lease regranted %v before TTL", ttl-time.Nanosecond)
+	}
+	if got := coord.Counters().Expired; got != 0 {
+		t.Fatalf("Expired = %d before the boundary, want 0", got)
+	}
+
+	// Exactly at the TTL the lease is overdue: the same pull reclaims
+	// and re-grants it.
+	clk.Advance(time.Nanosecond)
+	regrants := probe.leaseAtLeast(1)
+	if got := coord.Counters().Expired; got != 1 {
+		t.Fatalf("Expired = %d at the boundary, want exactly 1", got)
+	}
+	if regrants[0].CfgKey != leases[0].CfgKey || regrants[0].Name != leases[0].Name {
+		t.Fatalf("regrant is a different job: %+v vs %+v", regrants[0], leases[0])
+	}
+
+	// The original holder's now-stale result is still accepted — the
+	// simulations are deterministic, so any worker's answer is the
+	// answer; the probe's later duplicate changes nothing.
+	holder.send(&Message{Type: MsgResult, Result: &ResultMsg{Worker: "holder", Results: []JobResult{
+		{LeaseID: leases[0].ID, CfgKey: leases[0].CfgKey, Name: leases[0].Name,
+			Perf: autodb.Perf{LatencyNS: 77, ThroughputBps: 1}, SimNS: 1},
+	}}})
+	if err := <-done; err != nil {
+		t.Fatalf("Measure after boundary expiry: %v", err)
+	}
+	probe.send(&Message{Type: MsgResult, Result: &ResultMsg{Worker: "probe", Results: []JobResult{
+		{LeaseID: regrants[0].ID, CfgKey: regrants[0].CfgKey, Name: regrants[0].Name,
+			Perf: autodb.Perf{LatencyNS: 99, ThroughputBps: 1}, SimNS: 1},
+	}}})
+	waitFor(t, func() bool { return coord.Counters().Duplicates >= 1 },
+		"loser's result counted as duplicate")
+}
+
+// TestLateResultRescuesPendingJob covers the reassignment race from
+// the requeued side: the holder disconnects (its lease is dropped and
+// the job returns to the pending queue), and then a result for the key
+// arrives before any re-grant. The job must complete straight out of
+// the pending queue — no worker ever re-runs it.
+func TestLateResultRescuesPendingJob(t *testing.T) {
+	const ttl = 30 * time.Second
+	clk := newFakeClock()
+	coord, env := clockCoord(t, clk, ttl)
+
+	cfgs := distinctConfigs(t, env.Space(), 1)
+	done := measureOne(coord, cfgs[0])
+
+	holder := dialFake(t, coord)
+	holder.mustAccept("holder", env.SpaceSig)
+	leases := holder.leaseAtLeast(1)
+
+	// Disconnect: dropSession requeues the job with no grant, leaving
+	// it pending — the exact window a reassignment would race.
+	holder.conn.Close()
+	waitFor(t, func() bool { return coord.Counters().Expired >= 1 },
+		"disconnect drops the lease")
+
+	// The "late" result arrives on another connection (same payload a
+	// flaky network could deliver out of band). Results match by key,
+	// not lease, so it completes the pending job in place.
+	courier := dialFake(t, coord)
+	courier.mustAccept("courier", env.SpaceSig)
+	courier.send(&Message{Type: MsgResult, Result: &ResultMsg{Worker: "courier", Results: []JobResult{
+		{LeaseID: leases[0].ID, CfgKey: leases[0].CfgKey, Name: leases[0].Name,
+			Perf: autodb.Perf{LatencyNS: 55, ThroughputBps: 1}, SimNS: 1},
+	}}})
+	if err := <-done; err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+
+	// The queue must now be empty: no re-grant, no re-run.
+	probe := dialFake(t, coord)
+	probe.mustAccept("probe", env.SpaceSig)
+	probe.send(&Message{Type: MsgLeaseReq, LeaseReq: &LeaseReq{Max: 1}})
+	if m := probe.recv(); len(m.LeaseGrant.Leases) != 0 {
+		t.Fatalf("rescued job regranted: %+v", m.LeaseGrant.Leases)
+	}
+	if got := coord.Counters().Reassigned; got != 0 {
+		t.Fatalf("Reassigned = %d, want 0 (result beat the re-grant)", got)
+	}
+}
+
+// TestLateResultCompletesPendingJob: the clock is past the TTL but no
+// lease pull has run, so the job is overdue yet still leased. The
+// holder's result must win the race against lazy expiry — applyResults
+// completes the job and the expiry path never fires.
+func TestLateResultCompletesPendingJob(t *testing.T) {
+	const ttl = 30 * time.Second
+	clk := newFakeClock()
+	coord, env := clockCoord(t, clk, ttl)
+
+	cfgs := distinctConfigs(t, env.Space(), 1)
+	done := measureOne(coord, cfgs[0])
+
+	holder := dialFake(t, coord)
+	holder.mustAccept("holder", env.SpaceSig)
+	leases := holder.leaseAtLeast(1)
+
+	// Advance past the TTL; no lease pull happens yet, so the job is
+	// overdue but still marked leased. The holder's late result lands
+	// first: applyResults releases the overdue lease and completes the
+	// job — the expiry path never fires.
+	clk.Advance(ttl + time.Second)
+	holder.send(&Message{Type: MsgResult, Result: &ResultMsg{Worker: "holder", Results: []JobResult{
+		{LeaseID: leases[0].ID, CfgKey: leases[0].CfgKey, Name: leases[0].Name,
+			Perf: autodb.Perf{LatencyNS: 55, ThroughputBps: 1}, SimNS: 1},
+	}}})
+	if err := <-done; err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+
+	// A probe pull after completion must find nothing to do and no
+	// lease left to expire.
+	probe := dialFake(t, coord)
+	probe.mustAccept("probe", env.SpaceSig)
+	probe.send(&Message{Type: MsgLeaseReq, LeaseReq: &LeaseReq{Max: 1}})
+	if m := probe.recv(); len(m.LeaseGrant.Leases) != 0 {
+		t.Fatalf("completed job regranted: %+v", m.LeaseGrant.Leases)
+	}
+	if fc := coord.Counters(); fc.Expired != 0 || fc.Reassigned != 0 {
+		t.Fatalf("late-but-first result should pre-empt expiry: %+v", fc)
+	}
+}
+
+// TestDoubleExpiryAttribution pins warn-flaky-job accounting under a
+// fake clock: the same job expiring under two different holders fires
+// the warning exactly at the second full expiry, attributed to the
+// second holder, with per-worker expiry tallies intact.
+func TestDoubleExpiryAttribution(t *testing.T) {
+	rec := obs.NewFlightRecorder(256)
+	obs.SetFlightRecorder(rec)
+	defer obs.SetFlightRecorder(nil)
+
+	const ttl = 30 * time.Second
+	clk := newFakeClock()
+	coord, env := clockCoord(t, clk, ttl)
+
+	cfgs := distinctConfigs(t, env.Space(), 1)
+	done := measureOne(coord, cfgs[0])
+
+	first := dialFake(t, coord)
+	first.mustAccept("first", env.SpaceSig)
+	first.leaseAtLeast(1)
+
+	clk.Advance(ttl)
+	second := dialFake(t, coord)
+	second.mustAccept("second", env.SpaceSig)
+	regrant := second.leaseAtLeast(1) // expires first's lease, takes the job
+
+	clk.Advance(ttl)
+	third := dialFake(t, coord)
+	third.mustAccept("third", env.SpaceSig)
+	final := third.leaseAtLeast(1) // second full expiry → warning
+
+	var warn *obs.FlightEvent
+	for _, ev := range rec.Events() {
+		if ev.Kind == "warn-flaky-job" {
+			ev := ev
+			warn = &ev
+		}
+	}
+	if warn == nil {
+		t.Fatalf("no warn-flaky-job after second expiry; events %+v", rec.Events())
+	}
+	attrs := map[string]string{}
+	for _, kv := range warn.Fields {
+		attrs[kv.Key] = kv.Value
+	}
+	if attrs["worker"] != "second" {
+		t.Fatalf("warning attributed to %q, want the second holder; attrs %v", attrs["worker"], attrs)
+	}
+	if attrs["expiries"] != "2" {
+		t.Fatalf("warning expiries = %q, want 2", attrs["expiries"])
+	}
+
+	st := coord.StatusSnapshot()
+	tallies := map[string]WorkerStatus{}
+	for _, w := range st.Workers {
+		tallies[w.Name] = w
+	}
+	if tallies["first"].LeasesExpired != 1 || tallies["second"].LeasesExpired != 1 {
+		t.Fatalf("expiry attribution wrong: first=%d second=%d, want 1 each",
+			tallies["first"].LeasesExpired, tallies["second"].LeasesExpired)
+	}
+
+	third.send(&Message{Type: MsgResult, Result: &ResultMsg{Worker: "third", Results: []JobResult{
+		{LeaseID: final[0].ID, CfgKey: final[0].CfgKey, Name: final[0].Name,
+			Perf: autodb.Perf{LatencyNS: 11, ThroughputBps: 1}, SimNS: 1},
+	}}})
+	if err := <-done; err != nil {
+		t.Fatalf("Measure after double expiry: %v", err)
+	}
+	_ = regrant
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sort"
 	"strconv"
@@ -19,13 +20,17 @@ import (
 
 // Fleet metric names, recorded when the coordinator has a registry.
 const (
-	MetricLeasesGranted    = "dist_leases_granted_total"
-	MetricLeasesExpired    = "dist_leases_expired_total"
-	MetricLeasesReassigned = "dist_leases_reassigned_total"
-	MetricResultsDup       = "dist_results_duplicate_total"
-	MetricHandshakeRejects = "dist_handshake_rejects_total"
-	MetricStatsPushes      = "dist_stats_pushes_total"
-	MetricWorkersConnected = "dist_workers_connected"
+	MetricLeasesGranted       = "dist_leases_granted_total"
+	MetricLeasesExpired       = "dist_leases_expired_total"
+	MetricLeasesReassigned    = "dist_leases_reassigned_total"
+	MetricResultsDup          = "dist_results_duplicate_total"
+	MetricHandshakeRejects    = "dist_handshake_rejects_total"
+	MetricStatsPushes         = "dist_stats_pushes_total"
+	MetricWorkersConnected    = "dist_workers_connected"
+	MetricHedgedLeases        = "dist_hedged_leases_total"
+	MetricWorkersQuarantined  = "dist_workers_quarantined"
+	MetricCrossChecked        = "dist_results_crosschecked_total"
+	MetricCrossCheckDivergent = "dist_results_crosschecked_divergent_total"
 )
 
 // MetricWorkerBusy names a fleet worker's per-batch busy-time histogram
@@ -48,6 +53,58 @@ type CoordinatorOptions struct {
 	// Obs, when set, receives fleet counters and per-worker busy
 	// histograms. Never influences results.
 	Obs *obs.Registry
+	// Clock, when set, replaces the wall clock for all lease
+	// bookkeeping (TTL expiry, hedging age, quarantine windows) —
+	// tests inject a fake to pin expiry edge cases deterministically.
+	Clock Clock
+
+	// Hedge enables hedged re-leases: a job whose oldest active lease
+	// has aged past a completion-latency quantile is granted to a
+	// second worker too; the first valid result wins (results apply
+	// idempotently, so the loser is just a duplicate).
+	Hedge bool
+	// HedgeAfter, when positive, is a fixed straggler age threshold.
+	// When zero, the threshold is the HedgeQuantile of observed
+	// completion latencies (needing HedgeMinSamples completions first).
+	HedgeAfter time.Duration
+	// HedgeQuantile picks the completion-latency quantile used as the
+	// straggler threshold (default 0.95).
+	HedgeQuantile float64
+	// HedgeMinSamples is how many completions must be observed before
+	// quantile-based hedging kicks in (default 8).
+	HedgeMinSamples int
+	// HedgeMax caps concurrent leases per job, primary included
+	// (default 2).
+	HedgeMax int
+
+	// Quarantine enables per-worker health scoring: errors, timeouts,
+	// and lease expiries feed a failure EWMA; a worker crossing
+	// QuarantineThreshold is refused leases for QuarantineDuration
+	// (doubling per re-offense), then re-admitted on probation —
+	// single-lease grants until ProbationSuccesses clean results.
+	Quarantine bool
+	// QuarantineThreshold is the failure-EWMA score that triggers
+	// quarantine (default 0.7).
+	QuarantineThreshold float64
+	// QuarantineMinEvents is the minimum number of health events
+	// before a worker may be quarantined (default 4).
+	QuarantineMinEvents int
+	// QuarantineDuration is the first quarantine's length (default
+	// 30s); each subsequent quarantine doubles it.
+	QuarantineDuration time.Duration
+	// ProbationSuccesses is how many clean results end probation
+	// (default 3).
+	ProbationSuccesses int
+
+	// CrossCheck is the fraction of successful remote results that are
+	// re-simulated locally before being released to waiters (0 = off,
+	// 1 = every result). The sample is seeded per key, so whether a
+	// key is checked is deterministic. A worker whose result diverges
+	// from the local re-simulation is marked byzantine — permanently
+	// quarantined, its unverified results requeued.
+	CrossCheck float64
+	// CrossCheckSeed keys the sampling hash.
+	CrossCheckSeed int64
 }
 
 func (o CoordinatorOptions) leaseTTL() time.Duration {
@@ -71,6 +128,55 @@ func (o CoordinatorOptions) batchMax() int {
 	return 16
 }
 
+func (o CoordinatorOptions) hedgeQuantile() float64 {
+	if o.HedgeQuantile > 0 {
+		return o.HedgeQuantile
+	}
+	return 0.95
+}
+
+func (o CoordinatorOptions) hedgeMinSamples() int {
+	if o.HedgeMinSamples > 0 {
+		return o.HedgeMinSamples
+	}
+	return 8
+}
+
+func (o CoordinatorOptions) hedgeMax() int {
+	if o.HedgeMax > 1 {
+		return o.HedgeMax
+	}
+	return 2
+}
+
+func (o CoordinatorOptions) quarantineThreshold() float64 {
+	if o.QuarantineThreshold > 0 {
+		return o.QuarantineThreshold
+	}
+	return 0.7
+}
+
+func (o CoordinatorOptions) quarantineMinEvents() int {
+	if o.QuarantineMinEvents > 0 {
+		return o.QuarantineMinEvents
+	}
+	return 4
+}
+
+func (o CoordinatorOptions) quarantineDuration() time.Duration {
+	if o.QuarantineDuration > 0 {
+		return o.QuarantineDuration
+	}
+	return 30 * time.Second
+}
+
+func (o CoordinatorOptions) probationSuccesses() int {
+	if o.ProbationSuccesses > 0 {
+		return o.ProbationSuccesses
+	}
+	return 3
+}
+
 // FleetCounters is a point-in-time snapshot of the coordinator's
 // always-on counters (kept regardless of Obs).
 type FleetCounters struct {
@@ -80,6 +186,10 @@ type FleetCounters struct {
 	Duplicates       int64
 	HandshakeRejects int64
 	StatsPushes      int64
+	Hedged           int64
+	Quarantines      int64
+	CrossChecked     int64
+	Divergent        int64
 }
 
 type jobState uint8
@@ -87,23 +197,38 @@ type jobState uint8
 const (
 	jobPending jobState = iota
 	jobLeased
+	jobVerifying // result held back pending local cross-validation
 	jobDone
 )
+
+// leaseInfo is one active lease binding a job to a session. A job may
+// hold several concurrently (hedging); the first applied result
+// releases them all.
+type leaseInfo struct {
+	job    *distJob
+	sess   *session
+	expiry time.Time
+	hedged bool
+}
 
 // distJob is one measurement key moving through the lease state
 // machine.
 type distJob struct {
-	key       simKey
-	cfg       ssdconf.Config
-	submitted time.Time
-	state     jobState
-	leaseID   uint64   // current lease (state == jobLeased)
-	owner     *session // current lessee
-	expiry    time.Time
-	grants    int // total leases issued for this job
-	expiries  int // leases of this job that timed out (flaky detection)
-	waited    bool
-	queueWait time.Duration // submit → first grant
+	key        simKey
+	cfg        ssdconf.Config
+	submitted  time.Time
+	state      jobState
+	leases     map[uint64]*leaseInfo // active leases (state == jobLeased)
+	firstGrant time.Time             // oldest active lease's grant time (hedging age)
+	grants     int                   // total leases issued for this job
+	expiries   int                   // times the job fully returned to pending via expiry
+	waited     bool
+	queueWait  time.Duration // submit → first grant
+
+	// Cross-validation holds the remote result here while a local
+	// re-simulation adjudicates it (state == jobVerifying).
+	verifyWorker string
+	verifyPerf   autodb.Perf
 
 	done chan struct{}
 	perf autodb.Perf
@@ -120,7 +245,7 @@ type simKey struct {
 // clock-offset estimate taken during its handshake.
 type session struct {
 	name   string
-	leases map[uint64]*distJob
+	leases map[uint64]*leaseInfo
 	lane   int64 // trace lane for this worker's replayed spans
 	// offsetNS estimates workerClock − coordClock; subtracting it from a
 	// worker timestamp lands it on the coordinator's clock. rttNS is the
@@ -139,6 +264,19 @@ type workerTally struct {
 	sessions   int      // currently connected session count
 	cur        *session // most recent connected session (nil when none)
 	lastSeen   time.Time
+
+	// Health scoring: EWMA of the failure indicator (1 = error /
+	// timeout / expiry, 0 = clean result) over healthEvents samples.
+	health        float64
+	healthEvents  int64
+	quarantined   bool
+	quarUntil     time.Time
+	quarCount     int64 // quarantines served (doubles the next duration)
+	probation     bool
+	probationLeft int
+	byzantine     bool
+	crosschecked  int64
+	divergent     int64
 }
 
 // RemoteError is a worker-side measurement failure relayed through the
@@ -151,6 +289,10 @@ type RemoteError struct {
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("dist: worker %s: %s", e.Worker, e.Msg)
 }
+
+// completionWindow is the bounded sample of recent completion
+// latencies feeding the hedging quantile.
+const completionWindow = 64
 
 // Coordinator owns the distributed measurement queue and implements
 // core.Backend: Measure enqueues a key and blocks until some worker
@@ -165,20 +307,33 @@ type Coordinator struct {
 
 	counters                                                       core.BackendCounters
 	granted, expired, reassigned, duplicates, rejects, statsPushes atomic.Int64
+	hedged, quarantines, crosschecked, divergent                   atomic.Int64
 
 	// traceID names this coordinator's tracing session; leases carry it
 	// so worker-side trace events correlate back to this tune.
 	traceID string
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	closed    bool
-	nextLease uint64
-	nextLane  int64
-	pending   []*distJob
-	leased    map[uint64]*distJob
-	byKey     map[simKey]*distJob
-	tallies   map[string]*workerTally
+	// verifyCtx cancels in-flight cross-check simulations on Close.
+	verifyCtx    context.Context
+	verifyCancel context.CancelFunc
+	verifyWG     sync.WaitGroup
+	verifyOnce   sync.Once
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	closed      bool
+	nextLease   uint64
+	nextLane    int64
+	pending     []*distJob
+	leased      map[uint64]*leaseInfo
+	byKey       map[simKey]*distJob
+	tallies     map[string]*workerTally
+	verifyQ     []*distJob
+	completions [completionWindow]time.Duration
+	compN       int
+	quarActive  int // currently quarantined workers (gauge)
+	crossV      *core.Validator
+	crossVErr   error
 }
 
 // NewCoordinator builds a coordinator over a fingerprinted env.
@@ -186,13 +341,22 @@ func NewCoordinator(env *Env, opts CoordinatorOptions) *Coordinator {
 	c := &Coordinator{
 		env:     env,
 		opts:    opts,
-		leased:  make(map[uint64]*distJob),
+		leased:  make(map[uint64]*leaseInfo),
 		byKey:   make(map[simKey]*distJob),
 		tallies: make(map[string]*workerTally),
 		traceID: obs.TraceID(),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.verifyCtx, c.verifyCancel = context.WithCancel(context.Background())
 	return c
+}
+
+// now reads the injected clock (wall clock by default).
+func (c *Coordinator) now() time.Time {
+	if c.opts.Clock != nil {
+		return c.opts.Clock.Now()
+	}
+	return time.Now()
 }
 
 // Env returns the coordinator's environment.
@@ -207,6 +371,10 @@ func (c *Coordinator) Counters() FleetCounters {
 		Duplicates:       c.duplicates.Load(),
 		HandshakeRejects: c.rejects.Load(),
 		StatsPushes:      c.statsPushes.Load(),
+		Hedged:           c.hedged.Load(),
+		Quarantines:      c.quarantines.Load(),
+		CrossChecked:     c.crosschecked.Load(),
+		Divergent:        c.divergent.Load(),
 	}
 }
 
@@ -240,16 +408,19 @@ func (c *Coordinator) Stats() core.BackendStats {
 
 // WorkerStatus is one worker's row in the fleet status view.
 type WorkerStatus struct {
-	Name             string `json:"name"`
-	Connected        bool   `json:"connected"`
-	Jobs             int64  `json:"jobs"`
-	BusyNS           int64  `json:"busy_ns"`
-	LeasesHeld       int    `json:"leases_held"`
-	LeasesExpired    int64  `json:"leases_expired"`
-	LeasesReassigned int64  `json:"leases_reassigned"`
-	ClockOffsetNS    int64  `json:"clock_offset_ns"`
-	RTTNS            int64  `json:"rtt_ns"`
-	LastSeen         string `json:"last_seen,omitempty"`
+	Name             string  `json:"name"`
+	Connected        bool    `json:"connected"`
+	Jobs             int64   `json:"jobs"`
+	BusyNS           int64   `json:"busy_ns"`
+	LeasesHeld       int     `json:"leases_held"`
+	LeasesExpired    int64   `json:"leases_expired"`
+	LeasesReassigned int64   `json:"leases_reassigned"`
+	Health           float64 `json:"health,omitempty"` // failure EWMA, 0 = clean
+	Quarantined      bool    `json:"quarantined,omitempty"`
+	Byzantine        bool    `json:"byzantine,omitempty"`
+	ClockOffsetNS    int64   `json:"clock_offset_ns"`
+	RTTNS            int64   `json:"rtt_ns"`
+	LastSeen         string  `json:"last_seen,omitempty"`
 }
 
 // FleetStatus is the coordinator's /statusz document: queue depths,
@@ -264,6 +435,9 @@ type FleetStatus struct {
 	DuplicateResults int64          `json:"duplicate_results"`
 	HandshakeRejects int64          `json:"handshake_rejects"`
 	StatsPushes      int64          `json:"stats_pushes"`
+	HedgedLeases     int64          `json:"hedged_leases,omitempty"`
+	CrossChecked     int64          `json:"results_crosschecked,omitempty"`
+	Divergent        int64          `json:"results_divergent,omitempty"`
 	Workers          []WorkerStatus `json:"workers,omitempty"`
 }
 
@@ -276,6 +450,9 @@ func (c *Coordinator) StatusSnapshot() FleetStatus {
 		DuplicateResults: c.duplicates.Load(),
 		HandshakeRejects: c.rejects.Load(),
 		StatsPushes:      c.statsPushes.Load(),
+		HedgedLeases:     c.hedged.Load(),
+		CrossChecked:     c.crosschecked.Load(),
+		Divergent:        c.divergent.Load(),
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -283,10 +460,8 @@ func (c *Coordinator) StatusSnapshot() FleetStatus {
 	st.Pending = len(c.pending)
 	st.Leased = len(c.leased)
 	held := map[string]int{}
-	for _, j := range c.leased {
-		if j.owner != nil {
-			held[j.owner.name]++
-		}
+	for _, li := range c.leased {
+		held[li.sess.name]++
 	}
 	names := make([]string, 0, len(c.tallies))
 	for name := range c.tallies {
@@ -303,6 +478,9 @@ func (c *Coordinator) StatusSnapshot() FleetStatus {
 			LeasesHeld:       held[name],
 			LeasesExpired:    t.expired,
 			LeasesReassigned: t.reassigned,
+			Health:           t.health,
+			Quarantined:      t.quarantined,
+			Byzantine:        t.byzantine,
 		}
 		if t.cur != nil {
 			row.ClockOffsetNS = t.cur.offsetNS
@@ -324,6 +502,122 @@ func (c *Coordinator) tallyLocked(name string) *workerTally {
 		c.tallies[name] = t
 	}
 	return t
+}
+
+// healthEventLocked folds one success/failure sample into a worker's
+// EWMA and applies the quarantine state machine; c.mu held.
+func (c *Coordinator) healthEventLocked(name string, fail bool, now time.Time) {
+	if !c.opts.Quarantine {
+		return
+	}
+	t := c.tallyLocked(name)
+	if t.byzantine {
+		return
+	}
+	const alpha = 0.25
+	x := 0.0
+	if fail {
+		x = 1
+	}
+	t.health = (1-alpha)*t.health + alpha*x
+	t.healthEvents++
+	if !fail && t.probation {
+		t.probationLeft--
+		if t.probationLeft <= 0 {
+			t.probation = false
+			obs.RecordEvent("worker-probation-cleared", "worker", name)
+		}
+		return
+	}
+	if !fail || t.quarantined {
+		return
+	}
+	// A failure during probation re-quarantines immediately; otherwise
+	// the EWMA must cross the threshold with enough samples behind it.
+	if t.probation || (t.healthEvents >= int64(c.opts.quarantineMinEvents()) && t.health >= c.opts.quarantineThreshold()) {
+		c.quarantineLocked(name, t, now, "health")
+	}
+}
+
+// quarantineLocked places a worker in quarantine; c.mu held.
+func (c *Coordinator) quarantineLocked(name string, t *workerTally, now time.Time, reason string) {
+	t.quarCount++
+	dur := c.opts.quarantineDuration()
+	for i := int64(1); i < t.quarCount && i < 6; i++ {
+		dur *= 2
+	}
+	t.quarantined = true
+	t.probation = false
+	t.quarUntil = now.Add(dur)
+	c.quarActive++
+	c.quarantines.Add(1)
+	c.setQuarGaugeLocked()
+	obs.RecordEvent("worker-quarantined", "worker", name,
+		"reason", reason, "health", fmt.Sprintf("%.2f", t.health), "duration", dur.String())
+}
+
+// readmitLocked ends a quarantine into probation; c.mu held.
+func (c *Coordinator) readmitLocked(name string, t *workerTally) {
+	t.quarantined = false
+	t.probation = true
+	t.probationLeft = c.opts.probationSuccesses()
+	t.health = 0
+	t.healthEvents = 0
+	c.quarActive--
+	c.setQuarGaugeLocked()
+	obs.RecordEvent("worker-readmitted", "worker", name,
+		"probation_successes", strconv.Itoa(t.probationLeft))
+}
+
+// markByzantineLocked permanently quarantines a worker whose result
+// diverged from a local re-simulation, requeueing every lease it holds
+// and every unverified result attributed to it; c.mu held.
+func (c *Coordinator) markByzantineLocked(name string, now time.Time) {
+	t := c.tallyLocked(name)
+	if t.byzantine {
+		return
+	}
+	t.byzantine = true
+	if !t.quarantined {
+		t.quarantined = true
+		c.quarActive++
+		c.quarantines.Add(1)
+		c.setQuarGaugeLocked()
+	}
+	t.quarUntil = now.Add(1000000 * time.Hour) // permanent
+	obs.RecordEvent("worker-byzantine", "worker", name)
+	for id, li := range c.leased {
+		if li.sess.name != name {
+			continue
+		}
+		c.releaseLeaseLocked(id, li)
+		if li.job.state == jobLeased && len(li.job.leases) == 0 {
+			li.job.state = jobPending
+			c.pending = append(c.pending, li.job)
+		}
+	}
+	for _, j := range c.byKey {
+		if j.state == jobVerifying && j.verifyWorker == name {
+			j.state = jobPending
+			c.pending = append(c.pending, j)
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// setQuarGaugeLocked publishes the quarantined-worker count; c.mu held.
+func (c *Coordinator) setQuarGaugeLocked() {
+	if r := c.opts.Obs; r != nil {
+		r.Gauge(MetricWorkersQuarantined).Set(float64(c.quarActive))
+	}
+}
+
+// releaseLeaseLocked removes one lease from all three indexes (global,
+// session, job); c.mu held.
+func (c *Coordinator) releaseLeaseLocked(id uint64, li *leaseInfo) {
+	delete(c.leased, id)
+	delete(li.sess.leases, id)
+	delete(li.job.leases, id)
 }
 
 // Measure implements core.Backend: enqueue the job (deduplicated by
@@ -356,7 +650,8 @@ func (c *Coordinator) submit(job core.Job) (*distJob, error) {
 	j := &distJob{
 		key:       k,
 		cfg:       job.Cfg.Clone(),
-		submitted: time.Now(),
+		submitted: c.now(),
+		leases:    make(map[uint64]*leaseInfo),
 		done:      make(chan struct{}),
 	}
 	c.byKey[k] = j
@@ -370,8 +665,8 @@ func (c *Coordinator) submit(job core.Job) (*distJob, error) {
 // workers exit on their next pull.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return
 	}
 	c.closed = true
@@ -383,8 +678,12 @@ func (c *Coordinator) Close() {
 		}
 	}
 	c.pending = nil
-	c.leased = make(map[uint64]*distJob)
+	c.leased = make(map[uint64]*leaseInfo)
+	c.verifyQ = nil
 	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.verifyCancel()
+	c.verifyWG.Wait()
 }
 
 // isClosed reports whether Close has run.
@@ -395,33 +694,34 @@ func (c *Coordinator) isClosed() bool {
 }
 
 // expireLocked returns every overdue lease to the pending queue,
-// attributing the expiry to the worker that held it. A job expiring for
-// the second time records a "warn-flaky-job" flight event — two workers
-// (or the same worker twice) sat on the same deterministic job, which
-// usually means a wedged or overloaded worker, not a bad job.
+// attributing the expiry to the worker that held it. A hedged job
+// only requeues once its last active lease is gone. A job fully
+// expiring for the second time records a "warn-flaky-job" flight
+// event — two workers (or the same worker twice) sat on the same
+// deterministic job, which usually means a wedged or overloaded
+// worker, not a bad job.
 func (c *Coordinator) expireLocked(now time.Time) {
-	for id, j := range c.leased {
-		if now.Before(j.expiry) {
+	for id, li := range c.leased {
+		if now.Before(li.expiry) {
 			continue
 		}
-		delete(c.leased, id)
-		owner := ""
-		if j.owner != nil {
-			owner = j.owner.name
-			delete(j.owner.leases, id)
-			j.owner = nil
-			c.tallyLocked(owner).expired++
-		}
-		j.state = jobPending
-		j.expiries++
-		c.pending = append(c.pending, j)
+		j := li.job
+		owner := li.sess.name
+		c.releaseLeaseLocked(id, li)
+		c.tallyLocked(owner).expired++
+		c.healthEventLocked(owner, true, now)
 		c.expired.Add(1)
 		c.obsInc(MetricLeasesExpired)
 		obs.RecordEvent("lease-expired",
 			"lease", fmt.Sprint(id), "worker", owner, "trace", j.key.name, "expiries", fmt.Sprint(j.expiries))
-		if j.expiries == 2 {
-			obs.RecordEvent("warn-flaky-job",
-				"trace", j.key.name, "cfg", j.key.cfg, "worker", owner, "expiries", "2")
+		if j.state == jobLeased && len(j.leases) == 0 {
+			j.state = jobPending
+			j.expiries++
+			c.pending = append(c.pending, j)
+			if j.expiries == 2 {
+				obs.RecordEvent("warn-flaky-job",
+					"trace", j.key.name, "cfg", j.key.cfg, "worker", owner, "expiries", "2")
+			}
 		}
 	}
 }
@@ -430,33 +730,136 @@ func (c *Coordinator) expireLocked(now time.Time) {
 func (c *Coordinator) dropSession(sess *session) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for id, j := range sess.leases {
-		if j.state != jobLeased || j.leaseID != id {
-			continue
-		}
-		delete(c.leased, id)
-		j.owner = nil
-		j.state = jobPending
-		j.expiries++
-		c.pending = append(c.pending, j)
+	now := c.now()
+	for id, li := range sess.leases {
+		j := li.job
+		c.releaseLeaseLocked(id, li)
 		c.expired.Add(1)
 		c.obsInc(MetricLeasesExpired)
 		c.tallyLocked(sess.name).expired++
+		c.healthEventLocked(sess.name, true, now)
 		obs.RecordEvent("lease-expired",
 			"lease", fmt.Sprint(id), "worker", sess.name, "trace", j.key.name, "reason", "disconnect")
+		if j.state == jobLeased && len(j.leases) == 0 {
+			j.state = jobPending
+			j.expiries++
+			c.pending = append(c.pending, j)
+		}
 	}
-	sess.leases = make(map[uint64]*distJob)
+	sess.leases = make(map[uint64]*leaseInfo)
 	t := c.tallyLocked(sess.name)
 	t.sessions--
 	if t.cur == sess {
 		t.cur = nil
 	}
-	t.lastSeen = time.Now()
+	t.lastSeen = now
 	if r := c.opts.Obs; r != nil {
 		r.Gauge(MetricWorkersConnected).Add(-1)
 	}
 	obs.RecordEvent("worker-disconnected", "worker", sess.name)
 	c.cond.Broadcast()
+}
+
+// grantLocked issues one lease of j to sess; c.mu held.
+func (c *Coordinator) grantLocked(j *distJob, sess *session, now time.Time, hedged bool) Lease {
+	c.nextLease++
+	li := &leaseInfo{job: j, sess: sess, expiry: now.Add(c.opts.leaseTTL()), hedged: hedged}
+	if len(j.leases) == 0 {
+		j.firstGrant = now
+	}
+	if !j.waited {
+		j.waited = true
+		j.queueWait = now.Sub(j.submitted)
+	}
+	if j.grants > 0 && !hedged {
+		c.reassigned.Add(1)
+		c.obsInc(MetricLeasesReassigned)
+		c.tallyLocked(sess.name).reassigned++
+		obs.RecordEvent("lease-reassigned",
+			"lease", fmt.Sprint(c.nextLease), "worker", sess.name, "trace", j.key.name, "grants", fmt.Sprint(j.grants+1))
+	}
+	j.grants++
+	j.state = jobLeased
+	c.leased[c.nextLease] = li
+	sess.leases[c.nextLease] = li
+	j.leases[c.nextLease] = li
+	return Lease{
+		ID:      c.nextLease,
+		CfgKey:  j.key.cfg,
+		Cfg:     []int(j.cfg),
+		Name:    j.key.name,
+		TraceID: c.traceID,
+	}
+}
+
+// hedgeThresholdLocked resolves the straggler age past which a leased
+// job is eligible for a duplicate grant; 0 disables hedging for now.
+// c.mu held.
+func (c *Coordinator) hedgeThresholdLocked() time.Duration {
+	if c.opts.HedgeAfter > 0 {
+		return c.opts.HedgeAfter
+	}
+	n := c.compN
+	if n > completionWindow {
+		n = completionWindow
+	}
+	if n < c.opts.hedgeMinSamples() {
+		return 0
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, c.completions[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	th := buf[int(c.opts.hedgeQuantile()*float64(n-1))]
+	if pi := c.opts.pollInterval(); th < pi {
+		th = pi
+	}
+	return th
+}
+
+// hedgeLocked issues duplicate leases for straggler jobs to sess, up
+// to the remaining grant capacity; c.mu held.
+func (c *Coordinator) hedgeLocked(sess *session, now time.Time, room int) []Lease {
+	if !c.opts.Hedge || room <= 0 {
+		return nil
+	}
+	th := c.hedgeThresholdLocked()
+	if th <= 0 {
+		return nil
+	}
+	seen := make(map[*distJob]bool)
+	var out []Lease
+	for _, li := range c.leased {
+		j := li.job
+		if seen[j] || j.state != jobLeased || len(j.leases) >= c.opts.hedgeMax() {
+			continue
+		}
+		seen[j] = true
+		if now.Sub(j.firstGrant) < th {
+			continue
+		}
+		// Don't hedge to a worker already holding this job.
+		holds := false
+		for _, other := range j.leases {
+			if other.sess == sess {
+				holds = true
+				break
+			}
+		}
+		if holds {
+			continue
+		}
+		l := c.grantLocked(j, sess, now, true)
+		c.hedged.Add(1)
+		c.obsInc(MetricHedgedLeases)
+		obs.RecordEvent("lease-hedged",
+			"lease", fmt.Sprint(l.ID), "worker", sess.name, "trace", j.key.name,
+			"age", now.Sub(j.firstGrant).String(), "threshold", th.String())
+		out = append(out, l)
+		if len(out) >= room {
+			break
+		}
+	}
+	return out
 }
 
 // lease blocks up to PollInterval for work, then answers. closed=true
@@ -468,71 +871,111 @@ func (c *Coordinator) lease(sess *session, max int) (leases []Lease, closed bool
 	if bm := c.opts.batchMax(); max > bm {
 		max = bm
 	}
+	// The poll deadline is transport liveness (how long a worker's
+	// request may block), not lease semantics — it stays on the wall
+	// clock so that a frozen fake Clock still gets empty grants back.
 	deadline := time.Now().Add(c.opts.pollInterval())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
-		now := time.Now()
+		now := c.now()
 		c.expireLocked(now)
 		if c.closed {
 			return nil, true
 		}
-		if len(c.pending) > 0 {
-			n := max
+		eligible := true
+		limit := max
+		if c.opts.Quarantine {
+			t := c.tallyLocked(sess.name)
+			if t.quarantined {
+				if t.byzantine || now.Before(t.quarUntil) {
+					eligible = false
+				} else {
+					c.readmitLocked(sess.name, t)
+				}
+			}
+			if eligible && t.probation {
+				limit = 1
+			}
+		}
+		if eligible && len(c.pending) > 0 {
+			n := limit
 			if n > len(c.pending) {
 				n = len(c.pending)
 			}
-			ttl := c.opts.leaseTTL()
 			leases = make([]Lease, 0, n)
 			for _, j := range c.pending[:n] {
-				c.nextLease++
-				j.leaseID = c.nextLease
-				j.owner = sess
-				j.state = jobLeased
-				j.expiry = now.Add(ttl)
-				if !j.waited {
-					j.waited = true
-					j.queueWait = now.Sub(j.submitted)
-				}
-				if j.grants > 0 {
-					c.reassigned.Add(1)
-					c.obsInc(MetricLeasesReassigned)
-					c.tallyLocked(sess.name).reassigned++
-					obs.RecordEvent("lease-reassigned",
-						"lease", fmt.Sprint(j.leaseID), "worker", sess.name, "trace", j.key.name, "grants", fmt.Sprint(j.grants+1))
-				}
-				j.grants++
-				c.leased[j.leaseID] = j
-				sess.leases[j.leaseID] = j
-				leases = append(leases, Lease{
-					ID:      j.leaseID,
-					CfgKey:  j.key.cfg,
-					Cfg:     []int(j.cfg),
-					Name:    j.key.name,
-					TraceID: c.traceID,
-				})
+				leases = append(leases, c.grantLocked(j, sess, now, false))
 			}
 			c.pending = c.pending[n:]
 			c.granted.Add(int64(len(leases)))
 			c.obsAdd(MetricLeasesGranted, int64(len(leases)))
 			return leases, false
 		}
-		if !now.Before(deadline) {
+		if eligible {
+			if hl := c.hedgeLocked(sess, now, limit); len(hl) > 0 {
+				c.granted.Add(int64(len(hl)))
+				c.obsAdd(MetricLeasesGranted, int64(len(hl)))
+				return hl, false
+			}
+		}
+		wall := time.Now()
+		if !wall.Before(deadline) {
 			return nil, false
 		}
 		// cond has no deadline wait; arm a broadcast at the poll boundary
 		// so this wakes for new work, shutdown, or timeout alike.
-		t := time.AfterFunc(deadline.Sub(now), c.cond.Broadcast)
+		t := time.AfterFunc(deadline.Sub(wall), c.cond.Broadcast)
 		c.cond.Wait()
 		t.Stop()
 	}
+}
+
+// pickCrossCheck reports whether a key falls in the seeded
+// cross-validation sample — a pure function of (seed, key), so the
+// same key is either always or never checked within a run.
+func (c *Coordinator) pickCrossCheck(k simKey) bool {
+	if c.opts.CrossCheck <= 0 {
+		return false
+	}
+	if c.opts.CrossCheck >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", c.opts.CrossCheckSeed, k.cfg, k.name)
+	z := h.Sum64()
+	// splitmix64 finalizer whitens the fnv hash into a uniform draw.
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < c.opts.CrossCheck
+}
+
+// completeLocked finishes a job and wakes its waiters; c.mu held.
+func (c *Coordinator) completeLocked(j *distJob, perf autodb.Perf, err error) {
+	if j.state == jobDone {
+		return
+	}
+	j.state = jobDone
+	if err != nil {
+		j.err = err
+		// Errors are not cached validator-side either; forget the key so
+		// a later submit may retry.
+		delete(c.byKey, j.key)
+	} else {
+		j.perf = perf
+	}
+	close(j.done)
 }
 
 // applyResults folds a worker's result batch into the job table,
 // idempotently: a result for an unknown or already-done key counts as a
 // duplicate and changes nothing; a result from an expired (reassigned)
 // lease is accepted — the sims are deterministic, so any worker's result
-// for the key is the result. When the coordinator traces, each accepted
+// for the key is the result. Results from a byzantine worker are
+// dropped wholesale. When cross-validation samples a result, the job
+// parks in a verifying state — waiters are not released until a local
+// re-simulation agrees. When the coordinator traces, each accepted
 // result is also replayed as a span pair on the coordinator's own
 // timeline: a "lease" span covering submit→done (queue wait included)
 // and a "worker-sim" span at the worker's reported start, shifted onto
@@ -544,26 +987,35 @@ func (c *Coordinator) applyResults(sess *session, msg *ResultMsg) {
 		done      time.Time
 	}
 	var replays []replay
+	verify := false
 	c.mu.Lock()
 	t := c.tallyLocked(msg.Worker)
 	t.jobs += int64(len(msg.Results))
 	t.busyNS += msg.BusyNS
-	t.lastSeen = time.Now()
+	t.lastSeen = c.now()
+	byzantine := t.byzantine
 	for _, r := range msg.Results {
-		k := simKey{cfg: r.CfgKey, name: r.Name}
-		j, ok := c.byKey[k]
-		if !ok || j.state == jobDone {
+		if byzantine {
 			c.duplicates.Add(1)
 			c.obsInc(MetricResultsDup)
 			continue
 		}
-		replays = append(replays, replay{r: r, submitted: j.submitted, done: time.Now()})
+		k := simKey{cfg: r.CfgKey, name: r.Name}
+		j, ok := c.byKey[k]
+		if !ok || j.state == jobDone || j.state == jobVerifying {
+			c.duplicates.Add(1)
+			c.obsInc(MetricResultsDup)
+			continue
+		}
+		now := c.now()
+		replays = append(replays, replay{r: r, submitted: j.submitted, done: now})
 		switch j.state {
 		case jobLeased:
-			delete(c.leased, j.leaseID)
-			if j.owner != nil {
-				delete(j.owner.leases, j.leaseID)
-				j.owner = nil
+			if r.Err == "" {
+				c.recordCompletionLocked(now.Sub(j.firstGrant))
+			}
+			for id, li := range j.leases {
+				c.releaseLeaseLocked(id, li)
 			}
 		case jobPending:
 			// Reassignment raced the late result: pull the job back out of
@@ -575,17 +1027,25 @@ func (c *Coordinator) applyResults(sess *session, msg *ResultMsg) {
 				}
 			}
 		}
-		j.state = jobDone
-		if r.Err != "" {
-			j.err = &RemoteError{Worker: msg.Worker, Msg: r.Err}
-			// Errors are not cached validator-side either; forget the key so
-			// a later submit may retry.
-			delete(c.byKey, k)
-		} else {
-			j.perf = r.Perf
-		}
+		c.healthEventLocked(msg.Worker, r.Err != "", now)
 		c.counters.Record(j.queueWait, time.Duration(r.SimNS))
-		close(j.done)
+		if r.Err != "" {
+			c.completeLocked(j, autodb.Perf{}, &RemoteError{Worker: msg.Worker, Msg: r.Err})
+			continue
+		}
+		if c.pickCrossCheck(k) {
+			j.state = jobVerifying
+			j.verifyWorker = msg.Worker
+			j.verifyPerf = r.Perf
+			c.verifyQ = append(c.verifyQ, j)
+			verify = true
+			continue
+		}
+		c.completeLocked(j, r.Perf, nil)
+	}
+	if verify {
+		c.startVerifierLocked()
+		c.cond.Broadcast()
 	}
 	c.mu.Unlock()
 	if r := c.opts.Obs; r != nil {
@@ -601,6 +1061,108 @@ func (c *Coordinator) applyResults(sess *session, msg *ResultMsg) {
 				"lease", leaseID, "worker", msg.Worker, "trace", rp.r.Name, "trace_id", c.traceID)
 		}
 	}
+}
+
+// recordCompletionLocked folds one grant→result latency into the
+// hedging sample window; c.mu held.
+func (c *Coordinator) recordCompletionLocked(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.completions[c.compN%completionWindow] = d
+	c.compN++
+}
+
+// startVerifierLocked launches the cross-validation goroutine once;
+// c.mu held.
+func (c *Coordinator) startVerifierLocked() {
+	c.verifyOnce.Do(func() {
+		c.verifyWG.Add(1)
+		go c.verifier()
+	})
+}
+
+// verifier re-simulates sampled remote results locally and
+// adjudicates: agreement releases the job to its waiters; divergence
+// marks the reporting worker byzantine and requeues its work. Local
+// re-simulations share a memo cache, so re-verifying a requeued key is
+// a lookup, not a second sim.
+func (c *Coordinator) verifier() {
+	defer c.verifyWG.Done()
+	for {
+		c.mu.Lock()
+		for len(c.verifyQ) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if len(c.verifyQ) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		j := c.verifyQ[0]
+		c.verifyQ = c.verifyQ[1:]
+		if j.state != jobVerifying {
+			c.mu.Unlock()
+			continue
+		}
+		worker := j.verifyWorker
+		remote := j.verifyPerf
+		cfg := j.cfg
+		name := j.key.name
+		c.mu.Unlock()
+
+		local, err := c.crossSimulate(cfg, name)
+
+		c.mu.Lock()
+		if j.state != jobVerifying {
+			c.mu.Unlock()
+			continue
+		}
+		c.crosschecked.Add(1)
+		c.obsInc(MetricCrossChecked)
+		c.tallyLocked(worker).crosschecked++
+		switch {
+		case err != nil:
+			// The local referee failed (shutdown, local sim error): we
+			// cannot adjudicate, so release the remote result — the same
+			// trust level as an unsampled result.
+			obs.RecordEvent("crosscheck-skipped", "worker", worker, "trace", name, "err", err.Error())
+			c.completeLocked(j, remote, nil)
+		case local == remote:
+			c.completeLocked(j, remote, nil)
+		default:
+			c.divergent.Add(1)
+			c.obsInc(MetricCrossCheckDivergent)
+			c.tallyLocked(worker).divergent++
+			obs.RecordEvent("crosscheck-divergent",
+				"worker", worker, "trace", name, "cfg", j.key.cfg)
+			c.markByzantineLocked(worker, c.now())
+			if j.state == jobVerifying { // not already requeued by markByzantine
+				j.state = jobPending
+				c.pending = append(c.pending, j)
+			}
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// crossSimulate measures one key through the coordinator's local
+// referee validator (built lazily from the env).
+func (c *Coordinator) crossSimulate(cfg ssdconf.Config, name string) (autodb.Perf, error) {
+	c.mu.Lock()
+	if c.crossV == nil && c.crossVErr == nil {
+		c.crossV, c.crossVErr = NewValidator(c.env)
+	}
+	v, err := c.crossV, c.crossVErr
+	c.mu.Unlock()
+	if err != nil {
+		return autodb.Perf{}, err
+	}
+	f, err := c.env.FactoryFor(name)
+	if err != nil {
+		return autodb.Perf{}, err
+	}
+	return v.MeasureTrace(c.verifyCtx, cfg, name, f)
 }
 
 // absorbStats folds a worker's delta-encoded metrics push into the
@@ -626,9 +1188,10 @@ func (c *Coordinator) obsAdd(name string, delta int64) {
 }
 
 // ServeConn speaks the worker protocol over one connection: handshake,
-// then a lease/result loop until the peer disconnects or the
-// coordinator closes. It blocks; run it in a goroutine per connection.
-// Leases held by a disconnecting worker are reassigned immediately.
+// then a lease/result loop until the peer disconnects, says goodbye,
+// or the coordinator closes. It blocks; run it in a goroutine per
+// connection. Leases held by a disconnecting worker are reassigned
+// immediately.
 func (c *Coordinator) ServeConn(conn net.Conn) error {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
@@ -649,7 +1212,7 @@ func (c *Coordinator) ServeConn(conn net.Conn) error {
 		}})
 		return fmt.Errorf("dist: worker %s: %w", worker, ErrVersionMismatch)
 	}
-	t1 := time.Now()
+	t1 := c.now()
 	welcome := &Welcome{
 		Env:           *c.env,
 		LeaseTTLMS:    c.opts.leaseTTL().Milliseconds(),
@@ -662,7 +1225,7 @@ func (c *Coordinator) ServeConn(conn net.Conn) error {
 	if m, err = Decode(r); err != nil {
 		return fmt.Errorf("dist: handshake read: %w", err)
 	}
-	t2 := time.Now()
+	t2 := c.now()
 	if m.Type != MsgConfirm {
 		return fmt.Errorf("dist: expected confirm, got %s", m.Type)
 	}
@@ -679,7 +1242,7 @@ func (c *Coordinator) ServeConn(conn net.Conn) error {
 		return err
 	}
 
-	sess := &session{name: worker, leases: make(map[uint64]*distJob)}
+	sess := &session{name: worker, leases: make(map[uint64]*leaseInfo)}
 	// NTP-style offset from the handshake stamps: the worker's space
 	// reconstruction between its Recv and Send stamps is excluded, so
 	// the round trip is pure wire + framing time.
@@ -693,7 +1256,7 @@ func (c *Coordinator) ServeConn(conn net.Conn) error {
 	t := c.tallyLocked(worker)
 	t.sessions++
 	t.cur = sess
-	t.lastSeen = time.Now()
+	t.lastSeen = c.now()
 	c.mu.Unlock()
 	if r := c.opts.Obs; r != nil {
 		r.Gauge(MetricWorkersConnected).Add(1)
@@ -705,7 +1268,8 @@ func (c *Coordinator) ServeConn(conn net.Conn) error {
 		// Once the coordinator is closed, bound the wait for the worker's
 		// next request so a wedged worker cannot stall Close forever; a
 		// responsive worker gets its polite Closed grant well within the
-		// lease TTL.
+		// lease TTL. (Kernel read deadlines are wall-clock by definition,
+		// so this deliberately bypasses the injectable Clock.)
 		if c.isClosed() {
 			_ = conn.SetReadDeadline(time.Now().Add(c.opts.leaseTTL()))
 		}
@@ -727,6 +1291,10 @@ func (c *Coordinator) ServeConn(conn net.Conn) error {
 			c.applyResults(sess, m.Result)
 		case MsgStatsPush:
 			c.absorbStats(m.StatsPush)
+		case MsgGoodbye:
+			obs.RecordEvent("worker-goodbye", "worker", worker,
+				"reason", m.Goodbye.Reason)
+			return nil
 		default:
 			return fmt.Errorf("dist: unexpected %s mid-session", m.Type)
 		}

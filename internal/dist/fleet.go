@@ -36,6 +36,20 @@ type FleetOptions struct {
 	// Obs, when set, receives fleet counters, per-worker busy
 	// histograms, and the loopback workers' validator metrics.
 	Obs *obs.Registry
+	// Clock/Hedge/HedgeAfter/Quarantine/CrossCheck/CrossCheckSeed pass
+	// straight through to CoordinatorOptions (defenses are opt-in; see
+	// the field docs there).
+	Clock          Clock
+	Hedge          bool
+	HedgeAfter     time.Duration
+	Quarantine     bool
+	CrossCheck     float64
+	CrossCheckSeed int64
+	// WrapConn, when set, wraps every accepted remote connection before
+	// the coordinator serves it — the chaos-harness hook
+	// (chaos.Transport.Wrap injects deterministic faults on the server
+	// side of the stream). Loopback workers are not wrapped.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // Fleet bundles a coordinator with its loopback workers and optional
@@ -56,10 +70,16 @@ func StartFleet(env *Env, opts FleetOptions) (*Fleet, error) {
 		return nil, fmt.Errorf("dist: fleet needs loopback workers or a listen address")
 	}
 	coord := NewCoordinator(env, CoordinatorOptions{
-		LeaseTTL:     opts.LeaseTTL,
-		PollInterval: opts.PollInterval,
-		BatchMax:     opts.BatchMax,
-		Obs:          opts.Obs,
+		LeaseTTL:       opts.LeaseTTL,
+		PollInterval:   opts.PollInterval,
+		BatchMax:       opts.BatchMax,
+		Obs:            opts.Obs,
+		Clock:          opts.Clock,
+		Hedge:          opts.Hedge,
+		HedgeAfter:     opts.HedgeAfter,
+		Quarantine:     opts.Quarantine,
+		CrossCheck:     opts.CrossCheck,
+		CrossCheckSeed: opts.CrossCheckSeed,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Fleet{coord: coord, cancel: cancel}
@@ -73,6 +93,10 @@ func StartFleet(env *Env, opts FleetOptions) (*Fleet, error) {
 		f.wg.Add(1)
 		go func() {
 			defer f.wg.Done()
+			if wrap := opts.WrapConn; wrap != nil {
+				f.serveWrapped(ln, wrap)
+				return
+			}
 			_ = coord.Serve(ln)
 		}()
 	}
@@ -97,6 +121,24 @@ func StartFleet(env *Env, opts FleetOptions) (*Fleet, error) {
 		}()
 	}
 	return f, nil
+}
+
+// serveWrapped is Coordinator.Serve with every accepted conn passed
+// through the WrapConn hook first.
+func (f *Fleet) serveWrapped(ln net.Listener, wrap func(net.Conn) net.Conn) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = f.coord.ServeConn(wrap(conn))
+		}()
+	}
 }
 
 // Backend returns the fleet's coordinator as a validator backend.

@@ -25,6 +25,7 @@
 //	  coord  → LeaseGrant{leases} (empty grant = long-poll timeout; Closed = shutdown)
 //	  worker → Result{results}    (omitted when the grant was empty)
 //	  worker → StatsPush{metrics delta} (optional, one-way, after results)
+//	worker → Goodbye{reason}      (graceful shutdown; coordinator closes cleanly)
 //
 // The handshake doubles as a clock-offset probe: Welcome carries the
 // coordinator's send time, Confirm carries the worker's receive and send
@@ -54,8 +55,9 @@ import (
 )
 
 // ProtocolVersion gates the handshake; incompatible workers are
-// rejected before any lease is granted.
-const ProtocolVersion = 1
+// rejected before any lease is granted. v2 added the Goodbye frame
+// (graceful worker shutdown).
+const ProtocolVersion = 2
 
 // MaxFrameBytes bounds one wire frame; a peer announcing a larger
 // payload is malformed (or malicious) and the connection is dropped.
@@ -95,6 +97,7 @@ const (
 	MsgLeaseGrant                    // coordinator → worker: leased batch (possibly empty)
 	MsgResult                        // worker → coordinator: measured results
 	MsgStatsPush                     // worker → coordinator: delta-encoded metrics snapshot
+	MsgGoodbye                       // worker → coordinator: graceful shutdown notice
 )
 
 func (t MsgType) String() string {
@@ -117,6 +120,8 @@ func (t MsgType) String() string {
 		return "result"
 	case MsgStatsPush:
 		return "stats-push"
+	case MsgGoodbye:
+		return "goodbye"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -134,6 +139,7 @@ type Message struct {
 	LeaseGrant *LeaseGrant `json:"lease_grant,omitempty"`
 	Result     *ResultMsg  `json:"result,omitempty"`
 	StatsPush  *StatsPush  `json:"stats_push,omitempty"`
+	Goodbye    *Goodbye    `json:"goodbye,omitempty"`
 }
 
 // Hello introduces a worker.
@@ -248,6 +254,14 @@ type StatsPush struct {
 	Stats  obs.Snapshot `json:"stats"`
 }
 
+// Goodbye announces a worker's graceful shutdown (SIGTERM drain): the
+// in-flight batch finished, final stats were pushed, and the
+// connection is about to close cleanly — so the coordinator learns
+// immediately instead of waiting out a lease TTL.
+type Goodbye struct {
+	Reason string `json:"reason,omitempty"`
+}
+
 // Validate checks the envelope invariant: a known type with exactly the
 // matching payload.
 func (m *Message) Validate() error {
@@ -255,6 +269,7 @@ func (m *Message) Validate() error {
 	for _, p := range []bool{
 		m.Hello != nil, m.Welcome != nil, m.Confirm != nil, m.Reject != nil,
 		m.LeaseReq != nil, m.LeaseGrant != nil, m.Result != nil, m.StatsPush != nil,
+		m.Goodbye != nil,
 	} {
 		if p {
 			payloads++
@@ -288,6 +303,8 @@ func (m *Message) Validate() error {
 		return want(m.Result != nil)
 	case MsgStatsPush:
 		return want(m.StatsPush != nil)
+	case MsgGoodbye:
+		return want(m.Goodbye != nil)
 	default:
 		return fmt.Errorf("dist: unknown message type %d", uint8(m.Type))
 	}

@@ -3,9 +3,13 @@ package dist
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +19,12 @@ import (
 	"autoblox/internal/obs"
 	"autoblox/internal/ssdconf"
 )
+
+// ErrDrained reports a graceful worker shutdown: the context was
+// cancelled, the in-flight batch finished, final stats were pushed,
+// and a Goodbye frame closed the session. Callers treat it as a clean
+// exit, distinct from transport failures that warrant a reconnect.
+var ErrDrained = errors.New("dist: worker drained after shutdown signal")
 
 // Worker pulls leased measurement batches from a coordinator, runs the
 // simulations through a locally reconstructed validator (same memo
@@ -41,11 +51,38 @@ type Worker struct {
 	// off when Obs is shared with the coordinator process (in-process
 	// loopback fleets), or the push would re-absorb its own series.
 	PushStats bool
+	// Persist, when set, backs the local validator's memo cache with a
+	// durable store: keys measured in any earlier process land as
+	// cache hits instead of re-simulations.
+	Persist *core.PersistentCache
+	// Dial overrides the transport Run uses (default: TCP via
+	// net.Dialer). Tests and chaos harnesses inject wrapped conns here.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// Grace, when positive, enables graceful drain: on context
+	// cancellation the worker finishes its in-flight batch, pushes
+	// final stats, and sends a Goodbye frame — hard-closing the
+	// connection only after Grace elapses. Zero keeps the legacy
+	// behavior (the conn is severed the instant the context cancels).
+	Grace time.Duration
+	// ReconnectBase/ReconnectMax bound RunReconnect's jittered
+	// exponential backoff (defaults 100ms / 5s).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
 
-	jobs   atomic.Int64
-	busyNS atomic.Int64
+	jobs     atomic.Int64
+	busyNS   atomic.Int64
+	sessions atomic.Int64 // completed handshakes (backoff reset signal)
 
 	lastPush obs.Snapshot // previous push baseline (lease loop only)
+
+	// Handshake resumption: a reconnect whose Welcome env is identical
+	// to the previous session's reuses the reconstructed space,
+	// fingerprint, and validator (memo cache included) instead of
+	// rebuilding them.
+	mu        sync.Mutex
+	cachedEnv []byte
+	cachedSig string
+	cachedV   *core.Validator
 }
 
 func (w *Worker) name() string {
@@ -74,23 +111,141 @@ func (w *Worker) Busy() time.Duration { return time.Duration(w.busyNS.Load()) }
 
 // Run dials a coordinator and serves until the coordinator closes (nil
 // error), the context cancels, or the connection fails. A handshake
-// refusal surfaces as ErrVersionMismatch / ErrSpaceMismatch.
+// refusal surfaces as ErrVersionMismatch / ErrSpaceMismatch; a
+// graceful drain (Grace > 0) as ErrDrained.
 func (w *Worker) Run(ctx context.Context, addr string) error {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	dial := w.Dial
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := dial(ctx, addr)
 	if err != nil {
 		return err
 	}
 	return w.RunConn(ctx, conn)
 }
 
+// RunReconnect runs the worker with automatic redial: a transport
+// failure (dropped conn, mid-frame kill, partition) backs off with
+// jittered exponential delay and dials again, resuming the handshake
+// against the cached environment. It returns when the coordinator
+// closes cleanly, the handshake is rejected, the context cancels, or
+// a graceful drain completes.
+func (w *Worker) RunReconnect(ctx context.Context, addr string) error {
+	base := w.ReconnectBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := w.ReconnectMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	h := fnv.New64a()
+	h.Write([]byte(w.name()))
+	jitterState := h.Sum64()
+	attempt := 0
+	for {
+		before := w.sessions.Load()
+		err := w.Run(ctx, addr)
+		switch {
+		case err == nil:
+			return nil // coordinator closed cleanly
+		case errors.Is(err, ErrDrained),
+			errors.Is(err, ErrVersionMismatch),
+			errors.Is(err, ErrSpaceMismatch):
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if w.sessions.Load() > before {
+			attempt = 0 // the last dial handshook; start the backoff over
+		}
+		attempt++
+		shift := attempt - 1
+		if shift > 16 {
+			shift = 16
+		}
+		d := base << shift
+		if d > max {
+			d = max
+		}
+		// Jitter to d/2 + [0, d/2): a fleet of workers severed by the same
+		// partition does not redial in lockstep.
+		jitterState += 0x9e3779b97f4a7c15
+		z := jitterState
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		d = d/2 + time.Duration(z%uint64(d/2+1))
+		obs.RecordEvent("worker-reconnect", "worker", w.name(),
+			"attempt", strconv.Itoa(attempt), "backoff", d.String(), "err", err.Error())
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// validatorFor resolves the session validator, reusing the previous
+// session's (memo cache included) when the Welcome env is unchanged.
+// The returned signature is always locally recomputed — a cached hit
+// just means it was recomputed from byte-identical inputs last time.
+func (w *Worker) validatorFor(env *Env) (*core.Validator, string, error) {
+	envJSON, err := json.Marshal(env)
+	if err != nil {
+		return nil, "", err
+	}
+	w.mu.Lock()
+	if w.cachedV != nil && string(envJSON) == string(w.cachedEnv) {
+		v, sig := w.cachedV, w.cachedSig
+		w.mu.Unlock()
+		return v, sig, nil
+	}
+	w.mu.Unlock()
+	sig := env.Space().Signature()
+	v, err := NewValidator(env)
+	if err != nil {
+		return nil, "", err
+	}
+	v.Parallel = w.Parallel
+	v.Obs = w.Obs
+	v.SimTimeout = w.SimTimeout
+	v.MaxRetries = w.MaxRetries
+	v.Persist = w.Persist
+	w.mu.Lock()
+	w.cachedEnv = envJSON
+	w.cachedSig = sig
+	w.cachedV = v
+	w.mu.Unlock()
+	return v, sig, nil
+}
+
 // RunConn serves the worker protocol over an established connection
 // (used directly for in-process loopback fleets over net.Pipe).
 func (w *Worker) RunConn(ctx context.Context, conn net.Conn) error {
 	defer conn.Close()
-	// Cancellation unblocks pending reads/writes by closing the conn.
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
-	defer stop()
+	// Cancellation unblocks pending reads/writes by closing the conn —
+	// immediately in the legacy mode, after the drain grace period when
+	// Grace is set.
+	var graceTimer *time.Timer
+	stop := context.AfterFunc(ctx, func() {
+		if w.Grace > 0 {
+			graceTimer = time.AfterFunc(w.Grace, func() { conn.Close() })
+		} else {
+			conn.Close()
+		}
+	})
+	defer func() {
+		stop()
+		if graceTimer != nil {
+			graceTimer.Stop()
+		}
+	}()
 
 	r := bufio.NewReader(conn)
 	if err := Encode(conn, &Message{Type: MsgHello, Hello: &Hello{Worker: w.name(), Version: ProtocolVersion}}); err != nil {
@@ -112,9 +267,14 @@ func (w *Worker) RunConn(ctx context.Context, conn net.Conn) error {
 	// binary derives different grids from the same constraints, the
 	// coordinator must refuse us before any measurement happens. The two
 	// local stamps bracket that (heavy) reconstruction so the
-	// coordinator's RTT estimate excludes it.
+	// coordinator's RTT estimate excludes it. A resumed handshake reuses
+	// the previous session's reconstruction (and validator cache).
+	v, sig, err := w.validatorFor(&env)
+	if err != nil {
+		return err
+	}
 	confirm := &Confirm{
-		SpaceSig:     env.Space().Signature(),
+		SpaceSig:     sig,
 		RecvUnixNano: recv.UnixNano(),
 	}
 	confirm.SendUnixNano = time.Now().UnixNano()
@@ -130,19 +290,22 @@ func (w *Worker) RunConn(ctx context.Context, conn net.Conn) error {
 	if m.Type != MsgAccept {
 		return fmt.Errorf("dist: expected accept, got %s", m.Type)
 	}
+	w.sessions.Add(1)
 
-	v, err := NewValidator(&env)
-	if err != nil {
-		return err
+	// Graceful drain runs the batch under a detached context (the
+	// in-flight job must finish); the grace timer above still bounds a
+	// wedged drain by severing the conn.
+	batchCtx := ctx
+	if w.Grace > 0 {
+		batchCtx = context.WithoutCancel(ctx)
 	}
-	v.Parallel = w.Parallel
-	v.Obs = w.Obs
-	v.SimTimeout = w.SimTimeout
-	v.MaxRetries = w.MaxRetries
 
 	for {
-		if err := ctx.Err(); err != nil {
-			return err
+		if ctx.Err() != nil {
+			if w.Grace > 0 {
+				return w.drain(conn)
+			}
+			return ctx.Err()
 		}
 		if err := Encode(conn, &Message{Type: MsgLeaseReq, LeaseReq: &LeaseReq{Max: w.batchSize()}}); err != nil {
 			return err
@@ -160,7 +323,7 @@ func (w *Worker) RunConn(ctx context.Context, conn net.Conn) error {
 		if len(m.LeaseGrant.Leases) == 0 {
 			continue // long-poll timed out; ask again
 		}
-		res := w.runBatch(ctx, v, &env, m.LeaseGrant.Leases)
+		res := w.runBatch(batchCtx, v, &env, m.LeaseGrant.Leases)
 		if err := Encode(conn, &Message{Type: MsgResult, Result: res}); err != nil {
 			return err
 		}
@@ -168,6 +331,20 @@ func (w *Worker) RunConn(ctx context.Context, conn net.Conn) error {
 			return err
 		}
 	}
+}
+
+// drain finishes a graceful shutdown: final stats push, Goodbye frame,
+// clean close. The in-flight batch (if any) already completed — drain
+// only runs from the top of the lease loop.
+func (w *Worker) drain(conn net.Conn) error {
+	if err := w.pushStats(conn); err != nil {
+		return err
+	}
+	if err := Encode(conn, &Message{Type: MsgGoodbye, Goodbye: &Goodbye{Reason: "shutdown"}}); err != nil {
+		return err
+	}
+	obs.RecordEvent("worker-drained", "worker", w.name())
+	return ErrDrained
 }
 
 // pushStats ships the registry's changes since the previous push as a

@@ -66,6 +66,10 @@ type Scale struct {
 	// suites run correctly with only the matching envs distributed.
 	Backend    core.Backend
 	BackendEnv *dist.Env
+	// Persist, when set, is consulted before (and written after) every
+	// validation simulation — the crash-safe cache that carries measured
+	// results across process restarts (see core.PersistentCache).
+	Persist *core.PersistentCache
 }
 
 // DefaultScale is sized for CI and benchmarks.
@@ -135,6 +139,7 @@ func newEnv(scale Scale, cons ssdconf.Constraints, ref ssd.DeviceParams, cats []
 	e.Validator.Obs = scale.Obs
 	e.Validator.SimTimeout = scale.SimTimeout
 	e.Validator.MaxRetries = scale.SimRetries
+	e.Validator.Persist = scale.Persist
 	if scale.Backend != nil && scale.BackendEnv != nil {
 		clusters := make([]string, len(cats))
 		for i, c := range cats {

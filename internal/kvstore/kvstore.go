@@ -50,12 +50,25 @@ type Store struct {
 	index map[string][]byte
 	// liveBytes / totalBytes drive compaction heuristics.
 	liveBytes, totalBytes int64
+	// corrupt counts torn tails truncated during replay.
+	corrupt int64
 }
+
+// compactSuffix names the temporary file Compact writes before the
+// atomic rename. A crash mid-compaction leaves it behind; Open removes
+// it (the original log is still the authoritative copy until the
+// rename lands).
+const compactSuffix = ".compact"
 
 // Open opens (or creates) the store backed by the given log file.
 func Open(path string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("kvstore: mkdir: %w", err)
+	}
+	// A stale compaction temp means a crash landed between writing the
+	// temp and renaming it over the log; the log is still authoritative.
+	if err := os.Remove(path + compactSuffix); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("kvstore: remove stale compact temp: %w", err)
 	}
 	s := &Store{path: path, index: make(map[string][]byte)}
 	if err := s.replay(); err != nil {
@@ -93,6 +106,7 @@ func (s *Store) replay() error {
 			if terr := os.Truncate(s.path, offset); terr != nil {
 				return fmt.Errorf("kvstore: truncate after corrupt record: %w", terr)
 			}
+			s.corrupt++
 			break
 		}
 		offset += int64(n)
@@ -257,6 +271,14 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
+// CorruptRecords reports how many torn/corrupt log tails were
+// truncated during replay (0 or 1 per Open).
+func (s *Store) CorruptRecords() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.corrupt
+}
+
 // GarbageRatio returns the fraction of the log occupied by superseded
 // records.
 func (s *Store) GarbageRatio() float64 {
@@ -268,14 +290,25 @@ func (s *Store) GarbageRatio() float64 {
 	return 1 - float64(s.liveBytes)/float64(s.totalBytes)
 }
 
-// Compact rewrites the log with only live records.
+// compactCrashPoint, when set (tests only), simulates a crash at a
+// named stage of Compact: it returns an error that Compact propagates
+// WITHOUT cleaning up, leaving the on-disk state exactly as a killed
+// process would. Stages: "pre-rename" (temp durable, log untouched),
+// "post-rename" (rename landed, directory not yet synced).
+var compactCrashPoint func(stage string) error
+
+// Compact rewrites the log with only live records, crash-safely: the
+// replacement is written to a temp file, fsynced, renamed over the log,
+// and the directory is fsynced so the rename itself is durable. A
+// crash at any point leaves either the complete old log (plus a stale
+// temp that Open removes) or the complete new one — never a mix.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.file == nil {
 		return errors.New("kvstore: store closed")
 	}
-	tmp := s.path + ".compact"
+	tmp := s.path + compactSuffix
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("kvstore: compact create: %w", err)
@@ -307,11 +340,32 @@ func (s *Store) Compact() error {
 		return err
 	}
 	f.Close()
+	if hook := compactCrashPoint; hook != nil {
+		if err := hook("pre-rename"); err != nil {
+			return err
+		}
+	}
 	if err := s.file.Close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, s.path); err != nil {
 		return fmt.Errorf("kvstore: compact rename: %w", err)
+	}
+	if hook := compactCrashPoint; hook != nil {
+		if err := hook("post-rename"); err != nil {
+			return err
+		}
+	}
+	// The rename is only durable once the directory entry is: fsync the
+	// parent directory, or a power cut can resurrect the old log.
+	if dir, err := os.Open(filepath.Dir(s.path)); err == nil {
+		serr := dir.Sync()
+		dir.Close()
+		if serr != nil {
+			return fmt.Errorf("kvstore: compact dir sync: %w", serr)
+		}
+	} else {
+		return fmt.Errorf("kvstore: compact dir open: %w", err)
 	}
 	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {

@@ -295,3 +295,107 @@ func TestModelEquivalenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// crashCompact runs one Compact with a simulated crash at the given
+// stage and returns the store's path. The store handle is abandoned
+// (never closed) like a killed process would leave it.
+func crashCompact(t *testing.T, stage string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("old"))
+	s.Put("b", []byte("2")) // supersede: compaction has garbage to drop
+	s.Put("gone", []byte("x"))
+	s.Delete("gone")
+
+	compactCrashPoint = func(st string) error {
+		if st == stage {
+			return errors.New("simulated crash at " + st)
+		}
+		return nil
+	}
+	defer func() { compactCrashPoint = nil }()
+	if err := s.Compact(); err == nil {
+		t.Fatal("Compact should surface the simulated crash")
+	}
+	return path
+}
+
+func TestCompactCrashPreRename(t *testing.T) {
+	// Killed after the temp file is durable but before the rename: the
+	// old log is still authoritative and the stale temp must be swept.
+	path := crashCompact(t, "pre-rename")
+	if _, err := os.Stat(path + compactSuffix); err != nil {
+		t.Fatalf("pre-rename crash should leave the temp file: %v", err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(path + compactSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Open should remove the stale temp, stat = %v", err)
+	}
+	assertCompactSurvivors(t, s)
+}
+
+func TestCompactCrashPostRename(t *testing.T) {
+	// Killed after the rename landed: the compacted log is the store.
+	path := crashCompact(t, "post-rename")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	assertCompactSurvivors(t, s)
+	if s.GarbageRatio() != 0 {
+		t.Fatalf("post-rename log should be fully compacted, garbage = %v", s.GarbageRatio())
+	}
+}
+
+func assertCompactSurvivors(t *testing.T, s *Store) {
+	t.Helper()
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (keys %v)", s.Len(), s.Keys())
+	}
+	for k, want := range map[string]string{"a": "1", "b": "2"} {
+		got, err := s.Get(k)
+		if err != nil || string(got) != want {
+			t.Fatalf("Get(%q) = %q, %v; want %q", k, got, err, want)
+		}
+	}
+	if s.Has("gone") {
+		t.Fatal("deleted key resurrected by crashed compaction")
+	}
+	// The reopened store must stay fully writable.
+	if err := s.Put("c", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptRecordsCounter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, _ := Open(path)
+	if s.CorruptRecords() != 0 {
+		t.Fatalf("fresh store CorruptRecords = %d", s.CorruptRecords())
+	}
+	s.Put("a", []byte("1"))
+	s.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{0xBA, 0xD0})
+	f.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.CorruptRecords() != 1 {
+		t.Fatalf("CorruptRecords after torn tail = %d, want 1", s2.CorruptRecords())
+	}
+}
